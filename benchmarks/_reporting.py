@@ -1,0 +1,30 @@
+"""Output helper for the benchmark harness.
+
+pytest captures ``print`` output of passing tests, which would hide the
+regenerated paper tables from the benchmark log.  ``emit`` therefore queues
+each artefact, and the ``pytest_terminal_summary`` hook in
+``benchmarks/conftest.py`` writes the queue to the terminal report at the end
+of the run, so the tables always appear in
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["emit", "drain_artefacts"]
+
+_ARTEFACTS: List[str] = []
+
+
+def emit(*blocks: object) -> None:
+    """Queue one or more text blocks for the end-of-run artefact report."""
+    for block in blocks:
+        _ARTEFACTS.append(str(block))
+
+
+def drain_artefacts() -> List[str]:
+    """Return the queued artefacts and clear the queue."""
+    artefacts = list(_ARTEFACTS)
+    _ARTEFACTS.clear()
+    return artefacts

@@ -1,0 +1,39 @@
+"""Ablation: error-class breakdown and which restrictions pay off.
+
+Not a table in the paper, but directly supports Section III-D (the error
+classification loop): for one representative model profile it reports how
+often each Table II failure class occurs with and without restrictions, and
+checks that the restriction-addressed classes shrink.
+"""
+
+from __future__ import annotations
+
+from _reporting import emit
+from repro.harness import SweepConfig, error_breakdown_text, run_sweep
+from repro.llm import get_profile
+from repro.netlist import ErrorCategory
+
+
+def test_error_class_breakdown(benchmark):
+    """Run a single-profile sweep and print the per-category error histogram."""
+    config = SweepConfig(samples_per_problem=3, max_feedback_iterations=1, num_wavelengths=21)
+
+    def sweep():
+        return run_sweep(config, profiles=[get_profile("GPT-4o")])
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(error_breakdown_text(result))
+
+    report_without = result.report("GPT-4o", with_restrictions=False)
+    report_with = result.report("GPT-4o", with_restrictions=True)
+    syntax_errors_without = sum(
+        count
+        for category, count in report_without.error_breakdown().items()
+        if category is not ErrorCategory.FUNCTIONAL
+    )
+    syntax_errors_with = sum(
+        count
+        for category, count in report_with.error_breakdown().items()
+        if category is not ErrorCategory.FUNCTIONAL
+    )
+    assert syntax_errors_with < syntax_errors_without

@@ -1,0 +1,40 @@
+"""Ablation: cost of the design-generator substrates.
+
+Times the Clements/Reck decomposition (optical-computing problems) and the
+Benes permutation routing (optical-switch problems), the two non-trivial
+algorithms behind the benchmark's golden designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.meshes import clements_decomposition, random_unitary, reck_decomposition
+from repro.switching import route_benes, route_spanke_benes
+
+
+@pytest.mark.parametrize("size", [4, 8])
+@pytest.mark.parametrize("scheme", ["clements", "reck"])
+def test_mesh_decomposition_cost(benchmark, scheme, size):
+    """Time decomposing a Haar-random unitary into an MZI mesh."""
+    unitary = random_unitary(size, seed=size)
+    decompose = clements_decomposition if scheme == "clements" else reck_decomposition
+    decomposition = benchmark(decompose, unitary)
+    assert np.allclose(decomposition.reconstruct(), unitary, atol=1e-6)
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_benes_routing_cost(benchmark, size):
+    """Time the looping algorithm on a fixed worst-ish-case permutation."""
+    permutation = list(reversed(range(size)))
+    states = benchmark(route_benes, size, permutation)
+    assert states
+
+
+@pytest.mark.parametrize("size", [8])
+def test_spanke_benes_routing_cost(benchmark, size):
+    """Time odd-even-transposition routing through the planar fabric."""
+    permutation = list(reversed(range(size)))
+    states = benchmark(route_spanke_benes, size, permutation)
+    assert len(states) == size * (size - 1) // 2

@@ -1,0 +1,47 @@
+"""Ablation: circuit-solver cost versus design size.
+
+The paper's evaluation hinges on simulating every candidate netlist; this
+ablation times the solver on the benchmark's smallest and largest designs
+(from the 4-instance MZI up to the 112-instance 8x8 Spanke fabric) so the
+cost of the syntax/functionality check is visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import get_problem
+from repro.constants import default_wavelength_grid
+from repro.sim import CircuitSolver
+
+WAVELENGTHS = default_wavelength_grid(41)
+SOLVER = CircuitSolver()
+
+SCALING_PROBLEMS = [
+    "mzi_ps",
+    "optical_hybrid",
+    "clements_4x4",
+    "clements_8x8",
+    "benes_8x8",
+    "crossbar_8x8",
+    "spanke_8x8",
+]
+
+
+@pytest.mark.parametrize("problem_name", SCALING_PROBLEMS)
+def test_solver_scaling(benchmark, problem_name):
+    """Time one full-band simulation of a golden design."""
+    problem = get_problem(problem_name)
+    netlist = problem.golden_netlist()
+
+    result = benchmark(SOLVER.evaluate, netlist, WAVELENGTHS)
+    assert result.num_wavelengths == WAVELENGTHS.size
+
+
+def test_solver_wavelength_scaling(benchmark):
+    """Time the largest fabric on the full 161-point evaluation grid."""
+    netlist = get_problem("benes_8x8").golden_netlist()
+    grid = default_wavelength_grid()
+
+    result = benchmark.pedantic(SOLVER.evaluate, args=(netlist, grid), rounds=1, iterations=1)
+    assert result.num_wavelengths == grid.size

@@ -1,0 +1,38 @@
+"""Table I: benchmark description.
+
+Regenerates the problem list of Table I and times how long it takes to build
+and validate every golden design in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.bench import all_problems
+from _reporting import emit
+from repro.harness import table1_text
+from repro.netlist import validate_netlist
+
+
+def build_and_validate_suite():
+    problems = all_problems()
+    for problem in problems:
+        validate_netlist(problem.golden_netlist(), port_spec=problem.port_spec)
+    return len(problems)
+
+
+def test_table1_suite_construction(benchmark):
+    """Time golden-design construction + validation for all 24 problems."""
+    count = benchmark(build_and_validate_suite)
+    assert count == 24
+    emit(table1_text())
+
+
+def test_table1_golden_responses(benchmark):
+    """Time the golden frequency-response computation of the full suite."""
+    from repro.bench import GoldenStore
+
+    def compute():
+        store = GoldenStore(num_wavelengths=21)
+        return len(store.precompute_all())
+
+    count = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert count == 24

@@ -1,0 +1,27 @@
+"""Table II: failure types and restrictions.
+
+Regenerates the restriction table and times system-prompt construction with
+and without the restriction section (the knob that distinguishes Table III
+from Table IV).
+"""
+
+from __future__ import annotations
+
+from _reporting import emit
+from repro.harness import table2_text
+from repro.prompts import PromptConfig, build_system_prompt
+
+
+def test_table2_restrictions_table(benchmark):
+    """Render Table II and time the restriction-augmented prompt build."""
+    prompt = benchmark(
+        build_system_prompt, config=PromptConfig(include_restrictions=True)
+    )
+    assert "Underscores are prohibited" in prompt
+    emit(table2_text())
+
+
+def test_system_prompt_without_restrictions(benchmark):
+    """Baseline prompt construction (Table III setting)."""
+    prompt = benchmark(build_system_prompt)
+    assert "strictly follow these restrictions" not in prompt

@@ -1,0 +1,64 @@
+"""Run the PICBench evaluation loop on a (simulated) LLM designer.
+
+This is the Fig. 1 flow end to end: system prompt with restrictions, problem
+description, generation, syntax check through the simulator, functional check
+against the golden response, classified error feedback, and the Pass@k scores
+of Tables III/IV -- here on a small problem subset so it finishes in seconds.
+
+To evaluate a real LLM instead of the offline simulated designer, wrap your
+API call in :class:`repro.llm.CallableLLM`::
+
+    def call_my_api(messages):
+        ...  # POST to your provider, return the assistant text
+    client = CallableLLM("my-model", call_my_api)
+    report = run_model(client, include_restrictions=True, config=config)
+
+Run with ``python examples/evaluate_designer.py``.
+"""
+
+from __future__ import annotations
+
+from repro.harness import SweepConfig, run_model
+from repro.llm import SimulatedDesigner
+
+PROBLEM_SUBSET = (
+    "mzi_ps",
+    "mzm",
+    "direct_modulator",
+    "optical_hybrid",
+    "os_2x2",
+    "wdm_demux",
+    "benes_4x4",
+    "clements_4x4",
+)
+
+
+def main() -> None:
+    config = SweepConfig(
+        samples_per_problem=5,
+        max_feedback_iterations=3,
+        num_wavelengths=41,
+        problems=PROBLEM_SUBSET,
+    )
+    designer = SimulatedDesigner("Claude 3.5 Sonnet")
+
+    print(f"Evaluating {designer.name} on {len(PROBLEM_SUBSET)} problems, "
+          f"{config.samples_per_problem} samples each, with restrictions...\n")
+    report = run_model(designer, include_restrictions=True, config=config)
+
+    header = f"{'metric':<14}" + "".join(f"{f'{ef} EF':>10}" for ef in (0, 1, 3))
+    print(header)
+    for metric in ("syntax", "functional"):
+        for k in (1, 5):
+            row = f"pass@{k} {metric[:4]:<6}"
+            for ef in (0, 1, 3):
+                row += f"{report.pass_at_k(k, metric=metric, max_feedback=ef):>10.2f}"
+            print(row)
+
+    print("\nError classes observed across failed attempts:")
+    for category, count in sorted(report.error_breakdown().items(), key=lambda kv: -kv[1]):
+        print(f"  {category.display_name:<45} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Optical computing scenario: program a Clements mesh to a target unitary.
+
+The benchmark's optical-computing problems ask for the *structure* of Reck and
+Clements meshes; this example goes one step further and programs the mesh:
+
+1. draw a Haar-random 4x4 unitary (e.g. a layer of an optical neural network),
+2. decompose it into MZI phases with the Clements algorithm,
+3. lower the programmed mesh to a netlist and simulate it,
+4. verify that the simulated circuit implements the target matrix.
+
+Run with ``python examples/program_clements_mesh.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.meshes import clements_decomposition, clements_mesh_netlist, random_unitary
+from repro.sim import evaluate_netlist
+
+
+def realised_matrix(netlist, size: int) -> np.ndarray:
+    """Extract the input->output transfer matrix of a simulated mesh at 1550 nm."""
+    smatrix = evaluate_netlist(netlist, np.array([1.55]))
+    return np.array(
+        [
+            [smatrix.s(f"O{row + 1}", f"I{col + 1}")[0] for col in range(size)]
+            for row in range(size)
+        ]
+    )
+
+
+def main() -> None:
+    size = 4
+    target = random_unitary(size, seed=2025)
+    print(f"Target {size}x{size} unitary (magnitudes):")
+    print(np.round(np.abs(target), 3))
+
+    decomposition = clements_decomposition(target)
+    print(f"\nClements decomposition: {len(decomposition.placements)} MZIs "
+          f"({decomposition.scheme} arrangement)")
+    for index, placement in enumerate(decomposition.placements, start=1):
+        print(f"  mzi{index}: modes ({placement.mode + 1},{placement.mode + 2})  "
+              f"theta={placement.theta:+.3f}  phi={placement.phi:+.3f}")
+
+    netlist = clements_mesh_netlist(size, target)
+    print(f"\nNetlist: {netlist.num_instances()} instances, "
+          f"{len(netlist.connections)} connections")
+
+    realised = realised_matrix(netlist, size)
+    fidelity = np.abs(np.trace(target.conj().T @ realised)) / size
+    error = np.max(np.abs(realised - target))
+    print(f"\nSimulated mesh fidelity |tr(U^dagger S)|/N = {fidelity:.6f}")
+    print(f"Worst-case element error                      = {error:.2e}")
+    if error < 1e-6:
+        print("The programmed mesh reproduces the target unitary.")
+    else:
+        raise SystemExit("programming error: the mesh does not match the target")
+
+
+if __name__ == "__main__":
+    main()

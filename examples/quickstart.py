@@ -1,0 +1,87 @@
+"""Quickstart: build, simulate and evaluate a PIC netlist.
+
+This walks through the three layers of the library in ~60 lines:
+
+1. describe a circuit as a JSON-style netlist (the paper's Fig. 3 format),
+2. simulate its frequency response with the S-parameter solver,
+3. evaluate it against a benchmark problem exactly as PICBench would.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import get_problem, golden_response
+from repro.constants import default_wavelength_grid
+from repro.netlist import Instance, Netlist, validate_netlist
+from repro.prompts import build_system_prompt
+from repro.sim import compare_responses, evaluate_netlist
+
+
+def build_mzi_netlist() -> Netlist:
+    """The MZI-with-phase-shifter design of the paper's Fig. 2."""
+    return Netlist(
+        instances={
+            "mmi1": Instance("mmi1x2"),
+            "phaseShifter": Instance("phase_shifter", {"length": 10.0}),
+            "waveBottom": Instance("waveguide", {"length": 20.0}),
+            "mmi2": Instance("mmi2x1"),
+        },
+        connections={
+            "mmi1,O1": "phaseShifter,I1",
+            "phaseShifter,O1": "mmi2,I1",
+            "mmi1,O2": "waveBottom,I1",
+            "waveBottom,O1": "mmi2,I2",
+        },
+        ports={"I1": "mmi1,I1", "O1": "mmi2,O1"},
+        models={
+            "mmi1x2": "mmi1x2",
+            "mmi2x1": "mmi2x1",
+            "phase_shifter": "phase_shifter",
+            "waveguide": "waveguide",
+        },
+    )
+
+
+def ascii_spectrum(wavelengths: np.ndarray, transmission: np.ndarray, width: int = 48) -> str:
+    """Tiny ASCII plot of a transmission spectrum."""
+    lines = []
+    for wl, t in zip(wavelengths[:: max(1, len(wavelengths) // 24)],
+                     transmission[:: max(1, len(wavelengths) // 24)]):
+        bar = "#" * int(round(t * width))
+        lines.append(f"{wl * 1000:7.1f} nm |{bar:<{width}}| {t:5.3f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    # 1. Build and validate the netlist.
+    netlist = build_mzi_netlist()
+    validate_netlist(netlist)
+    print("Netlist JSON (the format the LLM must produce):")
+    print(netlist.to_json())
+
+    # 2. Simulate the frequency response over the 1510-1590 nm band.
+    wavelengths = default_wavelength_grid(97)
+    smatrix = evaluate_netlist(netlist, wavelengths)
+    transmission = smatrix.transmission("O1", "I1")
+    print("\nTransmission |S(O1, I1)|^2 across the band:")
+    print(ascii_spectrum(wavelengths, transmission))
+
+    # 3. Evaluate against the benchmark problem, as PICBench would.
+    problem = get_problem("mzi_ps")
+    golden = golden_response(problem, num_wavelengths=97)
+    comparison = compare_responses(smatrix, golden)
+    print(f"\nFunctional check against the '{problem.title}' golden design: "
+          f"{'PASS' if comparison.passed else 'FAIL'} "
+          f"(max |S|^2 deviation {comparison.max_abs_error:.2e})")
+
+    # Bonus: this is the system prompt an LLM would receive (Fig. 3).
+    prompt = build_system_prompt()
+    print(f"\nThe generated system prompt is {len(prompt.splitlines())} lines long; "
+          "see repro.prompts.build_system_prompt() for the full text.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""PICBench reproduction: benchmarking LLMs for photonic integrated circuit design.
+
+The package is organised as:
+
+* :mod:`repro.sim` -- the S-parameter circuit simulator substrate,
+* :mod:`repro.netlist` -- the JSON netlist schema, parser and validator,
+* :mod:`repro.meshes` -- Reck / Clements unitary mesh construction,
+* :mod:`repro.switching` -- optical switch fabric topologies and routing,
+* :mod:`repro.bench` -- the 24 PICBench design problems with golden solutions,
+* :mod:`repro.prompts` -- system / feedback prompt construction,
+* :mod:`repro.llm` -- LLM client protocol and simulated designer models,
+* :mod:`repro.evalkit` -- syntax/functional evaluation, Pass@k, feedback loop,
+* :mod:`repro.harness` -- experiment sweeps reproducing the paper's tables.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""The PICBench problem suite: 24 PIC design problems with golden solutions."""
+
+from .golden import GoldenStore, golden_response
+from .problem import Category, Problem
+from .suite import (
+    EXPECTED_PROBLEM_COUNT,
+    all_problems,
+    get_problem,
+    problem_names,
+    problems_by_category,
+    suite_summary,
+)
+
+__all__ = [
+    "Category",
+    "Problem",
+    "GoldenStore",
+    "golden_response",
+    "EXPECTED_PROBLEM_COUNT",
+    "all_problems",
+    "get_problem",
+    "problem_names",
+    "problems_by_category",
+    "suite_summary",
+]

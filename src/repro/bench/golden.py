@@ -1,0 +1,101 @@
+"""Golden frequency responses for the benchmark problems.
+
+The paper pre-computes each golden design's frequency response and stores it
+alongside the problem ("the correct design is subsequently fed into the
+simulator, and its frequency response is directly saved", Section III-B).
+This module provides the same behaviour with an in-process cache keyed by
+problem name and wavelength grid, plus optional JSON persistence so the
+responses can be shipped as artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..constants import DEFAULT_NUM_WAVELENGTHS, default_wavelength_grid
+from ..sim.analysis import FrequencyResponse
+from ..sim.circuit import CircuitSolver
+from ..sim.registry import ModelRegistry
+from .problem import Problem
+from .suite import all_problems, get_problem
+
+__all__ = ["GoldenStore", "golden_response"]
+
+
+class GoldenStore:
+    """Computes and caches golden frequency responses.
+
+    Parameters
+    ----------
+    num_wavelengths:
+        Number of points of the evaluation wavelength grid (1510-1590 nm).
+    registry:
+        Optional custom model registry.
+    cache_dir:
+        Optional directory for JSON persistence of the responses.
+    """
+
+    def __init__(
+        self,
+        num_wavelengths: int = DEFAULT_NUM_WAVELENGTHS,
+        registry: Optional[ModelRegistry] = None,
+        cache_dir: Optional[Path] = None,
+    ) -> None:
+        self.num_wavelengths = int(num_wavelengths)
+        self.wavelengths = default_wavelength_grid(self.num_wavelengths)
+        self.solver = CircuitSolver(registry=registry)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: Dict[str, FrequencyResponse] = {}
+
+    # ------------------------------------------------------------------
+    def _cache_path(self, problem_name: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{problem_name}.golden.{self.num_wavelengths}.json"
+
+    def response_for(self, problem: Problem | str) -> FrequencyResponse:
+        """Return (computing and caching if needed) the golden response."""
+        if isinstance(problem, str):
+            problem = get_problem(problem)
+        if problem.name in self._memory:
+            return self._memory[problem.name]
+
+        path = self._cache_path(problem.name)
+        if path is not None and path.exists():
+            with path.open("r", encoding="utf-8") as handle:
+                response = FrequencyResponse.from_dict(json.load(handle))
+            self._memory[problem.name] = response
+            return response
+
+        smatrix = self.solver.evaluate(
+            problem.golden_netlist(), self.wavelengths, port_spec=problem.port_spec
+        )
+        response = FrequencyResponse.from_smatrix(smatrix)
+        self._memory[problem.name] = response
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w", encoding="utf-8") as handle:
+                json.dump(response.to_dict(), handle)
+        return response
+
+    def precompute_all(self) -> Dict[str, FrequencyResponse]:
+        """Compute the golden responses of every problem in the suite."""
+        return {problem.name: self.response_for(problem) for problem in all_problems()}
+
+
+_DEFAULT_STORES: Dict[int, GoldenStore] = {}
+
+
+def golden_response(
+    problem: Problem | str, num_wavelengths: int = DEFAULT_NUM_WAVELENGTHS
+) -> FrequencyResponse:
+    """Module-level convenience wrapper around a shared :class:`GoldenStore`."""
+    store = _DEFAULT_STORES.get(num_wavelengths)
+    if store is None:
+        store = GoldenStore(num_wavelengths=num_wavelengths)
+        _DEFAULT_STORES[num_wavelengths] = store
+    return store.response_for(problem)

@@ -1,0 +1,76 @@
+"""The :class:`Problem` dataclass describing one PICBench design task.
+
+Each of the 24 benchmark problems bundles (Section III-B of the paper):
+
+* a natural-language **description** of the desired circuit, including its
+  configuration parameters and the number of input/output ports (Fig. 2),
+* the expert-written **golden netlist**, and
+* the golden **frequency response**, obtained by simulating the golden design
+  (computed lazily and cached by :mod:`repro.bench.golden`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from ..netlist.schema import Netlist
+from ..netlist.validation import PortSpec
+
+__all__ = ["Category", "Problem"]
+
+
+class Category:
+    """Problem categories of Table I."""
+
+    OPTICAL_COMPUTING = "Optical Computing"
+    OPTICAL_INTERCONNECTS = "Optical Interconnects"
+    OPTICAL_SWITCH = "Optical Switch"
+    FUNDAMENTAL_DEVICES = "Fundamental Devices"
+
+    ALL: Tuple[str, ...] = (
+        OPTICAL_COMPUTING,
+        OPTICAL_INTERCONNECTS,
+        OPTICAL_SWITCH,
+        FUNDAMENTAL_DEVICES,
+    )
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One benchmark design problem.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (e.g. ``"mzi_ps"``, ``"benes_8x8"``).
+    title:
+        Display name matching Table I (e.g. ``"Benes 8 x 8"``).
+    category:
+        One of the four :class:`Category` values.
+    summary:
+        The one-line description from Table I.
+    description:
+        The full natural-language task statement handed to the LLM.
+    golden_factory:
+        Zero-argument callable building the golden netlist.
+    port_spec:
+        Expected number of external input / output ports.
+    """
+
+    name: str
+    title: str
+    category: str
+    summary: str
+    description: str
+    golden_factory: Callable[[], Netlist] = field(repr=False)
+    port_spec: PortSpec
+
+    def golden_netlist(self) -> Netlist:
+        """Build (a fresh copy of) the expert-written golden netlist."""
+        return self.golden_factory()
+
+    @property
+    def complexity(self) -> int:
+        """Number of instances in the golden design (a difficulty proxy)."""
+        return self.golden_netlist().num_instances()

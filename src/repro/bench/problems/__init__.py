@@ -1,0 +1,5 @@
+"""Golden designs and descriptions of the 24 PICBench problems, by category."""
+
+from . import fundamental, interconnects, optical_computing, switches
+
+__all__ = ["fundamental", "interconnects", "optical_computing", "switches"]

@@ -1,0 +1,118 @@
+"""Fundamental-device benchmark problems: ``MZM`` and ``MZI ps`` (Table I).
+
+These are not bare device models: both involve connections among several
+components and serve as building blocks for the larger circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...netlist.schema import Instance, Netlist
+from ...netlist.validation import PortSpec
+from ..problem import Category, Problem
+
+__all__ = ["mzi_ps_golden", "mzm_golden", "build_problems"]
+
+
+def mzi_ps_golden(delta_length: float = 10.0, shifter_length: float = 10.0) -> Netlist:
+    """Golden design of the ``MZI ps`` problem (Fig. 2 / Fig. 4 of the paper).
+
+    The top arm is a phase shifter of length ``shifter_length``; the bottom arm
+    is a waveguide whose length exceeds the shifter by ``delta_length``.
+    """
+    instances = {
+        "mmi1": Instance("mmi1x2"),
+        "phaseShifter": Instance("phase_shifter", {"length": shifter_length}),
+        "waveBottom": Instance("waveguide", {"length": shifter_length + delta_length}),
+        "mmi2": Instance("mmi2x1"),
+    }
+    connections = {
+        "mmi1,O1": "phaseShifter,I1",
+        "phaseShifter,O1": "mmi2,I1",
+        "mmi1,O2": "waveBottom,I1",
+        "waveBottom,O1": "mmi2,I2",
+    }
+    ports = {"I1": "mmi1,I1", "O1": "mmi2,O1"}
+    models = {
+        "mmi1x2": "mmi1x2",
+        "mmi2x1": "mmi2x1",
+        "phase_shifter": "phase_shifter",
+        "waveguide": "waveguide",
+    }
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def mzm_golden(arm_length: float = 100.0) -> Netlist:
+    """Golden design of the ``MZM`` problem: a push-pull Mach-Zehnder modulator.
+
+    Both arms carry a phase shifter of length ``arm_length`` so the modulator
+    can be driven differentially; the splitter and combiner are MMIs.
+    """
+    instances = {
+        "mmiIn": Instance("mmi1x2"),
+        "psTop": Instance("phase_shifter", {"length": arm_length}),
+        "psBottom": Instance("phase_shifter", {"length": arm_length}),
+        "mmiOut": Instance("mmi2x1"),
+    }
+    connections = {
+        "mmiIn,O1": "psTop,I1",
+        "psTop,O1": "mmiOut,I1",
+        "mmiIn,O2": "psBottom,I1",
+        "psBottom,O1": "mmiOut,I2",
+    }
+    ports = {"I1": "mmiIn,I1", "O1": "mmiOut,O1"}
+    models = {
+        "mmi1x2": "mmi1x2",
+        "mmi2x1": "mmi2x1",
+        "phase_shifter": "phase_shifter",
+    }
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+_MZI_PS_DESCRIPTION = """\
+Create a Mach-Zehnder interferometer (MZI) with a single input and a single
+output, featuring a path length difference of dL between the two arms. A phase
+shifter with a length of L should be applied to the top arm to modulate the
+phase of the optical signal; the bottom arm is a plain waveguide whose length
+exceeds the phase shifter length by dL. Use the built-in multimode
+interferometer components (mmi1x2 for splitting, mmi2x1 for combining) and the
+built-in phase shifter to achieve the desired phase modulation.
+Parameters:
+dL = 10 microns;
+L  = 10 microns
+Ports: 1 input (I1), 1 output (O1)."""
+
+_MZM_DESCRIPTION = """\
+Create a push-pull Mach-Zehnder modulator (MZM) with a single optical input and
+a single optical output. The input is split by a built-in mmi1x2, each arm
+carries a phase shifter with a length of L so the two arms can be driven
+differentially, and the arms are recombined by a built-in mmi2x1. Use default
+values for every parameter that is not specified.
+Parameters:
+L = 100 microns (both phase shifters)
+Ports: 1 input (I1), 1 output (O1)."""
+
+
+def build_problems() -> List[Problem]:
+    """The two fundamental-device problems of Table I."""
+    return [
+        Problem(
+            name="mzi_ps",
+            title="MZI ps",
+            category=Category.FUNDAMENTAL_DEVICES,
+            summary="A Mach-Zehnder interferometer with a phase shifter",
+            description=_MZI_PS_DESCRIPTION,
+            golden_factory=mzi_ps_golden,
+            port_spec=PortSpec(num_inputs=1, num_outputs=1),
+        ),
+        Problem(
+            name="mzm",
+            title="MZM",
+            category=Category.FUNDAMENTAL_DEVICES,
+            summary="A Mach-Zehnder modulator",
+            description=_MZM_DESCRIPTION,
+            golden_factory=mzm_golden,
+            port_spec=PortSpec(num_inputs=1, num_outputs=1),
+        ),
+    ]

@@ -1,0 +1,385 @@
+"""Optical-interconnect benchmark problems (Table I).
+
+Seven problems: a direct modulator, QPSK / 8-QAM / 64-QAM modulators, WDM
+multiplexer and demultiplexer, and a 90-degree optical hybrid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ...netlist.schema import Instance, Netlist
+from ...netlist.validation import PortSpec
+from ..problem import Category, Problem
+
+__all__ = [
+    "direct_modulator_golden",
+    "qpsk_modulator_golden",
+    "qam8_modulator_golden",
+    "qam64_modulator_golden",
+    "wdm_mux_golden",
+    "wdm_demux_golden",
+    "optical_hybrid_golden",
+    "WDM_CHANNEL_RADII",
+    "build_problems",
+]
+
+#: Ring radii (microns) of the four WDM channels; each radius shifts the ring
+#: resonance so the channels land on different wavelengths inside the band.
+WDM_CHANNEL_RADII: Tuple[float, ...] = (5.00, 5.05, 5.10, 5.15)
+
+
+def direct_modulator_golden() -> Netlist:
+    """Golden design of the direct modulator: waveguide -> EAM -> waveguide."""
+    instances = {
+        "wgIn": Instance("waveguide"),
+        "modulator": Instance("eam"),
+        "wgOut": Instance("waveguide"),
+    }
+    connections = {
+        "wgIn,O1": "modulator,I1",
+        "modulator,O1": "wgOut,I1",
+    }
+    ports = {"I1": "wgIn,I1", "O1": "wgOut,O1"}
+    models = {"waveguide": "waveguide", "eam": "eam"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def _iq_modulator_instances(prefix: str) -> Tuple[Dict[str, Instance], Dict[str, str], str, str]:
+    """Build the instances/connections of one IQ (QPSK) modulator stage.
+
+    Returns ``(instances, connections, input_endpoint, output_endpoint)``.  The
+    stage consists of a splitter, an in-phase MZM, a quadrature MZM preceded by
+    a 90-degree phase shifter, and a combiner.
+    """
+    instances = {
+        f"{prefix}split": Instance("mmi1x2"),
+        f"{prefix}mzmI": Instance("mzm"),
+        f"{prefix}ps90": Instance("phase_shifter", {"phase": math.pi / 2.0, "length": 0.0}),
+        f"{prefix}mzmQ": Instance("mzm"),
+        f"{prefix}comb": Instance("mmi2x1"),
+    }
+    connections = {
+        f"{prefix}split,O1": f"{prefix}mzmI,I1",
+        f"{prefix}mzmI,O1": f"{prefix}comb,I1",
+        f"{prefix}split,O2": f"{prefix}ps90,I1",
+        f"{prefix}ps90,O1": f"{prefix}mzmQ,I1",
+        f"{prefix}mzmQ,O1": f"{prefix}comb,I2",
+    }
+    return instances, connections, f"{prefix}split,I1", f"{prefix}comb,O1"
+
+
+def qpsk_modulator_golden() -> Netlist:
+    """Golden design of the QPSK modulator: a single IQ modulator stage."""
+    instances, connections, inp, out = _iq_modulator_instances("iq")
+    ports = {"I1": inp, "O1": out}
+    models = {
+        "mmi1x2": "mmi1x2",
+        "mmi2x1": "mmi2x1",
+        "mzm": "mzm",
+        "phase_shifter": "phase_shifter",
+    }
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def qam8_modulator_golden() -> Netlist:
+    """Golden design of the 8-QAM modulator.
+
+    An IQ (QPSK) branch and a BPSK branch (a single MZM attenuated by 3 dB)
+    are combined to produce the eight constellation points.
+    """
+    instances: Dict[str, Instance] = {
+        "mainSplit": Instance("mmi1x2"),
+        "mainComb": Instance("mmi2x1"),
+        "bpskMzm": Instance("mzm"),
+        "bpskAtt": Instance("attenuator", {"attenuation_db": 3.0}),
+    }
+    connections: Dict[str, str] = {}
+    iq_instances, iq_connections, iq_in, iq_out = _iq_modulator_instances("iq")
+    instances.update(iq_instances)
+    connections.update(iq_connections)
+    connections.update(
+        {
+            "mainSplit,O1": iq_in,
+            iq_out: "mainComb,I1",
+            "mainSplit,O2": "bpskMzm,I1",
+            "bpskMzm,O1": "bpskAtt,I1",
+            "bpskAtt,O1": "mainComb,I2",
+        }
+    )
+    ports = {"I1": "mainSplit,I1", "O1": "mainComb,O1"}
+    models = {
+        "mmi1x2": "mmi1x2",
+        "mmi2x1": "mmi2x1",
+        "mzm": "mzm",
+        "phase_shifter": "phase_shifter",
+        "attenuator": "attenuator",
+    }
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def qam64_modulator_golden() -> Netlist:
+    """Golden design of the 64-QAM modulator.
+
+    Three binary-weighted IQ stages are combined: the second and third stages
+    are attenuated by 6 dB and 12 dB relative to the first, so the combined
+    field spans the 64 constellation points.
+    """
+    instances: Dict[str, Instance] = {
+        "splitA": Instance("mmi1x2"),
+        "splitB": Instance("mmi1x2"),
+        "combB": Instance("mmi2x1"),
+        "combA": Instance("mmi2x1"),
+        "attStage2": Instance("attenuator", {"attenuation_db": 6.0}),
+        "attStage3": Instance("attenuator", {"attenuation_db": 12.0}),
+    }
+    connections: Dict[str, str] = {}
+    endpoints = {}
+    for stage in ("stageone", "stagetwo", "stagethree"):
+        stage_instances, stage_connections, stage_in, stage_out = _iq_modulator_instances(stage)
+        instances.update(stage_instances)
+        connections.update(stage_connections)
+        endpoints[stage] = (stage_in, stage_out)
+    connections.update(
+        {
+            "splitA,O1": endpoints["stageone"][0],
+            "splitA,O2": "splitB,I1",
+            "splitB,O1": endpoints["stagetwo"][0],
+            "splitB,O2": endpoints["stagethree"][0],
+            endpoints["stagetwo"][1]: "attStage2,I1",
+            "attStage2,O1": "combB,I1",
+            endpoints["stagethree"][1]: "attStage3,I1",
+            "attStage3,O1": "combB,I2",
+            endpoints["stageone"][1]: "combA,I1",
+            "combB,O1": "combA,I2",
+        }
+    )
+    ports = {"I1": "splitA,I1", "O1": "combA,O1"}
+    models = {
+        "mmi1x2": "mmi1x2",
+        "mmi2x1": "mmi2x1",
+        "mzm": "mzm",
+        "phase_shifter": "phase_shifter",
+        "attenuator": "attenuator",
+    }
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def wdm_mux_golden() -> Netlist:
+    """Golden design of the 4-channel WDM multiplexer.
+
+    Each channel enters the add port of its own add/drop microring; the rings
+    share a common bus waveguide that carries the multiplexed signal to the
+    single output.  The ring radii stagger the channel wavelengths.
+    """
+    instances: Dict[str, Instance] = {}
+    connections: Dict[str, str] = {}
+    ports: Dict[str, str] = {}
+    previous_through = None
+    for index, radius in enumerate(WDM_CHANNEL_RADII, start=1):
+        name = f"ring{index}"
+        instances[name] = Instance("mrr_adddrop", {"radius": radius})
+        ports[f"I{index}"] = f"{name},I2"  # channel enters at the add port
+        if previous_through is not None:
+            connections[previous_through] = f"{name},I1"
+        previous_through = f"{name},O1"
+    ports["O1"] = previous_through  # type: ignore[assignment]
+    models = {"mrr_adddrop": "mrr_adddrop"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def wdm_demux_golden() -> Netlist:
+    """Golden design of the 4-channel WDM demultiplexer.
+
+    The input bus passes four add/drop microrings in sequence; each ring drops
+    its resonant channel onto a separate output port.
+    """
+    instances: Dict[str, Instance] = {}
+    connections: Dict[str, str] = {}
+    ports: Dict[str, str] = {}
+    previous_through = None
+    for index, radius in enumerate(WDM_CHANNEL_RADII, start=1):
+        name = f"ring{index}"
+        instances[name] = Instance("mrr_adddrop", {"radius": radius})
+        if previous_through is None:
+            ports["I1"] = f"{name},I1"
+        else:
+            connections[previous_through] = f"{name},I1"
+        ports[f"O{index}"] = f"{name},O2"  # dropped channel
+        previous_through = f"{name},O1"
+    models = {"mrr_adddrop": "mrr_adddrop"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def optical_hybrid_golden() -> Netlist:
+    """Golden design of the 90-degree optical hybrid (2 inputs, 4 outputs).
+
+    The signal and local-oscillator inputs are each split in two; one local
+    oscillator path is delayed by 90 degrees before the two 2x2 MMIs mix the
+    pairs, producing the four quadrature outputs.
+    """
+    instances = {
+        "splitSig": Instance("mmi1x2"),
+        "splitLo": Instance("mmi1x2"),
+        "psQuad": Instance("phase_shifter", {"phase": math.pi / 2.0, "length": 0.0}),
+        "mmiTop": Instance("mmi2x2"),
+        "mmiBottom": Instance("mmi2x2"),
+    }
+    connections = {
+        "splitSig,O1": "mmiTop,I1",
+        "splitSig,O2": "mmiBottom,I1",
+        "splitLo,O1": "mmiTop,I2",
+        "splitLo,O2": "psQuad,I1",
+        "psQuad,O1": "mmiBottom,I2",
+    }
+    ports = {
+        "I1": "splitSig,I1",
+        "I2": "splitLo,I1",
+        "O1": "mmiTop,O1",
+        "O2": "mmiTop,O2",
+        "O3": "mmiBottom,O1",
+        "O4": "mmiBottom,O2",
+    }
+    models = {
+        "mmi1x2": "mmi1x2",
+        "mmi2x2": "mmi2x2",
+        "phase_shifter": "phase_shifter",
+    }
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+_DIRECT_MOD_DESCRIPTION = """\
+Create an optical direct modulator with one input and one output. The signal
+enters an input waveguide, passes through a built-in electro-absorption
+modulator (eam) that imprints the data, and exits through an output waveguide.
+Use default values for every parameter.
+Ports: 1 input (I1), 1 output (O1)."""
+
+_QPSK_DESCRIPTION = """\
+Create an optical QPSK modulator (IQ modulator) with one input and one output.
+The input is split by a built-in mmi1x2 into an in-phase path and a quadrature
+path. Each path contains a built-in Mach-Zehnder modulator (mzm); the
+quadrature path is additionally preceded by a phase shifter with a phase of
+pi/2 radians and zero length. The two paths are recombined by a built-in
+mmi2x1. Use default values for every unspecified parameter.
+Ports: 1 input (I1), 1 output (O1)."""
+
+_QAM8_DESCRIPTION = """\
+Create an optical 8-QAM modulator with one input and one output. The input is
+split by a built-in mmi1x2 into two branches. The first branch is a complete
+IQ (QPSK) modulator: an mmi1x2 splitter, an in-phase mzm, a quadrature path
+with a phase shifter of pi/2 radians (zero length) followed by an mzm, and an
+mmi2x1 combiner. The second branch is a BPSK path: a single mzm followed by an
+attenuator with 3 dB attenuation. The two branches are recombined by a
+built-in mmi2x1. Use default values for every unspecified parameter.
+Ports: 1 input (I1), 1 output (O1)."""
+
+_QAM64_DESCRIPTION = """\
+Create an optical 64-QAM modulator with one input and one output, built from
+three binary-weighted IQ (QPSK) modulator stages. Each IQ stage consists of an
+mmi1x2 splitter, an in-phase mzm, a quadrature path with a pi/2 phase shifter
+(zero length) followed by an mzm, and an mmi2x1 combiner. The input is split by
+an mmi1x2 into stage one and a second mmi1x2 that feeds stages two and three.
+Stage two is followed by a 6 dB attenuator and stage three by a 12 dB
+attenuator; their outputs are combined by an mmi2x1, and that result is
+combined with stage one by a final mmi2x1. Use default values for every
+unspecified parameter.
+Ports: 1 input (I1), 1 output (O1)."""
+
+_WDM_MUX_DESCRIPTION = """\
+Create a 4-channel WDM multiplexer with four inputs and one output. Use four
+built-in add/drop microring resonators (mrr_adddrop) with radii of 5.00, 5.05,
+5.10 and 5.15 microns. Channel k enters the add port (I2) of ring k; the
+through ports of the rings are chained to form a common bus waveguide, and the
+through port of the last ring is the multiplexed output. Use default values
+for every unspecified parameter.
+Ports: 4 inputs (I1..I4), 1 output (O1)."""
+
+_WDM_DEMUX_DESCRIPTION = """\
+Create a 4-channel WDM demultiplexer with one input and four outputs. Use four
+built-in add/drop microring resonators (mrr_adddrop) with radii of 5.00, 5.05,
+5.10 and 5.15 microns. The input enters the bus port (I1) of the first ring;
+the through port of each ring feeds the bus port of the next ring, and the
+drop port (O2) of ring k provides output k. Use default values for every
+unspecified parameter.
+Ports: 1 input (I1), 4 outputs (O1..O4)."""
+
+_HYBRID_DESCRIPTION = """\
+Create a 90-degree optical hybrid with two inputs (signal and local oscillator)
+and four outputs. Split each input with a built-in mmi1x2. Mix the first output
+of the signal splitter with the first output of the local-oscillator splitter
+in a built-in mmi2x2; mix the second output of the signal splitter with the
+second output of the local-oscillator splitter, delayed by a phase shifter of
+pi/2 radians and zero length, in a second mmi2x2. The four MMI outputs are the
+four hybrid outputs. Use default values for every unspecified parameter.
+Ports: 2 inputs (I1 = signal, I2 = local oscillator), 4 outputs (O1..O4)."""
+
+
+def build_problems() -> List[Problem]:
+    """The seven optical-interconnect problems of Table I."""
+    return [
+        Problem(
+            name="direct_modulator",
+            title="Direct modulator",
+            category=Category.OPTICAL_INTERCONNECTS,
+            summary="An optical direct modulator",
+            description=_DIRECT_MOD_DESCRIPTION,
+            golden_factory=direct_modulator_golden,
+            port_spec=PortSpec(num_inputs=1, num_outputs=1),
+        ),
+        Problem(
+            name="qpsk_modulator",
+            title="QPSK modulator",
+            category=Category.OPTICAL_INTERCONNECTS,
+            summary="An optical QPSK modulator",
+            description=_QPSK_DESCRIPTION,
+            golden_factory=qpsk_modulator_golden,
+            port_spec=PortSpec(num_inputs=1, num_outputs=1),
+        ),
+        Problem(
+            name="qam8_modulator",
+            title="8-QAM modulator",
+            category=Category.OPTICAL_INTERCONNECTS,
+            summary="An optical 8-QAM modulator",
+            description=_QAM8_DESCRIPTION,
+            golden_factory=qam8_modulator_golden,
+            port_spec=PortSpec(num_inputs=1, num_outputs=1),
+        ),
+        Problem(
+            name="qam64_modulator",
+            title="64-QAM modulator",
+            category=Category.OPTICAL_INTERCONNECTS,
+            summary="An optical 64-QAM modulator",
+            description=_QAM64_DESCRIPTION,
+            golden_factory=qam64_modulator_golden,
+            port_spec=PortSpec(num_inputs=1, num_outputs=1),
+        ),
+        Problem(
+            name="wdm_mux",
+            title="WDM mux",
+            category=Category.OPTICAL_INTERCONNECTS,
+            summary="A WDM multiplexer",
+            description=_WDM_MUX_DESCRIPTION,
+            golden_factory=wdm_mux_golden,
+            port_spec=PortSpec(num_inputs=4, num_outputs=1),
+        ),
+        Problem(
+            name="wdm_demux",
+            title="WDM demux",
+            category=Category.OPTICAL_INTERCONNECTS,
+            summary="A WDM demultiplexer",
+            description=_WDM_DEMUX_DESCRIPTION,
+            golden_factory=wdm_demux_golden,
+            port_spec=PortSpec(num_inputs=1, num_outputs=4),
+        ),
+        Problem(
+            name="optical_hybrid",
+            title="Optical hybrid",
+            category=Category.OPTICAL_INTERCONNECTS,
+            summary="A 90 degree optical hybrid",
+            description=_HYBRID_DESCRIPTION,
+            golden_factory=optical_hybrid_golden,
+            port_spec=PortSpec(num_inputs=2, num_outputs=4),
+        ),
+    ]

@@ -1,0 +1,170 @@
+"""Optical-computing benchmark problems (Table I).
+
+Six problems: the Clements and Reck MZI meshes at 4x4 and 8x8, the non-linear
+sign (NLS) gate used in linear-optical quantum computing, and the fundamental
+2x2 unitary block.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ...meshes import clements_mesh_netlist, reck_mesh_netlist
+from ...netlist.schema import Instance, Netlist
+from ...netlist.validation import PortSpec
+from ..problem import Category, Problem
+
+__all__ = [
+    "nls_golden",
+    "umatrix_block_golden",
+    "NLS_ETA_OUTER",
+    "NLS_ETA_CENTER",
+    "build_problems",
+]
+
+#: Reflectivity of the outer beam splitters of the KLM non-linear sign gate.
+NLS_ETA_OUTER = 1.0 / (4.0 - 2.0 * math.sqrt(2.0))
+
+#: Reflectivity of the central beam splitter of the KLM non-linear sign gate.
+NLS_ETA_CENTER = 3.0 - 2.0 * math.sqrt(2.0)
+
+
+def nls_golden() -> Netlist:
+    """Golden design of the non-linear sign (NLS) gate.
+
+    Three directional couplers implement the Knill-Laflamme-Milburn NLS gate
+    on a signal channel (mode 1) and two ancilla channels (modes 2 and 3): the
+    outer couplers act on the ancilla pair, the central coupler mixes the
+    signal with the first ancilla.
+    """
+    instances = {
+        "bsFirst": Instance("coupler", {"coupling": NLS_ETA_OUTER}),
+        "bsCenter": Instance("coupler", {"coupling": NLS_ETA_CENTER}),
+        "bsLast": Instance("coupler", {"coupling": NLS_ETA_OUTER}),
+    }
+    connections = {
+        # The first coupler mixes the two ancilla modes.
+        "bsFirst,O1": "bsCenter,I2",
+        # The central coupler mixes the signal with ancilla 1.
+        "bsCenter,O2": "bsLast,I1",
+        # Ancilla 2 bypasses the central coupler and meets ancilla 1 again.
+        "bsFirst,O2": "bsLast,I2",
+    }
+    ports = {
+        "I1": "bsCenter,I1",  # signal
+        "I2": "bsFirst,I1",  # ancilla 1
+        "I3": "bsFirst,I2",  # ancilla 2
+        "O1": "bsCenter,O1",
+        "O2": "bsLast,O1",
+        "O3": "bsLast,O2",
+    }
+    models = {"coupler": "coupler"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def umatrix_block_golden() -> Netlist:
+    """Golden design of the 2x2 unitary-matrix block.
+
+    A 2x2 MZI cell (internal phase theta, external phase phi) followed by a
+    phase shifter on each output realises an arbitrary 2x2 unitary once its
+    four phases are programmed.  The golden structural design leaves every
+    phase at its default value.
+    """
+    instances = {
+        "core": Instance("mzi2x2"),
+        "psOutTop": Instance("phase_shifter"),
+        "psOutBottom": Instance("phase_shifter"),
+    }
+    connections = {
+        "core,O1": "psOutTop,I1",
+        "core,O2": "psOutBottom,I1",
+    }
+    ports = {
+        "I1": "core,I1",
+        "I2": "core,I2",
+        "O1": "psOutTop,O1",
+        "O2": "psOutBottom,O1",
+    }
+    models = {"mzi2x2": "mzi2x2", "phase_shifter": "phase_shifter"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def _mesh_description(scheme: str, size: int) -> str:
+    columns = "rectangular" if scheme == "Clements" else "triangular"
+    count = size * (size - 1) // 2
+    return f"""\
+Create a {size} x {size} programmable MZI mesh arranged using the {scheme} method.
+The mesh consists of {count} built-in 2x2 MZI cells (mzi2x2) arranged in the
+{columns} {scheme} topology: every cell couples two adjacent optical modes, and
+the cells are chained so that each mode passes through the cells of successive
+columns in order. Leave every MZI at its default settings (the mesh is
+programmed later). Do not insert any additional components.
+Ports: {size} inputs (I1..I{size}) and {size} outputs (O1..O{size}),
+numbered from the top mode to the bottom mode."""
+
+
+_NLS_DESCRIPTION = f"""\
+Create a Non-Linear Sign (NLS) gate with a signal channel and two additional
+ancilla channels (three optical modes in total). Use three built-in directional
+couplers: the first coupler mixes the two ancilla modes (coupling ratio eta1),
+the central coupler mixes the signal mode with the first ancilla mode (coupling
+ratio eta2), and the last coupler mixes the two ancilla modes again (coupling
+ratio eta3).
+Parameters:
+eta1 = eta3 = {NLS_ETA_OUTER:.6f};
+eta2 = {NLS_ETA_CENTER:.6f}
+Ports: 3 inputs (I1 = signal, I2 and I3 = ancillas) and 3 outputs (O1..O3)."""
+
+_UMATRIX_DESCRIPTION = """\
+Create a fundamental block that can represent an arbitrary 2 x 2 unitary
+matrix. Use one built-in 2x2 MZI cell (mzi2x2), whose internal phase theta and
+external phase phi provide two degrees of freedom, followed by one built-in
+phase shifter on each of the two outputs to provide the remaining output
+phases. Leave every phase at its default value; the block is programmed later.
+Ports: 2 inputs (I1, I2) and 2 outputs (O1, O2)."""
+
+
+def build_problems() -> List[Problem]:
+    """The six optical-computing problems of Table I."""
+    problems: List[Problem] = []
+    for scheme, size in (("Clements", 4), ("Clements", 8), ("Reck", 4), ("Reck", 8)):
+        factory = (
+            (lambda s=size: clements_mesh_netlist(s))
+            if scheme == "Clements"
+            else (lambda s=size: reck_mesh_netlist(s))
+        )
+        problems.append(
+            Problem(
+                name=f"{scheme.lower()}_{size}x{size}",
+                title=f"{scheme} {size} x {size}",
+                category=Category.OPTICAL_COMPUTING,
+                summary=f"A {size} x {size} MZI mesh arranged using the {scheme} method",
+                description=_mesh_description(scheme, size),
+                golden_factory=factory,
+                port_spec=PortSpec(num_inputs=size, num_outputs=size),
+            )
+        )
+    problems.append(
+        Problem(
+            name="nls",
+            title="NLS",
+            category=Category.OPTICAL_COMPUTING,
+            summary="A Non-Linear Sign gate with a signal channel and two additional ancilla channels",
+            description=_NLS_DESCRIPTION,
+            golden_factory=nls_golden,
+            port_spec=PortSpec(num_inputs=3, num_outputs=3),
+        )
+    )
+    problems.append(
+        Problem(
+            name="umatrix_block",
+            title="U-matrix block",
+            category=Category.OPTICAL_COMPUTING,
+            summary="A fundamental block representing a 2 x 2 unitary matrix of arbitrary values",
+            description=_UMATRIX_DESCRIPTION,
+            golden_factory=umatrix_block_golden,
+            port_spec=PortSpec(num_inputs=2, num_outputs=2),
+        )
+    )
+    return problems

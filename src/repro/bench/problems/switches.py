@@ -1,0 +1,113 @@
+"""Optical-switch benchmark problems (Table I).
+
+Nine problems: the fundamental 2x2 MZI switch plus the crossbar, Spanke,
+Benes and Spanke-Benes fabrics at 4x4 and 8x8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ...netlist.schema import Netlist
+from ...netlist.validation import PortSpec
+from ...switching import build_fabric, os2x2_netlist
+from ..problem import Category, Problem
+
+__all__ = ["build_problems"]
+
+_OS2X2_DESCRIPTION = """\
+Create a fundamental 2 x 2 optical switch based on a Mach-Zehnder
+interferometer. Use a built-in mmi2x2 to split the two inputs, place a phase
+shifter in the top arm and a plain waveguide in the bottom arm (both arms 10
+microns long), and recombine the arms with a second mmi2x2. Driving the phase
+shifter toggles the switch between its cross and bar states; leave it at its
+default value.
+Ports: 2 inputs (I1, I2), 2 outputs (O1, O2)."""
+
+_FABRIC_DETAILS = {
+    "crossbar": (
+        "Crossbar",
+        "an {n} x {n} grid of built-in 2x2 switch elements (switch2x2): element "
+        "(i, j) receives row i on port I1 and column j on port I2, forwards the "
+        "row to the next element of the row via O1 and the column to the next "
+        "element of the column via O2. Input i enters the first element of row "
+        "i and output j leaves the last element of column j",
+    ),
+    "spanke": (
+        "Spanke",
+        "{n} binary trees of built-in 1x2 gate switches (switch1x2) on the input "
+        "side and {n} binary trees of built-in 2x1 gate switches (switch2x1) on "
+        "the output side, fully interconnected so that leaf j of input tree i is "
+        "wired to leaf i of output tree j",
+    ),
+    "benes": (
+        "Benes",
+        "a recursive Benes network of built-in 2x2 switch elements (switch2x2): "
+        "an input column of {half} switches, two {half} x {half} Benes "
+        "sub-networks, and an output column of {half} switches, wired in the "
+        "standard shuffle pattern",
+    ),
+    "spankebenes": (
+        "Spanke-Benes",
+        "a planar arrangement of built-in 2x2 switch elements (switch2x2) in {n} "
+        "columns: even columns host switches on mode pairs (1,2), (3,4), ... and "
+        "odd columns on pairs (2,3), (4,5), ..., with nearest-neighbour "
+        "connections only",
+    ),
+}
+
+
+def _fabric_description(architecture: str, n: int) -> str:
+    title, body = _FABRIC_DETAILS[architecture]
+    body = body.format(n=n, half=n // 2)
+    return f"""\
+Create a {n} x {n} optical switching network based on the {title} architecture.
+The network consists of {body}. Leave every switch element at its default
+state; the network is configured later. Do not insert any additional
+components.
+Ports: {n} inputs (I1..I{n}) and {n} outputs (O1..O{n})."""
+
+
+def _fabric_factory(architecture: str, n: int) -> Callable[[], Netlist]:
+    def factory() -> Netlist:
+        return build_fabric(architecture, n).to_netlist()
+
+    return factory
+
+
+def build_problems() -> List[Problem]:
+    """The nine optical-switch problems of Table I."""
+    problems: List[Problem] = [
+        Problem(
+            name="os_2x2",
+            title="OS 2 x 2",
+            category=Category.OPTICAL_SWITCH,
+            summary="A fundamental 2 x 2 optical switch",
+            description=_OS2X2_DESCRIPTION,
+            golden_factory=os2x2_netlist,
+            port_spec=PortSpec(num_inputs=2, num_outputs=2),
+        )
+    ]
+    titles = {
+        "crossbar": "Crossbar",
+        "spanke": "Spanke",
+        "benes": "Benes",
+        "spankebenes": "Spanke-Benes",
+    }
+    for architecture in ("crossbar", "spanke", "benes", "spankebenes"):
+        for n in (4, 8):
+            problems.append(
+                Problem(
+                    name=f"{architecture}_{n}x{n}",
+                    title=f"{titles[architecture]} {n} x {n}",
+                    category=Category.OPTICAL_SWITCH,
+                    summary=(
+                        f"A {n} x {n} optical switching network based on "
+                        f"{titles[architecture]} architecture"
+                    ),
+                    description=_fabric_description(architecture, n),
+                    golden_factory=_fabric_factory(architecture, n),
+                    port_spec=PortSpec(num_inputs=n, num_outputs=n),
+                )
+            )
+    return problems

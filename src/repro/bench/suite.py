@@ -1,0 +1,87 @@
+"""The PICBench problem suite: all 24 problems of Table I.
+
+The suite is the single entry point the evaluation harness and the prompt
+builder use to enumerate problems, look them up by name and group them by
+category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .problem import Category, Problem
+from .problems import fundamental, interconnects, optical_computing, switches
+
+__all__ = [
+    "all_problems",
+    "problem_names",
+    "get_problem",
+    "problems_by_category",
+    "suite_summary",
+    "EXPECTED_PROBLEM_COUNT",
+]
+
+#: The paper's benchmark contains exactly 24 problems (Section III-B).
+EXPECTED_PROBLEM_COUNT = 24
+
+_CACHE: Optional[Tuple[Problem, ...]] = None
+
+
+def all_problems() -> Tuple[Problem, ...]:
+    """Return all 24 benchmark problems, in Table I order."""
+    global _CACHE
+    if _CACHE is None:
+        problems: List[Problem] = []
+        problems.extend(optical_computing.build_problems())
+        problems.extend(interconnects.build_problems())
+        problems.extend(switches.build_problems())
+        problems.extend(fundamental.build_problems())
+        names = [p.name for p in problems]
+        if len(set(names)) != len(names):
+            raise RuntimeError(f"duplicate problem names in the suite: {names}")
+        if len(problems) != EXPECTED_PROBLEM_COUNT:
+            raise RuntimeError(
+                f"the suite must contain {EXPECTED_PROBLEM_COUNT} problems, "
+                f"found {len(problems)}"
+            )
+        _CACHE = tuple(problems)
+    return _CACHE
+
+
+def problem_names() -> Tuple[str, ...]:
+    """The names of all problems, in suite order."""
+    return tuple(p.name for p in all_problems())
+
+
+def get_problem(name: str) -> Problem:
+    """Look a problem up by name, raising ``KeyError`` with suggestions."""
+    for problem in all_problems():
+        if problem.name == name:
+            return problem
+    raise KeyError(
+        f"unknown problem {name!r}; available problems: {list(problem_names())}"
+    )
+
+
+def problems_by_category() -> Dict[str, Tuple[Problem, ...]]:
+    """Group the suite by Table I category, preserving order."""
+    grouped: Dict[str, List[Problem]] = {category: [] for category in Category.ALL}
+    for problem in all_problems():
+        grouped[problem.category].append(problem)
+    return {category: tuple(problems) for category, problems in grouped.items()}
+
+
+def suite_summary() -> List[Dict[str, object]]:
+    """A lightweight summary of the suite (used to regenerate Table I)."""
+    return [
+        {
+            "name": problem.name,
+            "title": problem.title,
+            "category": problem.category,
+            "summary": problem.summary,
+            "num_inputs": problem.port_spec.num_inputs,
+            "num_outputs": problem.port_spec.num_outputs,
+            "golden_instances": problem.complexity,
+        }
+        for problem in all_problems()
+    ]

@@ -1,0 +1,19 @@
+"""Evaluation framework: syntax/functional checks, Pass@k, error feedback loop."""
+
+from .classify import as_picbench_error, classify_exception
+from .evaluator import AttemptOutcome, EvaluationConfig, Evaluator
+from .outcome import AttemptRecord, EvalReport, SampleResult
+from .passk import mean_pass_at_k, pass_at_k
+
+__all__ = [
+    "pass_at_k",
+    "mean_pass_at_k",
+    "classify_exception",
+    "as_picbench_error",
+    "AttemptRecord",
+    "SampleResult",
+    "EvalReport",
+    "AttemptOutcome",
+    "EvaluationConfig",
+    "Evaluator",
+]

@@ -1,0 +1,37 @@
+"""Error classification (the error-classification loop of Section III-D).
+
+Every exception the parsing / validation / simulation pipeline raises is
+mapped onto one of the Table II categories so that
+
+* the feedback prompt can name the failure class explicitly, and
+* the harness can report a per-category error breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netlist.errors import ErrorCategory, OtherSyntaxError, PICBenchError
+from ..sim.registry import UnknownModelError
+
+__all__ = ["classify_exception", "as_picbench_error"]
+
+
+def classify_exception(error: BaseException) -> ErrorCategory:
+    """Return the Table II category of an exception raised during evaluation."""
+    if isinstance(error, PICBenchError):
+        return error.category
+    if isinstance(error, UnknownModelError):
+        return ErrorCategory.UNDEFINED_MODEL
+    return ErrorCategory.OTHER_SYNTAX
+
+
+def as_picbench_error(error: BaseException) -> PICBenchError:
+    """Wrap an arbitrary exception into a classified :class:`PICBenchError`."""
+    if isinstance(error, PICBenchError):
+        return error
+    if isinstance(error, UnknownModelError):
+        from ..netlist.errors import UndefinedModelError
+
+        return UndefinedModelError(str(error))
+    return OtherSyntaxError(f"{type(error).__name__}: {error}")

@@ -1,0 +1,216 @@
+"""The PICBench evaluation loop (Fig. 1 of the paper).
+
+For every sample of every problem the evaluator:
+
+1. builds the system prompt (optionally with restrictions, Table IV) and the
+   problem's user prompt,
+2. queries the LLM client,
+3. parses the ``<result>`` section into a netlist and validates it,
+4. simulates the netlist over the evaluation wavelength grid (syntax check),
+5. compares the simulated frequency response against the golden design
+   (functionality check),
+6. on failure, classifies the error and feeds a correction prompt back to the
+   model, iterating up to ``max_feedback_iterations`` times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..bench.golden import GoldenStore
+from ..bench.problem import Problem
+from ..bench.suite import all_problems
+from ..constants import (
+    DEFAULT_FUNCTIONAL_ATOL,
+    DEFAULT_NUM_WAVELENGTHS,
+    DEFAULT_SAMPLES_PER_PROBLEM,
+)
+from ..llm.base import LLMClient, assistant, system, user
+from ..llm.response import split_response
+from ..netlist.errors import FunctionalError, PICBenchError
+from ..netlist.parser import parse_netlist_text
+from ..netlist.validation import validate_netlist
+from ..prompts.feedback import build_feedback
+from ..prompts.system_prompt import PromptConfig, build_system_prompt, build_user_prompt
+from ..sim.analysis import compare_responses
+from ..sim.registry import ModelRegistry, default_registry
+from .classify import as_picbench_error
+from .outcome import AttemptRecord, EvalReport, SampleResult
+
+__all__ = ["EvaluationConfig", "AttemptOutcome", "Evaluator"]
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Knobs of the evaluation loop.
+
+    Attributes
+    ----------
+    samples_per_problem:
+        ``n`` of the Pass@k estimator (the paper uses 5).
+    max_feedback_iterations:
+        Maximum number of error-feedback rounds (the paper reports 0, 1, 3;
+        running with 3 allows all three columns to be derived from one run).
+    num_wavelengths:
+        Number of points of the 1510-1590 nm evaluation grid.
+    functional_atol:
+        Tolerance on ``|S|^2`` when comparing against the golden response.
+    include_restrictions:
+        Whether the Table II restrictions are added to the system prompt.
+    keep_responses:
+        Whether raw response texts are kept in the attempt records (useful for
+        debugging, memory-hungry for full sweeps).
+    base_seed:
+        Global seed mixed into each sample's generation seed.
+    """
+
+    samples_per_problem: int = DEFAULT_SAMPLES_PER_PROBLEM
+    max_feedback_iterations: int = 3
+    num_wavelengths: int = DEFAULT_NUM_WAVELENGTHS
+    functional_atol: float = DEFAULT_FUNCTIONAL_ATOL
+    include_restrictions: bool = False
+    keep_responses: bool = False
+    base_seed: int = 0
+
+
+@dataclass
+class AttemptOutcome:
+    """Verdict of a single response, before being folded into the records."""
+
+    syntax_ok: bool
+    functional_ok: bool
+    error: Optional[PICBenchError] = None
+
+
+class Evaluator:
+    """Runs the generation / evaluation / feedback loop of Fig. 1."""
+
+    def __init__(
+        self,
+        config: Optional[EvaluationConfig] = None,
+        *,
+        registry: Optional[ModelRegistry] = None,
+        golden_store: Optional[GoldenStore] = None,
+    ) -> None:
+        self.config = config if config is not None else EvaluationConfig()
+        self.registry = registry if registry is not None else default_registry()
+        self.golden_store = (
+            golden_store
+            if golden_store is not None
+            else GoldenStore(num_wavelengths=self.config.num_wavelengths, registry=registry)
+        )
+        if self.golden_store.num_wavelengths != self.config.num_wavelengths:
+            raise ValueError(
+                "golden_store and config disagree on the wavelength grid "
+                f"({self.golden_store.num_wavelengths} vs {self.config.num_wavelengths})"
+            )
+
+    # ------------------------------------------------------------------
+    # Single-response evaluation
+    # ------------------------------------------------------------------
+    def evaluate_response(self, problem: Problem, response_text: str) -> AttemptOutcome:
+        """Check one raw LLM response for syntax and functional correctness."""
+        try:
+            response = split_response(response_text)
+            netlist = parse_netlist_text(response.result, strict=True)
+            validate_netlist(netlist, self.registry, problem.port_spec)
+            smatrix = self.golden_store.solver.evaluate(
+                netlist, self.golden_store.wavelengths, port_spec=problem.port_spec
+            )
+        except Exception as error:  # noqa: BLE001 - classified below
+            return AttemptOutcome(syntax_ok=False, functional_ok=False, error=as_picbench_error(error))
+
+        comparison = compare_responses(
+            smatrix,
+            self.golden_store.response_for(problem),
+            atol=self.config.functional_atol,
+        )
+        if comparison.passed:
+            return AttemptOutcome(syntax_ok=True, functional_ok=True)
+        return AttemptOutcome(
+            syntax_ok=True,
+            functional_ok=False,
+            error=FunctionalError(comparison.reason or "the frequency response deviates from the golden design"),
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback loop
+    # ------------------------------------------------------------------
+    def run_sample(
+        self,
+        client: LLMClient,
+        problem: Problem,
+        sample_index: int,
+        *,
+        prompt_config: Optional[PromptConfig] = None,
+    ) -> SampleResult:
+        """Run the full feedback trajectory for one sample of one problem."""
+        prompt_config = prompt_config or PromptConfig(
+            include_restrictions=self.config.include_restrictions
+        )
+        messages = [
+            system(build_system_prompt(self.registry, prompt_config)),
+            user(build_user_prompt(problem.description)),
+        ]
+        sample = SampleResult(problem=problem.name, sample_index=sample_index)
+        seed = self.config.base_seed * 100_003 + sample_index
+
+        for iteration in range(self.config.max_feedback_iterations + 1):
+            response_text = client.complete(messages, seed=seed)
+            outcome = self.evaluate_response(problem, response_text)
+            sample.attempts.append(
+                AttemptRecord(
+                    iteration=iteration,
+                    syntax_ok=outcome.syntax_ok,
+                    functional_ok=outcome.functional_ok,
+                    error_category=outcome.error.category if outcome.error else None,
+                    error_detail=outcome.error.detail if outcome.error else None,
+                    response_text=response_text if self.config.keep_responses else None,
+                )
+            )
+            if outcome.functional_ok and outcome.syntax_ok:
+                break
+            if iteration == self.config.max_feedback_iterations:
+                break
+            assert outcome.error is not None
+            feedback = build_feedback(problem.name, outcome.error)
+            messages = list(messages) + [assistant(response_text), user(feedback)]
+        return sample
+
+    def run_problem(
+        self,
+        client: LLMClient,
+        problem: Problem,
+        *,
+        prompt_config: Optional[PromptConfig] = None,
+    ) -> List[SampleResult]:
+        """Run all samples of one problem."""
+        return [
+            self.run_sample(client, problem, sample_index, prompt_config=prompt_config)
+            for sample_index in range(self.config.samples_per_problem)
+        ]
+
+    def run_suite(
+        self,
+        client: LLMClient,
+        problems: Optional[Sequence[Problem]] = None,
+        *,
+        prompt_config: Optional[PromptConfig] = None,
+    ) -> EvalReport:
+        """Evaluate a client over the full suite (or a subset of problems)."""
+        problems = list(problems) if problems is not None else list(all_problems())
+        report = EvalReport(
+            model=getattr(client, "name", type(client).__name__),
+            with_restrictions=(
+                prompt_config.include_restrictions
+                if prompt_config is not None
+                else self.config.include_restrictions
+            ),
+            samples_per_problem=self.config.samples_per_problem,
+            max_feedback_iterations=self.config.max_feedback_iterations,
+        )
+        for problem in problems:
+            for sample in self.run_problem(client, problem, prompt_config=prompt_config):
+                report.add(sample)
+        return report

@@ -1,0 +1,183 @@
+"""Result records produced by the evaluation loop.
+
+The hierarchy mirrors how the benchmark is run:
+
+``AttemptRecord``
+    One LLM response and its verdict (one box of the Fig. 1 flow).
+``SampleResult``
+    One complete feedback trajectory for one sample of one problem (up to
+    ``max_feedback_iterations + 1`` attempts).
+``EvalReport``
+    All samples of all problems for one (model, prompt-configuration) pair;
+    provides the Pass@k aggregation used by Tables III and IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.errors import ErrorCategory
+from .passk import mean_pass_at_k
+
+__all__ = ["AttemptRecord", "SampleResult", "EvalReport"]
+
+
+@dataclass
+class AttemptRecord:
+    """Verdict of a single generated response."""
+
+    iteration: int
+    syntax_ok: bool
+    functional_ok: bool
+    error_category: Optional[ErrorCategory] = None
+    error_detail: Optional[str] = None
+    response_text: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        """True when both the syntax and the functionality checks passed."""
+        return self.syntax_ok and self.functional_ok
+
+
+@dataclass
+class SampleResult:
+    """One sample's full feedback trajectory."""
+
+    problem: str
+    sample_index: int
+    attempts: List[AttemptRecord] = field(default_factory=list)
+
+    def first_pass_iteration(self, metric: str) -> Optional[int]:
+        """Iteration index of the first attempt passing ``metric`` (or None).
+
+        ``metric`` is ``"syntax"`` or ``"functional"``; iteration 0 is the
+        initial query (no feedback).
+        """
+        for attempt in self.attempts:
+            ok = attempt.syntax_ok if metric == "syntax" else attempt.passed
+            if ok:
+                return attempt.iteration
+        return None
+
+    def passed_within(self, metric: str, max_feedback: int) -> bool:
+        """Whether the sample passed ``metric`` using at most ``max_feedback`` EFs."""
+        iteration = self.first_pass_iteration(metric)
+        return iteration is not None and iteration <= max_feedback
+
+    def error_categories(self) -> List[ErrorCategory]:
+        """Categories of every failed attempt, in iteration order."""
+        return [a.error_category for a in self.attempts if a.error_category is not None]
+
+
+@dataclass
+class EvalReport:
+    """All evaluation results for one model under one prompt configuration."""
+
+    model: str
+    with_restrictions: bool
+    samples_per_problem: int
+    max_feedback_iterations: int
+    results: Dict[str, List[SampleResult]] = field(default_factory=dict)
+
+    def add(self, sample: SampleResult) -> None:
+        """Record one finished sample trajectory."""
+        self.results.setdefault(sample.problem, []).append(sample)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def problem_counts(self, metric: str, max_feedback: int) -> List[Tuple[int, int]]:
+        """Per-problem ``(n, c)`` pairs for the Pass@k estimator."""
+        counts: List[Tuple[int, int]] = []
+        for samples in self.results.values():
+            n = len(samples)
+            c = sum(1 for s in samples if s.passed_within(metric, max_feedback))
+            counts.append((n, c))
+        return counts
+
+    def pass_at_k(self, k: int, *, metric: str = "syntax", max_feedback: int = 0) -> float:
+        """Mean Pass@k (in percent) for ``metric`` with at most ``max_feedback`` EFs.
+
+        When fewer than ``k`` samples were generated for a problem (e.g. in a
+        reduced sweep), ``k`` is clamped to that problem's sample count so the
+        estimator remains well defined.
+        """
+        counts = self.problem_counts(metric, max_feedback)
+        values = [
+            100.0 * mean_pass_at_k([(n, c)], min(k, n)) for n, c in counts if n > 0
+        ]
+        if not values:
+            raise ValueError("the report contains no evaluated samples")
+        return float(sum(values) / len(values))
+
+    def error_breakdown(self) -> Dict[ErrorCategory, int]:
+        """Histogram of error categories across every failed attempt."""
+        histogram: Dict[ErrorCategory, int] = {}
+        for samples in self.results.values():
+            for sample in samples:
+                for category in sample.error_categories():
+                    histogram[category] = histogram.get(category, 0) + 1
+        return histogram
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise the report (without response texts) to plain containers."""
+        return {
+            "model": self.model,
+            "with_restrictions": self.with_restrictions,
+            "samples_per_problem": self.samples_per_problem,
+            "max_feedback_iterations": self.max_feedback_iterations,
+            "results": {
+                problem: [
+                    {
+                        "sample_index": sample.sample_index,
+                        "attempts": [
+                            {
+                                "iteration": attempt.iteration,
+                                "syntax_ok": attempt.syntax_ok,
+                                "functional_ok": attempt.functional_ok,
+                                "error_category": (
+                                    attempt.error_category.value
+                                    if attempt.error_category
+                                    else None
+                                ),
+                            }
+                            for attempt in sample.attempts
+                        ],
+                    }
+                    for sample in samples
+                ]
+                for problem, samples in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EvalReport":
+        """Rebuild a report previously serialised with :meth:`to_dict`."""
+        report = cls(
+            model=str(payload["model"]),
+            with_restrictions=bool(payload["with_restrictions"]),
+            samples_per_problem=int(payload["samples_per_problem"]),
+            max_feedback_iterations=int(payload["max_feedback_iterations"]),
+        )
+        results = payload.get("results", {})
+        for problem, samples in dict(results).items():  # type: ignore[union-attr]
+            for sample_payload in samples:
+                sample = SampleResult(
+                    problem=str(problem),
+                    sample_index=int(sample_payload["sample_index"]),
+                )
+                for attempt_payload in sample_payload["attempts"]:
+                    raw_category = attempt_payload.get("error_category")
+                    sample.attempts.append(
+                        AttemptRecord(
+                            iteration=int(attempt_payload["iteration"]),
+                            syntax_ok=bool(attempt_payload["syntax_ok"]),
+                            functional_ok=bool(attempt_payload["functional_ok"]),
+                            error_category=(
+                                ErrorCategory(raw_category) if raw_category else None
+                            ),
+                        )
+                    )
+                report.add(sample)
+        return report

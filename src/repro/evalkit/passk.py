@@ -1,0 +1,65 @@
+"""The Pass@k estimator (Section IV-A, Eq. 1 of the paper).
+
+For each task, ``n`` samples are generated of which ``c`` pass; the unbiased
+estimator of the probability that at least one of ``k`` drawn samples passes
+is ``1 - C(n - c, k) / C(n, k)``.  The benchmark score is the mean of this
+estimator over all problems, reported as a percentage.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["pass_at_k", "mean_pass_at_k"]
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased estimator of Pass@k for one problem.
+
+    Parameters
+    ----------
+    n:
+        Number of generated samples.
+    c:
+        Number of samples that passed.
+    k:
+        Number of samples the metric hypothetically draws.
+
+    Returns
+    -------
+    float
+        The estimate in ``[0, 1]``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 <= c <= n:
+        raise ValueError(f"c must be within [0, n] = [0, {n}], got {c}")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be within [1, n] = [1, {n}], got {k}")
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def mean_pass_at_k(counts: Iterable[Tuple[int, int]], k: int) -> float:
+    """Average Pass@k over problems.
+
+    Parameters
+    ----------
+    counts:
+        Iterable of ``(n, c)`` pairs, one per problem.
+    k:
+        The ``k`` of Pass@k.
+
+    Returns
+    -------
+    float
+        The mean estimate in ``[0, 1]`` (multiply by 100 for the paper's
+        percentage convention).  Raises ``ValueError`` when ``counts`` is
+        empty.
+    """
+    values = [pass_at_k(n, c, k) for n, c in counts]
+    if not values:
+        raise ValueError("mean_pass_at_k requires at least one (n, c) pair")
+    return float(sum(values) / len(values))

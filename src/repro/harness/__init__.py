@@ -1,0 +1,51 @@
+"""Experiment harness: sweeps, table and figure regeneration, ablations, CLI."""
+
+from .ablation import (
+    RestrictionAblationResult,
+    restriction_ablation_text,
+    run_restriction_ablation,
+)
+from .figures import FeedbackTraceStep, figure2_text, figure3_text, figure4_text, figure4_trace
+from .formatting import format_percent, render_table
+from .runner import FEEDBACK_COLUMNS, PASS_AT, SweepConfig, SweepResult, run_model, run_sweep
+from .tables import (
+    error_breakdown_rows,
+    error_breakdown_text,
+    table1_rows,
+    table1_text,
+    table2_rows,
+    table2_text,
+    table3_rows,
+    table3_text,
+    table4_rows,
+    table4_text,
+)
+
+__all__ = [
+    "render_table",
+    "format_percent",
+    "RestrictionAblationResult",
+    "run_restriction_ablation",
+    "restriction_ablation_text",
+    "SweepConfig",
+    "SweepResult",
+    "run_model",
+    "run_sweep",
+    "FEEDBACK_COLUMNS",
+    "PASS_AT",
+    "table1_rows",
+    "table1_text",
+    "table2_rows",
+    "table2_text",
+    "table3_rows",
+    "table3_text",
+    "table4_rows",
+    "table4_text",
+    "error_breakdown_rows",
+    "error_breakdown_text",
+    "figure2_text",
+    "figure3_text",
+    "figure4_text",
+    "figure4_trace",
+    "FeedbackTraceStep",
+]

@@ -1,0 +1,119 @@
+"""Restriction ablation: which Table II restriction pays off the most?
+
+Section III-D of the paper accumulates the restrictions from observed
+failures and Table IV shows their combined effect.  This extension quantifies
+the marginal contribution of individual restrictions: each setting evaluates
+one model with only a subset of the restriction sentences present in the
+system prompt, so the gain attributable to each restriction class is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.golden import GoldenStore
+from ..evalkit.evaluator import Evaluator
+from ..evalkit.outcome import EvalReport
+from ..llm.base import LLMClient
+from ..llm.simulated import SimulatedDesigner
+from ..netlist.errors import ErrorCategory
+from ..prompts.restrictions import RESTRICTIONS
+from ..prompts.system_prompt import PromptConfig
+from .formatting import format_percent, render_table
+from .runner import SweepConfig
+
+__all__ = ["RestrictionAblationResult", "run_restriction_ablation", "restriction_ablation_text"]
+
+
+@dataclass
+class RestrictionAblationResult:
+    """Pass@1 syntax/functionality scores per restriction setting."""
+
+    model: str
+    config: SweepConfig
+    reports: Dict[str, EvalReport] = field(default_factory=dict)
+
+    def settings(self) -> List[str]:
+        """Setting labels in evaluation order."""
+        return list(self.reports)
+
+    def rows(self, *, max_feedback: int = 0) -> List[List[str]]:
+        """Table rows: setting, syntax Pass@1, functionality Pass@1."""
+        return [
+            [
+                setting,
+                format_percent(report.pass_at_k(1, metric="syntax", max_feedback=max_feedback)),
+                format_percent(
+                    report.pass_at_k(1, metric="functional", max_feedback=max_feedback)
+                ),
+            ]
+            for setting, report in self.reports.items()
+        ]
+
+
+def run_restriction_ablation(
+    client: Optional[LLMClient] = None,
+    *,
+    config: Optional[SweepConfig] = None,
+    categories: Optional[Sequence[ErrorCategory]] = None,
+    include_none_and_all: bool = True,
+) -> RestrictionAblationResult:
+    """Evaluate one model with individual restriction subsets.
+
+    Parameters
+    ----------
+    client:
+        The designer to evaluate; defaults to the GPT-4o-like simulated
+        designer (the profile with the strongest restriction response).
+    config:
+        Sweep settings (problem subset, samples, wavelength grid).
+    categories:
+        Restriction categories to ablate individually; defaults to every
+        restriction of Table II.
+    include_none_and_all:
+        Also evaluate the two reference settings with no restrictions and with
+        all restrictions.
+    """
+    config = config if config is not None else SweepConfig()
+    client = client if client is not None else SimulatedDesigner("GPT-4o")
+    categories = (
+        list(categories)
+        if categories is not None
+        else [restriction.category for restriction in RESTRICTIONS]
+    )
+    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths)
+    problems = config.select_problems()
+    result = RestrictionAblationResult(model=getattr(client, "name", "client"), config=config)
+
+    settings: List[Tuple[str, Optional[PromptConfig]]] = []
+    if include_none_and_all:
+        settings.append(("no restrictions", PromptConfig(include_restrictions=False)))
+    for category in categories:
+        settings.append(
+            (
+                f"only: {category.display_name}",
+                PromptConfig(include_restrictions=True, restriction_categories=[category]),
+            )
+        )
+    if include_none_and_all:
+        settings.append(("all restrictions", PromptConfig(include_restrictions=True)))
+
+    for label, prompt_config in settings:
+        evaluator = Evaluator(
+            config.evaluation_config(
+                include_restrictions=bool(prompt_config and prompt_config.include_restrictions)
+            ),
+            golden_store=golden_store,
+        )
+        result.reports[label] = evaluator.run_suite(client, problems, prompt_config=prompt_config)
+    return result
+
+
+def restriction_ablation_text(result: RestrictionAblationResult, *, max_feedback: int = 0) -> str:
+    """Render the restriction ablation as a plain-text table."""
+    return render_table(
+        ["Restriction setting", "Syntax P@1", "Func. P@1"],
+        result.rows(max_feedback=max_feedback),
+        title=f"Restriction ablation for {result.model} ({max_feedback} error-feedback rounds)",
+    )

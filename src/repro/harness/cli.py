@@ -1,0 +1,142 @@
+"""Command-line interface of the experiment harness.
+
+Examples
+--------
+Regenerate the static tables and figures::
+
+    python -m repro.harness table1
+    python -m repro.harness table2
+    python -m repro.harness fig2
+    python -m repro.harness fig3
+    python -m repro.harness fig4
+
+Run the evaluation sweeps (Tables III and IV)::
+
+    python -m repro.harness table3 --samples 5 --wavelengths 41
+    python -m repro.harness table4 --samples 5 --wavelengths 41
+    python -m repro.harness sweep --output results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .ablation import restriction_ablation_text, run_restriction_ablation
+from .figures import figure2_text, figure3_text, figure4_text
+from .runner import SweepConfig, run_sweep
+from .tables import (
+    error_breakdown_text,
+    table1_text,
+    table2_text,
+    table3_text,
+    table4_text,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the harness argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the PICBench paper's tables and figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "sweep",
+            "errors",
+            "ablate",
+            "fig2",
+            "fig3",
+            "fig4",
+        ],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--model",
+        type=str,
+        default="GPT-4o",
+        help="designer profile used by the 'ablate' target",
+    )
+    parser.add_argument("--samples", type=int, default=5, help="samples per problem (n of Pass@k)")
+    parser.add_argument(
+        "--feedback", type=int, default=3, help="maximum number of error-feedback iterations"
+    )
+    parser.add_argument(
+        "--wavelengths", type=int, default=41, help="number of evaluation wavelength points"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed of the sweep")
+    parser.add_argument(
+        "--problems",
+        nargs="*",
+        default=None,
+        help="restrict the sweep to these problem names (default: all 24)",
+    )
+    parser.add_argument("--output", type=str, default=None, help="write sweep results to this JSON file")
+    return parser
+
+
+def _sweep_config(args: argparse.Namespace) -> SweepConfig:
+    return SweepConfig(
+        samples_per_problem=args.samples,
+        max_feedback_iterations=args.feedback,
+        num_wavelengths=args.wavelengths,
+        base_seed=args.seed,
+        problems=tuple(args.problems) if args.problems else None,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.harness``."""
+    args = build_parser().parse_args(argv)
+
+    if args.target == "table1":
+        print(table1_text())
+        return 0
+    if args.target == "table2":
+        print(table2_text())
+        return 0
+    if args.target == "fig2":
+        print(figure2_text())
+        return 0
+    if args.target == "fig3":
+        print(figure3_text())
+        return 0
+    if args.target == "fig4":
+        print(figure4_text(num_wavelengths=args.wavelengths))
+        return 0
+
+    config = _sweep_config(args)
+    if args.target == "ablate":
+        from ..llm.simulated import SimulatedDesigner
+
+        result = run_restriction_ablation(SimulatedDesigner(args.model), config=config)
+        print(restriction_ablation_text(result))
+        return 0
+    if args.target == "table3":
+        sweep = run_sweep(config, restriction_settings=(False,))
+        print(table3_text(sweep))
+    elif args.target == "table4":
+        sweep = run_sweep(config, restriction_settings=(True,))
+        print(table4_text(sweep))
+    elif args.target == "errors":
+        sweep = run_sweep(config)
+        print(error_breakdown_text(sweep))
+    else:  # sweep
+        sweep = run_sweep(config)
+        print(table3_text(sweep))
+        print()
+        print(table4_text(sweep))
+        print()
+        print(error_breakdown_text(sweep))
+    if args.output:
+        sweep.save(args.output)
+        print(f"\nsweep results written to {args.output}", file=sys.stderr)
+    return 0

@@ -1,0 +1,123 @@
+"""Regeneration of the paper's figures (as text artefacts).
+
+* Fig. 2 -- the example problem description (MZI ps),
+* Fig. 3 -- the system prompt template,
+* Fig. 4 -- a feedback-correction trace for the MZI ps problem: the initial
+  response contains a "Wrong ports" error, the classified feedback is sent
+  back, and the corrected response passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..bench.suite import get_problem
+from ..evalkit.evaluator import EvaluationConfig, Evaluator
+from ..llm.base import assistant, system, user
+from ..llm.mutations import apply_syntax_mutation
+from ..llm.response import format_response
+from ..llm.simulated import EchoDesigner, SimulatedDesigner
+from ..netlist.errors import ErrorCategory
+from ..prompts.feedback import build_feedback
+from ..prompts.system_prompt import PromptConfig, build_system_prompt, build_user_prompt
+
+__all__ = ["figure2_text", "figure3_text", "FeedbackTraceStep", "figure4_trace", "figure4_text"]
+
+import numpy as np
+
+
+def figure2_text() -> str:
+    """The example problem description of Fig. 2 (the MZI ps problem)."""
+    problem = get_problem("mzi_ps")
+    return f"Problem Description\n{problem.description}"
+
+
+def figure3_text(*, include_restrictions: bool = True) -> str:
+    """The system prompt template of Fig. 3."""
+    return build_system_prompt(config=PromptConfig(include_restrictions=include_restrictions))
+
+
+@dataclass
+class FeedbackTraceStep:
+    """One iteration of the Fig. 4 correction trace."""
+
+    iteration: int
+    response_excerpt: str
+    verdict: str
+    feedback: Optional[str] = None
+
+
+def figure4_trace(num_wavelengths: int = 41) -> List[FeedbackTraceStep]:
+    """Reproduce the Fig. 4 walk-through on the MZI ps problem.
+
+    The first response deliberately contains a "Wrong ports" error (a
+    connection to a port the MMI does not have); the classified feedback is
+    generated exactly as the evaluator would, and the corrected second
+    response passes both checks.
+    """
+    problem = get_problem("mzi_ps")
+    evaluator = Evaluator(EvaluationConfig(num_wavelengths=num_wavelengths))
+    rng = np.random.default_rng(4)
+
+    golden = problem.golden_netlist()
+    broken = apply_syntax_mutation(golden, ErrorCategory.WRONG_PORT, rng).netlist
+    first_response = format_response(
+        "Splitting the input with mmi1, routing the arms and recombining with mmi2.",
+        broken.to_json(),
+    )
+    steps: List[FeedbackTraceStep] = []
+
+    outcome = evaluator.evaluate_response(problem, first_response)
+    assert outcome.error is not None
+    feedback = build_feedback(problem.name, outcome.error)
+    steps.append(
+        FeedbackTraceStep(
+            iteration=0,
+            response_excerpt=_connections_excerpt(first_response),
+            verdict=f"Evaluation: Syntax Error ({outcome.error.category.display_name})",
+            feedback=feedback,
+        )
+    )
+
+    second_response = format_response(
+        "Fixed the invalid port reference reported by the evaluator.",
+        golden.to_json(),
+    )
+    outcome2 = evaluator.evaluate_response(problem, second_response)
+    steps.append(
+        FeedbackTraceStep(
+            iteration=1,
+            response_excerpt=_connections_excerpt(second_response),
+            verdict="Evaluation: PASS" if outcome2.syntax_ok and outcome2.functional_ok else "Evaluation: FAIL",
+        )
+    )
+    return steps
+
+
+def _connections_excerpt(response_text: str) -> str:
+    """Extract the connections section of a response for compact display."""
+    lines = response_text.splitlines()
+    start = next((i for i, line in enumerate(lines) if '"connections"' in line), None)
+    if start is None:
+        return "\n".join(lines[:6])
+    end = next(
+        (i for i in range(start + 1, len(lines)) if lines[i].strip().startswith("}")),
+        min(start + 8, len(lines) - 1),
+    )
+    return "\n".join(lines[start : end + 1])
+
+
+def figure4_text(num_wavelengths: int = 41) -> str:
+    """Render the Fig. 4 trace as text."""
+    parts: List[str] = ["Fig. 4: solving MZI ps with error feedback", ""]
+    for step in figure4_trace(num_wavelengths=num_wavelengths):
+        parts.append(f"Iter {step.iteration}: LLM response (connections section)")
+        parts.append(step.response_excerpt)
+        parts.append(step.verdict)
+        if step.feedback:
+            parts.append("")
+            parts.append("Feedback prompt:")
+            parts.append(step.feedback)
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,48 @@
+"""Plain-text table rendering used by the harness reports.
+
+No third-party table library is available offline, so the harness renders its
+tables with a small fixed-width formatter.  The output is intentionally close
+to the layout of the paper's tables so results can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_percent"]
+
+
+def format_percent(value: float, width: int = 6) -> str:
+    """Format a percentage the way the paper's tables do (two decimals)."""
+    return f"{value:{width}.2f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    num_columns = len(str_headers)
+    for row in str_rows:
+        if len(row) != num_columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {num_columns}"
+            )
+    widths = [
+        max(len(str_headers[col]), *(len(row[col]) for row in str_rows)) if str_rows else len(str_headers[col])
+        for col in range(num_columns)
+    ]
+    separator = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(str_headers, widths)))
+    lines.append(separator)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

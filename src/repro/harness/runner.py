@@ -1,0 +1,163 @@
+"""Experiment sweeps reproducing the paper's evaluation (Tables III and IV).
+
+The paper evaluates five LLMs with and without the Table II restrictions and
+with 0, 1 and 3 error-feedback iterations, reporting syntax and functionality
+Pass@1 and Pass@5.  One run with ``max_feedback_iterations = 3`` contains all
+the information needed to derive the 0/1/3-feedback columns, so the sweep runs
+each (model, restrictions) pair exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.golden import GoldenStore
+from ..bench.problem import Problem
+from ..bench.suite import all_problems
+from ..evalkit.evaluator import EvaluationConfig, Evaluator
+from ..evalkit.outcome import EvalReport
+from ..llm.base import LLMClient
+from ..llm.profiles import DEFAULT_PROFILES, DesignerProfile
+from ..llm.simulated import SimulatedDesigner
+from ..prompts.system_prompt import PromptConfig
+
+__all__ = ["SweepConfig", "SweepResult", "run_model", "run_sweep"]
+
+#: Feedback-iteration counts reported by the paper's tables.
+FEEDBACK_COLUMNS: Tuple[int, ...] = (0, 1, 3)
+
+#: Pass@k values reported by the paper's tables.
+PASS_AT: Tuple[int, ...] = (1, 5)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Configuration of a full table sweep."""
+
+    samples_per_problem: int = 5
+    max_feedback_iterations: int = 3
+    num_wavelengths: int = 41
+    base_seed: int = 0
+    problems: Optional[Tuple[str, ...]] = None
+
+    def evaluation_config(self, *, include_restrictions: bool) -> EvaluationConfig:
+        """Build the corresponding :class:`EvaluationConfig`."""
+        return EvaluationConfig(
+            samples_per_problem=self.samples_per_problem,
+            max_feedback_iterations=self.max_feedback_iterations,
+            num_wavelengths=self.num_wavelengths,
+            include_restrictions=include_restrictions,
+            base_seed=self.base_seed,
+        )
+
+    def select_problems(self) -> List[Problem]:
+        """Resolve the problem subset (default: the full 24-problem suite)."""
+        problems = list(all_problems())
+        if self.problems is None:
+            return problems
+        wanted = set(self.problems)
+        selected = [p for p in problems if p.name in wanted]
+        missing = wanted - {p.name for p in selected}
+        if missing:
+            raise KeyError(f"unknown problems requested: {sorted(missing)}")
+        return selected
+
+
+@dataclass
+class SweepResult:
+    """Reports of a sweep, keyed by (model name, with_restrictions)."""
+
+    config: SweepConfig
+    reports: Dict[Tuple[str, bool], EvalReport] = field(default_factory=dict)
+
+    def report(self, model: str, *, with_restrictions: bool) -> EvalReport:
+        """Look up one report."""
+        return self.reports[(model, with_restrictions)]
+
+    def models(self) -> List[str]:
+        """Model names present in the sweep, in insertion order."""
+        seen: List[str] = []
+        for model, _ in self.reports:
+            if model not in seen:
+                seen.append(model)
+        return seen
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise every report (used for persistence)."""
+        return {
+            f"{model}|{'with' if restrictions else 'without'}_restrictions": report.to_dict()
+            for (model, restrictions), report in self.reports.items()
+        }
+
+    def save(self, path: Path | str) -> None:
+        """Write the sweep results to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path: Path | str, config: Optional[SweepConfig] = None) -> "SweepResult":
+        """Reload a sweep previously written by :meth:`save`.
+
+        The reloaded result supports every aggregation (Pass@k tables, error
+        breakdowns) without re-running the evaluation.
+        """
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        result = cls(config=config if config is not None else SweepConfig())
+        for key, report_payload in payload.items():
+            model, _, suffix = key.rpartition("|")
+            with_restrictions = suffix == "with_restrictions"
+            report = EvalReport.from_dict(report_payload)
+            result.reports[(model or report.model, with_restrictions)] = report
+        return result
+
+
+def run_model(
+    client: LLMClient,
+    *,
+    include_restrictions: bool,
+    config: Optional[SweepConfig] = None,
+    golden_store: Optional[GoldenStore] = None,
+) -> EvalReport:
+    """Evaluate one client over the suite under one prompt configuration."""
+    config = config if config is not None else SweepConfig()
+    evaluation_config = config.evaluation_config(include_restrictions=include_restrictions)
+    evaluator = Evaluator(evaluation_config, golden_store=golden_store)
+    prompt_config = PromptConfig(include_restrictions=include_restrictions)
+    return evaluator.run_suite(client, config.select_problems(), prompt_config=prompt_config)
+
+
+def run_sweep(
+    config: Optional[SweepConfig] = None,
+    *,
+    profiles: Optional[Sequence[DesignerProfile]] = None,
+    restriction_settings: Sequence[bool] = (False, True),
+    clients: Optional[Sequence[LLMClient]] = None,
+) -> SweepResult:
+    """Run the full Tables III / IV sweep.
+
+    By default the five simulated designer profiles are used; pass ``clients``
+    to evaluate real LLM API clients instead.
+    """
+    config = config if config is not None else SweepConfig()
+    if clients is None:
+        profiles = list(profiles) if profiles is not None else list(DEFAULT_PROFILES)
+        clients = [SimulatedDesigner(profile, base_seed=config.base_seed) for profile in profiles]
+    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths)
+    result = SweepResult(config=config)
+    for include_restrictions in restriction_settings:
+        for client in clients:
+            report = run_model(
+                client,
+                include_restrictions=include_restrictions,
+                config=config,
+                golden_store=golden_store,
+            )
+            result.reports[(report.model, include_restrictions)] = report
+    return result

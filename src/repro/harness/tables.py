@@ -1,0 +1,170 @@
+"""Regeneration of the paper's tables.
+
+* Table I  -- the benchmark description (problem list by category),
+* Table II -- the failure types and restrictions,
+* Table III -- syntax / functionality Pass@1 and Pass@5 without restrictions,
+* Table IV  -- the same with restrictions,
+* an additional error-class breakdown ablation not in the paper but useful to
+  understand which restrictions pay off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bench.suite import problems_by_category, suite_summary
+from ..netlist.errors import ErrorCategory
+from ..prompts.restrictions import RESTRICTIONS
+from .formatting import format_percent, render_table
+from .runner import FEEDBACK_COLUMNS, PASS_AT, SweepResult
+
+__all__ = [
+    "table1_rows",
+    "table1_text",
+    "table2_rows",
+    "table2_text",
+    "table3_rows",
+    "table3_text",
+    "table4_rows",
+    "table4_text",
+    "error_breakdown_rows",
+    "error_breakdown_text",
+]
+
+
+# ----------------------------------------------------------------------
+# Table I -- benchmark description
+# ----------------------------------------------------------------------
+def table1_rows() -> List[Tuple[str, str, str, int]]:
+    """Rows of Table I: (category, design, description, golden instance count)."""
+    rows: List[Tuple[str, str, str, int]] = []
+    summary_by_name = {entry["name"]: entry for entry in suite_summary()}
+    for category, problems in problems_by_category().items():
+        for problem in problems:
+            entry = summary_by_name[problem.name]
+            rows.append(
+                (category, problem.title, problem.summary, int(entry["golden_instances"]))
+            )
+    return rows
+
+
+def table1_text() -> str:
+    """Render Table I (benchmark description)."""
+    return render_table(
+        ["Category", "Design", "Description", "Golden instances"],
+        table1_rows(),
+        title="TABLE I: Benchmark Description",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II -- restrictions
+# ----------------------------------------------------------------------
+def table2_rows() -> List[Tuple[str, str]]:
+    """Rows of Table II: (failure type, restriction)."""
+    rows = [(restriction.failure_type, restriction.text) for restriction in RESTRICTIONS]
+    rows.append(("Other syntax error", "-"))
+    return rows
+
+
+def table2_text() -> str:
+    """Render Table II (failure types and restrictions)."""
+    return render_table(
+        ["Failure Types", "Restrictions"],
+        table2_rows(),
+        title="TABLE II: Restrictions for the PIC design task",
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables III / IV -- Pass@k with and without restrictions
+# ----------------------------------------------------------------------
+def _passk_rows(
+    sweep: SweepResult, *, with_restrictions: bool
+) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for model in sweep.models():
+        key = (model, with_restrictions)
+        if key not in sweep.reports:
+            continue
+        report = sweep.reports[key]
+        label = f"{model} + restrictions" if with_restrictions else model
+        row: List[str] = [label]
+        for k in PASS_AT:
+            for max_feedback in FEEDBACK_COLUMNS:
+                row.append(
+                    format_percent(report.pass_at_k(k, metric="syntax", max_feedback=max_feedback))
+                )
+                row.append(
+                    format_percent(
+                        report.pass_at_k(k, metric="functional", max_feedback=max_feedback)
+                    )
+                )
+        rows.append(row)
+    return rows
+
+
+def _passk_headers() -> List[str]:
+    headers = ["LLM"]
+    for k in PASS_AT:
+        for max_feedback in FEEDBACK_COLUMNS:
+            headers.append(f"P@{k} {max_feedback}EF Syntax")
+            headers.append(f"P@{k} {max_feedback}EF Func.")
+    return headers
+
+
+def table3_rows(sweep: SweepResult) -> List[List[str]]:
+    """Rows of Table III (no restrictions)."""
+    return _passk_rows(sweep, with_restrictions=False)
+
+
+def table3_text(sweep: SweepResult) -> str:
+    """Render Table III: syntax / functionality evaluation without restrictions."""
+    return render_table(
+        _passk_headers(),
+        table3_rows(sweep),
+        title="TABLE III: Syntax and Functionality evaluation (without restrictions)",
+    )
+
+
+def table4_rows(sweep: SweepResult) -> List[List[str]]:
+    """Rows of Table IV (with the Table II restrictions in the system prompt)."""
+    return _passk_rows(sweep, with_restrictions=True)
+
+
+def table4_text(sweep: SweepResult) -> str:
+    """Render Table IV: syntax / functionality evaluation with restrictions."""
+    return render_table(
+        _passk_headers(),
+        table4_rows(sweep),
+        title="TABLE IV: Syntax and Functionality evaluation (with restrictions)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablation -- error-class breakdown
+# ----------------------------------------------------------------------
+def error_breakdown_rows(sweep: SweepResult) -> List[List[str]]:
+    """Error counts per Table II category, per model and restriction setting."""
+    categories = [c for c in ErrorCategory if c is not ErrorCategory.FUNCTIONAL]
+    rows: List[List[str]] = []
+    for (model, with_restrictions), report in sweep.reports.items():
+        histogram = report.error_breakdown()
+        label = f"{model} ({'with' if with_restrictions else 'without'} restrictions)"
+        row = [label]
+        for category in categories:
+            row.append(str(histogram.get(category, 0)))
+        row.append(str(histogram.get(ErrorCategory.FUNCTIONAL, 0)))
+        rows.append(row)
+    return rows
+
+
+def error_breakdown_text(sweep: SweepResult) -> str:
+    """Render the per-category error breakdown ablation."""
+    categories = [c for c in ErrorCategory if c is not ErrorCategory.FUNCTIONAL]
+    headers = ["LLM"] + [c.value for c in categories] + ["functional"]
+    return render_table(
+        headers,
+        error_breakdown_rows(sweep),
+        title="Ablation: error-class breakdown across all failed attempts",
+    )

@@ -1,0 +1,36 @@
+"""LLM interface: client protocol, response parsing, simulated designers and profiles."""
+
+from .base import CallableLLM, ChatMessage, Conversation, LLMClient, assistant, system, user
+from .mutations import (
+    SYNTAX_MUTATORS,
+    MutationResult,
+    apply_functional_mutation,
+    apply_syntax_mutation,
+)
+from .profiles import DEFAULT_PROFILES, DesignerProfile, get_profile, profile_names
+from .response import LLMResponse, format_response, split_response
+from .simulated import EchoDesigner, PerfectDesigner, SimulatedDesigner
+
+__all__ = [
+    "ChatMessage",
+    "Conversation",
+    "LLMClient",
+    "CallableLLM",
+    "system",
+    "user",
+    "assistant",
+    "LLMResponse",
+    "split_response",
+    "format_response",
+    "MutationResult",
+    "SYNTAX_MUTATORS",
+    "apply_syntax_mutation",
+    "apply_functional_mutation",
+    "DesignerProfile",
+    "DEFAULT_PROFILES",
+    "get_profile",
+    "profile_names",
+    "SimulatedDesigner",
+    "PerfectDesigner",
+    "EchoDesigner",
+]

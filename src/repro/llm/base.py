@@ -1,0 +1,82 @@
+"""LLM client protocol and chat-message primitives.
+
+PICBench "is compatible with a wide range of LLMs as long as they provide a
+Python API" (Section IV-A).  The evaluation framework only needs a single
+entry point: given the conversation so far (system prompt, problem
+description, feedback turns), return the model's next response text.
+
+Real API clients can be plugged in by implementing :class:`LLMClient` or by
+wrapping any callable with :class:`CallableLLM`.  The offline reproduction
+uses :class:`repro.llm.simulated.SimulatedDesigner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Sequence, runtime_checkable
+
+__all__ = ["ChatMessage", "Conversation", "LLMClient", "CallableLLM", "system", "user", "assistant"]
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One turn of a conversation."""
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"unsupported role {self.role!r}")
+
+
+Conversation = Sequence[ChatMessage]
+
+
+def system(content: str) -> ChatMessage:
+    """Build a system message."""
+    return ChatMessage(role="system", content=content)
+
+
+def user(content: str) -> ChatMessage:
+    """Build a user message."""
+    return ChatMessage(role="user", content=content)
+
+
+def assistant(content: str) -> ChatMessage:
+    """Build an assistant message."""
+    return ChatMessage(role="assistant", content=content)
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that can complete a PICBench conversation.
+
+    Implementations must be pure functions of the conversation (plus the
+    optional ``seed`` used to diversify repeated samples of the same problem),
+    which is how the hosted chat APIs the paper evaluates behave.
+    """
+
+    #: Human-readable model name used in reports.
+    name: str
+
+    def complete(self, messages: Conversation, *, seed: Optional[int] = None) -> str:
+        """Return the assistant response for the given conversation."""
+        ...  # pragma: no cover - protocol
+
+
+class CallableLLM:
+    """Adapter turning any ``callable(messages) -> str`` into an :class:`LLMClient`.
+
+    Useful for wrapping real API SDK calls, e.g.::
+
+        client = CallableLLM("gpt-4o", lambda msgs: openai_chat(msgs))
+    """
+
+    def __init__(self, name: str, func: Callable[[Conversation], str]) -> None:
+        self.name = name
+        self._func = func
+
+    def complete(self, messages: Conversation, *, seed: Optional[int] = None) -> str:
+        """Delegate to the wrapped callable (the seed is ignored)."""
+        return self._func(list(messages))

@@ -1,0 +1,286 @@
+"""Netlist corruption operators, one per Table II failure category.
+
+The simulated designer models an imperfect LLM by starting from the golden
+netlist and injecting the error classes a real model exhibits.  Every operator
+takes the current netlist (and a random generator) and returns a
+:class:`MutationResult`: a possibly-modified netlist plus an optional
+text-level wrapper applied after serialisation (used for the "extra content"
+and "malformed JSON" classes that live at the text level rather than the
+netlist level).
+
+The operators are also reused directly by the validator tests: applying the
+operator for category ``X`` to a valid netlist must make the evaluation
+pipeline report category ``X``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.errors import ErrorCategory
+from ..netlist.schema import Instance, Netlist, parse_endpoint
+from ..sim.registry import ModelRegistry, default_registry
+
+__all__ = [
+    "MutationResult",
+    "apply_syntax_mutation",
+    "apply_functional_mutation",
+    "SYNTAX_MUTATORS",
+]
+
+
+@dataclass
+class MutationResult:
+    """Outcome of a mutation operator."""
+
+    netlist: Netlist
+    text_wrapper: Optional[Callable[[str], str]] = None
+
+
+def _rng_choice(rng: np.random.Generator, items: List[str]) -> str:
+    return items[int(rng.integers(0, len(items)))]
+
+
+def _connected_endpoints(netlist: Netlist) -> List[str]:
+    endpoints: List[str] = []
+    endpoints.extend(netlist.connections.keys())
+    endpoints.extend(netlist.connections.values())
+    return endpoints
+
+
+# ----------------------------------------------------------------------
+# Syntax mutators (one per Table II category)
+# ----------------------------------------------------------------------
+def _mutate_undefined_model(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Reference a model that does not exist in the built-in library."""
+    mutated = netlist.copy()
+    bogus_models = ["ring", "mmi", "beamsplitter", "ybranch", "dcoupler", "modulator"]
+    if mutated.models and rng.random() < 0.5:
+        component = _rng_choice(rng, list(mutated.models))
+        mutated.models[component] = _rng_choice(rng, bogus_models)
+    else:
+        name = _rng_choice(rng, list(mutated.instances))
+        bogus = _rng_choice(rng, bogus_models)
+        mutated.instances[name] = Instance(bogus, dict(mutated.instances[name].settings))
+    return MutationResult(mutated)
+
+
+def _mutate_bound_io_port(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Connect an endpoint that is already exposed as a top-level port."""
+    mutated = netlist.copy()
+    if not mutated.ports or not mutated.instances:
+        return MutationResult(mutated)
+    ext_name = _rng_choice(rng, list(mutated.ports))
+    exposed_endpoint = mutated.ports[ext_name]
+    # Wire the exposed endpoint to some other instance port internally.
+    other_instance = _rng_choice(rng, list(mutated.instances))
+    mutated.connections[exposed_endpoint] = f"{other_instance},O1"
+    return MutationResult(mutated)
+
+
+def _mutate_instances_models_confused(
+    netlist: Netlist, rng: np.random.Generator
+) -> MutationResult:
+    """Mix up the instances and models sections.
+
+    The classic confusion (seen with real LLMs, per the paper) is writing the
+    model binding as an instance-style object instead of a plain reference
+    string, i.e. ``"mmi1x2": {"component": "mmi1x2"}`` inside ``models``.
+    """
+    mutated = netlist.copy()
+    if mutated.models:
+        component = _rng_choice(rng, list(mutated.models))
+        ref = mutated.models[component]
+        mutated.models[component] = {"component": ref}  # type: ignore[assignment]
+    else:
+        name = _rng_choice(rng, list(mutated.instances))
+        mutated.models[name] = {"component": mutated.instances[name].component}  # type: ignore[assignment]
+    return MutationResult(mutated)
+
+
+def _mutate_extra_content(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Wrap the JSON in markdown fences and add trailing commentary."""
+    def wrapper(text: str) -> str:
+        return (
+            "Here is the netlist you asked for:\n```json\n"
+            + text
+            + "\n```\nLet me know if you need any adjustment."
+        )
+
+    return MutationResult(netlist.copy(), text_wrapper=wrapper)
+
+
+def _mutate_duplicate_connection(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Connect an already-connected port a second time (multi-pin net).
+
+    Only existing connection endpoints are reused, so the injected failure is
+    unambiguously a duplicate-connection error rather than a wrong-port or
+    bound-I/O error.
+    """
+    mutated = netlist.copy()
+    keys = list(mutated.connections)
+    if len(keys) >= 2:
+        first, second = rng.choice(len(keys), size=2, replace=False)
+        # Point the second connection at the first connection's target, so that
+        # target now has two drivers.
+        mutated.connections[keys[int(second)]] = mutated.connections[keys[int(first)]]
+    elif len(keys) == 1:
+        key = keys[0]
+        value = mutated.connections[key]
+        mutated.connections[value] = key  # both endpoints now appear twice
+    return MutationResult(mutated)
+
+
+def _mutate_dangling_port(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Introduce a connection to an instance that does not exist."""
+    mutated = netlist.copy()
+    if not mutated.instances:
+        return MutationResult(mutated)
+    source = _rng_choice(rng, list(mutated.instances))
+    mutated.connections[f"{source},O1"] = "floatingNode,I1"
+    return MutationResult(mutated)
+
+
+def _mutate_wrong_port_count(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Drop one external port (or rename it off-convention) so the count is wrong."""
+    mutated = netlist.copy()
+    if len(mutated.ports) > 1:
+        victim = _rng_choice(rng, list(mutated.ports))
+        del mutated.ports[victim]
+    else:
+        # A single-port netlist: renaming it to something that is neither an
+        # input (I*) nor an output (O*) also violates the port specification.
+        victim = _rng_choice(rng, list(mutated.ports))
+        mutated.ports[f"port{len(mutated.ports)}"] = mutated.ports.pop(victim)
+    return MutationResult(mutated)
+
+
+def _mutate_wrong_port(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Reference a port the instance does not have (e.g. ``I2`` on an mmi1x2)."""
+    mutated = netlist.copy()
+    if mutated.connections and rng.random() < 0.8:
+        key = _rng_choice(rng, list(mutated.connections))
+        instance, _port = parse_endpoint(mutated.connections[key])
+        mutated.connections[key] = f"{instance},I9"
+    elif mutated.ports:
+        ext = _rng_choice(rng, list(mutated.ports))
+        instance, _port = parse_endpoint(mutated.ports[ext])
+        mutated.ports[ext] = f"{instance},O9"
+    return MutationResult(mutated)
+
+
+def _mutate_bad_component_name(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Rename an instance so it contains an underscore (prohibited)."""
+    mutated = netlist.copy()
+    old_name = _rng_choice(rng, list(mutated.instances))
+    new_name = f"{old_name}_1"
+
+    def rename(endpoint: str) -> str:
+        instance, port = parse_endpoint(endpoint)
+        return f"{new_name},{port}" if instance == old_name else endpoint
+
+    mutated.instances[new_name] = mutated.instances.pop(old_name)
+    mutated.connections = {rename(k): rename(v) for k, v in mutated.connections.items()}
+    mutated.ports = {name: rename(v) for name, v in mutated.ports.items()}
+    return MutationResult(mutated)
+
+
+def _mutate_other_syntax(netlist: Netlist, rng: np.random.Generator) -> MutationResult:
+    """Emit structurally broken JSON (truncated closing braces)."""
+    def wrapper(text: str) -> str:
+        closing = text.rfind("}")
+        return text[:closing] if closing > 0 else text + "{"
+
+    return MutationResult(netlist.copy(), text_wrapper=wrapper)
+
+
+SYNTAX_MUTATORS: Dict[ErrorCategory, Callable[[Netlist, np.random.Generator], MutationResult]] = {
+    ErrorCategory.UNDEFINED_MODEL: _mutate_undefined_model,
+    ErrorCategory.BOUND_IO_PORT: _mutate_bound_io_port,
+    ErrorCategory.INSTANCES_MODELS_CONFUSED: _mutate_instances_models_confused,
+    ErrorCategory.EXTRA_CONTENT: _mutate_extra_content,
+    ErrorCategory.DUPLICATE_CONNECTION: _mutate_duplicate_connection,
+    ErrorCategory.DANGLING_PORT: _mutate_dangling_port,
+    ErrorCategory.WRONG_PORT_COUNT: _mutate_wrong_port_count,
+    ErrorCategory.WRONG_PORT: _mutate_wrong_port,
+    ErrorCategory.BAD_COMPONENT_NAME: _mutate_bad_component_name,
+    ErrorCategory.OTHER_SYNTAX: _mutate_other_syntax,
+}
+
+
+def apply_syntax_mutation(
+    netlist: Netlist, category: ErrorCategory, rng: np.random.Generator
+) -> MutationResult:
+    """Apply the corruption operator for one syntax error category."""
+    try:
+        mutator = SYNTAX_MUTATORS[category]
+    except KeyError as exc:
+        raise ValueError(f"no syntax mutator for category {category!r}") from exc
+    return mutator(netlist, rng)
+
+
+# ----------------------------------------------------------------------
+# Functional mutation (syntax stays valid, the response changes)
+# ----------------------------------------------------------------------
+_PREFERRED_FUNCTIONAL_PARAMETERS: Tuple[str, ...] = (
+    "coupling",
+    "coupling_in",
+    "attenuation_db",
+    "radius",
+    "theta",
+    "delta_length",
+    "bias_phase",
+    "state",
+    "loss_db",
+    "length",
+)
+
+
+def apply_functional_mutation(
+    netlist: Netlist,
+    rng: np.random.Generator,
+    registry: Optional[ModelRegistry] = None,
+) -> Netlist:
+    """Perturb a magnitude-affecting parameter so the response deviates.
+
+    The mutated netlist still validates and simulates; only its frequency
+    response differs from the golden design, which is exactly the "functional
+    error" case of the benchmark.
+    """
+    registry = registry if registry is not None else default_registry()
+    mutated = netlist.copy()
+    candidates: List[Tuple[str, str, object]] = []
+    for name, instance in mutated.instances.items():
+        ref = mutated.models.get(instance.component, instance.component)
+        if ref not in registry:
+            continue
+        parameters = registry.get(ref).parameters
+        for param in _PREFERRED_FUNCTIONAL_PARAMETERS:
+            if param in parameters:
+                candidates.append((name, param, parameters[param]))
+                break
+    if not candidates:
+        return mutated
+    name, param, default = candidates[int(rng.integers(0, len(candidates)))]
+    current = mutated.instances[name].settings.get(param, default)
+    new_value: object
+    if param == "state":
+        # Switch states are categorical: flip bar/cross or output 1/output 2.
+        if isinstance(current, str):
+            new_value = "bar" if current == "cross" else "cross"
+        else:
+            new_value = 2 if int(current) == 1 else 1
+    elif isinstance(current, (int, float)):
+        if param in ("coupling", "coupling_in"):
+            new_value = 0.85 if float(current) < 0.5 else 0.15
+        elif param == "theta":
+            new_value = float(current) + 1.2
+        else:
+            new_value = float(current) * 1.6 + 1.0
+    else:  # non-numeric parameter: flip bar/cross style values
+        new_value = "bar" if current == "cross" else "cross"
+    mutated.instances[name].settings[param] = new_value
+    return mutated

@@ -1,0 +1,181 @@
+"""Capability profiles of the simulated designers.
+
+The paper evaluates five commercial LLMs (GPT-4, GPT-o1-mini, GPT-4o,
+Claude 3.5 Sonnet, Gemini 1.5 Pro).  Offline we cannot call those APIs, so the
+reproduction replaces each with a :class:`DesignerProfile`: a small set of
+behavioural parameters that determine how often the simulated designer makes
+each class of mistake, how strongly the Table II restrictions suppress those
+mistakes, and how reliably simulator feedback gets acted upon.
+
+The profiles are calibrated to reproduce the *qualitative* orderings of
+Tables III and IV, not the exact percentages:
+
+* the GPT-4-like profile has the best no-restriction, no-feedback syntax rate;
+* the Claude-like profile benefits the most from error feedback;
+* the Gemini-like and GPT-4o-like profiles benefit the most from restrictions;
+* the o1-mini-like profile starts weakest without restrictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..netlist.errors import ErrorCategory
+
+__all__ = ["DesignerProfile", "DEFAULT_PROFILES", "get_profile", "profile_names"]
+
+#: Relative propensity of each syntax error class (shared baseline shape).
+_BASE_CATEGORY_WEIGHTS: Dict[ErrorCategory, float] = {
+    ErrorCategory.UNDEFINED_MODEL: 1.1,
+    ErrorCategory.BOUND_IO_PORT: 0.8,
+    ErrorCategory.INSTANCES_MODELS_CONFUSED: 1.0,
+    ErrorCategory.EXTRA_CONTENT: 1.3,
+    ErrorCategory.DUPLICATE_CONNECTION: 1.2,
+    ErrorCategory.DANGLING_PORT: 0.9,
+    ErrorCategory.WRONG_PORT_COUNT: 0.8,
+    ErrorCategory.WRONG_PORT: 1.4,
+    ErrorCategory.BAD_COMPONENT_NAME: 0.7,
+    ErrorCategory.OTHER_SYNTAX: 0.5,
+}
+
+
+@dataclass(frozen=True)
+class DesignerProfile:
+    """Behavioural parameters of one simulated designer.
+
+    Attributes
+    ----------
+    name:
+        Report name (matches the model names in the paper's tables).
+    base_error_rate:
+        Baseline per-category probability scale of injecting a syntax error.
+    category_weights:
+        Per-category multipliers on ``base_error_rate``.
+    restriction_factor:
+        Multiplier applied to the error probability of a category when the
+        system prompt contains the restriction addressing it (smaller is
+        better; 1.0 means restrictions are ignored).
+    restriction_functional_factor:
+        Multiplier on the functional-error probability when restrictions are
+        present (restrictions also clarify parameter conventions).
+    feedback_fix_prob:
+        Probability that one round of classified error feedback removes the
+        reported syntax error.
+    feedback_new_error_prob:
+        Probability that a correction introduces one new random syntax error.
+    functional_error_prob:
+        Probability that an otherwise valid design deviates functionally from
+        the golden response.
+    functional_fix_prob:
+        Probability that the concise functional feedback message leads to a
+        correct revision.
+    difficulty_sensitivity:
+        How strongly the error rate grows with design size (0 = flat).
+    aptitude_spread:
+        Spread of the per-problem aptitude factor.  Real models are
+        systematically better at some problems than others, which makes the
+        five samples of one problem correlated and keeps Pass@5 well below the
+        i.i.d. prediction; a larger spread means stronger correlation.
+    """
+
+    name: str
+    base_error_rate: float
+    restriction_factor: float
+    feedback_fix_prob: float
+    functional_error_prob: float
+    functional_fix_prob: float
+    feedback_new_error_prob: float = 0.05
+    restriction_functional_factor: float = 0.75
+    difficulty_sensitivity: float = 0.3
+    aptitude_spread: float = 0.45
+    category_weights: Mapping[ErrorCategory, float] = field(
+        default_factory=lambda: dict(_BASE_CATEGORY_WEIGHTS)
+    )
+
+    def category_error_prob(
+        self,
+        category: ErrorCategory,
+        *,
+        difficulty: float,
+        restrictions_active: bool,
+        aptitude: float = 1.0,
+    ) -> float:
+        """Probability of injecting ``category`` into one fresh draft."""
+        weight = self.category_weights.get(category, 1.0)
+        probability = self.base_error_rate * weight * difficulty * aptitude
+        if restrictions_active:
+            probability *= self.restriction_factor
+        return float(min(max(probability, 0.0), 0.95))
+
+    def functional_probability(
+        self, *, restrictions_active: bool, aptitude: float = 1.0
+    ) -> float:
+        """Probability that a fresh draft contains a functional deviation."""
+        probability = self.functional_error_prob * (0.5 + 0.5 * aptitude)
+        if restrictions_active:
+            probability *= self.restriction_functional_factor
+        return float(min(max(probability, 0.0), 0.98))
+
+
+def _make_default_profiles() -> Tuple[DesignerProfile, ...]:
+    return (
+        DesignerProfile(
+            name="GPT-4",
+            base_error_rate=0.145,
+            restriction_factor=0.80,
+            feedback_fix_prob=0.62,
+            functional_error_prob=0.62,
+            functional_fix_prob=0.22,
+        ),
+        DesignerProfile(
+            name="GPT-o1-mini",
+            base_error_rate=0.195,
+            restriction_factor=0.76,
+            feedback_fix_prob=0.78,
+            functional_error_prob=0.55,
+            functional_fix_prob=0.30,
+        ),
+        DesignerProfile(
+            name="GPT-4o",
+            base_error_rate=0.150,
+            restriction_factor=0.24,
+            feedback_fix_prob=0.72,
+            functional_error_prob=0.70,
+            functional_fix_prob=0.30,
+        ),
+        DesignerProfile(
+            name="Claude 3.5 Sonnet",
+            base_error_rate=0.155,
+            restriction_factor=0.28,
+            feedback_fix_prob=0.88,
+            functional_error_prob=0.85,
+            functional_fix_prob=0.32,
+        ),
+        DesignerProfile(
+            name="Gemini 1.5 pro",
+            base_error_rate=0.175,
+            restriction_factor=0.18,
+            feedback_fix_prob=0.70,
+            functional_error_prob=0.35,
+            functional_fix_prob=0.28,
+        ),
+    )
+
+
+DEFAULT_PROFILES: Tuple[DesignerProfile, ...] = _make_default_profiles()
+
+
+def profile_names() -> Tuple[str, ...]:
+    """Names of the five default profiles, in the paper's table order."""
+    return tuple(profile.name for profile in DEFAULT_PROFILES)
+
+
+def get_profile(name: str) -> DesignerProfile:
+    """Look up a default profile by (case-insensitive) name."""
+    for profile in DEFAULT_PROFILES:
+        if profile.name.lower() == name.lower():
+            return profile
+    raise KeyError(
+        f"unknown profile {name!r}; available profiles: {list(profile_names())}"
+    )

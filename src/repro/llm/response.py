@@ -1,0 +1,59 @@
+"""Parsing of LLM responses into the ``<analysis>`` / ``<result>`` sections.
+
+The system prompt (Fig. 3) instructs the model to answer with an analysis
+section and a result section containing only the JSON netlist.  The evaluator
+extracts the result section and feeds it to the netlist parser; a missing
+result section is itself an "extra content" style failure because the output
+format was not respected.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["LLMResponse", "split_response", "format_response"]
+
+_ANALYSIS_RE = re.compile(r"<analysis>(.*?)(?=<result>|\Z)", re.DOTALL | re.IGNORECASE)
+_RESULT_RE = re.compile(r"<result>(.*)\Z", re.DOTALL | re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LLMResponse:
+    """A raw response split into its analysis and result sections."""
+
+    raw: str
+    analysis: str
+    result: str
+
+    @property
+    def has_result_marker(self) -> bool:
+        """True when the response contained an explicit ``<result>`` marker."""
+        return "<result>" in self.raw.lower()
+
+
+def split_response(text: str) -> LLMResponse:
+    """Split a raw response into analysis and result sections.
+
+    When no ``<result>`` marker is present the whole response is treated as
+    the result, so that models which answer with bare JSON are still
+    evaluated (the paper's restriction on extra content is enforced later by
+    the netlist parser).
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"response must be a string, got {type(text).__name__}")
+    analysis_match = _ANALYSIS_RE.search(text)
+    result_match = _RESULT_RE.search(text)
+    analysis = analysis_match.group(1).strip() if analysis_match else ""
+    if result_match:
+        result = result_match.group(1).strip()
+        result = re.sub(r"</result>\s*\Z", "", result, flags=re.IGNORECASE).strip()
+    else:
+        result = text.strip()
+    return LLMResponse(raw=text, analysis=analysis, result=result)
+
+
+def format_response(analysis: str, result_json: str) -> str:
+    """Assemble a response in the format the system prompt requires."""
+    return f"<analysis>\n{analysis.strip()}\n<result>\n{result_json.strip()}"

@@ -1,0 +1,314 @@
+"""Simulated designer models (the offline stand-in for commercial LLM APIs).
+
+A :class:`SimulatedDesigner` behaves like a chat model evaluated by PICBench:
+it receives the system prompt, the problem description and any feedback turns,
+and returns an ``<analysis>`` / ``<result>`` response containing a JSON
+netlist.  Internally it starts from the expert golden design and *injects*
+the Table II error classes with probabilities governed by its
+:class:`~repro.llm.profiles.DesignerProfile`; feedback turns remove injected
+errors with the profile's fix probability.  The whole trajectory is a
+deterministic function of ``(profile, problem, seed)``, so repeated calls with
+a growing conversation replay the same history and extend it by one turn --
+exactly how a temperature-sampled API call is used by the benchmark.
+
+:class:`PerfectDesigner` always returns the golden design (useful for testing
+the evaluation plumbing end to end), and :class:`EchoDesigner` returns a fixed
+response (useful for unit tests of the parser).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..bench.problem import Problem
+from ..bench.suite import all_problems
+from ..netlist.errors import ErrorCategory
+from ..netlist.schema import Netlist
+from ..prompts.feedback import FUNCTIONAL_FEEDBACK
+from ..sim.registry import ModelRegistry, default_registry
+from .base import ChatMessage, Conversation
+from .mutations import apply_functional_mutation, apply_syntax_mutation
+from .profiles import DesignerProfile, get_profile
+from .response import format_response
+
+__all__ = ["SimulatedDesigner", "PerfectDesigner", "EchoDesigner"]
+
+#: Canonical order in which injected error categories are applied to a draft.
+_CATEGORY_ORDER: Tuple[ErrorCategory, ...] = (
+    ErrorCategory.UNDEFINED_MODEL,
+    ErrorCategory.INSTANCES_MODELS_CONFUSED,
+    ErrorCategory.BAD_COMPONENT_NAME,
+    ErrorCategory.WRONG_PORT,
+    ErrorCategory.WRONG_PORT_COUNT,
+    ErrorCategory.DUPLICATE_CONNECTION,
+    ErrorCategory.DANGLING_PORT,
+    ErrorCategory.BOUND_IO_PORT,
+    ErrorCategory.EXTRA_CONTENT,
+    ErrorCategory.OTHER_SYNTAX,
+)
+
+def _stable_seed(*parts: object) -> int:
+    """Derive a reproducible 64-bit seed from arbitrary string-able parts."""
+    digest = hashlib.sha256("||".join(str(p) for p in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class _Trajectory:
+    """The designer's internal state after replaying the conversation."""
+
+    active_errors: Set[ErrorCategory]
+    functional_error: bool
+    iteration: int
+
+
+class SimulatedDesigner:
+    """A stochastic PIC designer with an imperfect-LLM behavioural profile."""
+
+    def __init__(
+        self,
+        profile: DesignerProfile | str,
+        *,
+        registry: Optional[ModelRegistry] = None,
+        base_seed: int = 0,
+    ) -> None:
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.registry = registry if registry is not None else default_registry()
+        self.base_seed = int(base_seed)
+        self.name = self.profile.name
+
+    # ------------------------------------------------------------------
+    # Conversation introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _find_problem(messages: Conversation) -> Problem:
+        user_messages = [m for m in messages if m.role == "user"]
+        if not user_messages:
+            raise ValueError("the conversation contains no user message")
+        first = user_messages[0].content
+        for problem in all_problems():
+            if problem.description.strip() and problem.description.strip() in first:
+                return problem
+        raise ValueError(
+            "the problem description in the conversation does not match any "
+            "benchmark problem; SimulatedDesigner only knows the PICBench suite"
+        )
+
+    @staticmethod
+    def _active_restrictions(messages: Conversation) -> frozenset:
+        """Return the set of Table II categories whose restriction text is present.
+
+        The designer reacts to the restrictions it can actually *see* in the
+        system prompt, so ablations that include only a subset of Table II
+        (``PromptConfig.restriction_categories``) only suppress the matching
+        error classes.
+        """
+        from ..prompts.restrictions import RESTRICTIONS
+
+        system_text = "\n".join(
+            message.content for message in messages if message.role == "system"
+        )
+        active = {
+            restriction.category
+            for restriction in RESTRICTIONS
+            if restriction.text in system_text
+        }
+        return frozenset(active)
+
+    @staticmethod
+    def _feedback_turns(messages: Conversation) -> List[str]:
+        user_messages = [m for m in messages if m.role == "user"]
+        return [m.content for m in user_messages[1:]]
+
+    @staticmethod
+    def _reported_category(feedback: str) -> Optional[ErrorCategory]:
+        if FUNCTIONAL_FEEDBACK in feedback:
+            return ErrorCategory.FUNCTIONAL
+        for category in ErrorCategory:
+            if category.display_name in feedback:
+                return category
+        return None
+
+    # ------------------------------------------------------------------
+    # Trajectory replay
+    # ------------------------------------------------------------------
+    def _difficulty(self, problem: Problem) -> float:
+        instances = max(problem.complexity, 1)
+        factor = 1.0 + self.profile.difficulty_sensitivity * np.log2(instances / 4.0 + 1.0)
+        return float(np.clip(factor, 0.6, 1.9))
+
+    def _aptitude(self, problem: Problem) -> float:
+        """Per-(model, problem) aptitude factor.
+
+        Real models are systematically stronger on some problem families than
+        others; the factor is a deterministic function of the profile and the
+        problem so all five samples of a problem share it (which is what keeps
+        Pass@5 well below the independent-samples prediction).
+        """
+        rng = np.random.default_rng(
+            _stable_seed(self.profile.name, problem.name, self.base_seed, "aptitude")
+        )
+        spread = self.profile.aptitude_spread
+        return float(np.exp(rng.normal(loc=0.0, scale=spread)))
+
+    def _replay(
+        self,
+        problem: Problem,
+        feedback_turns: Sequence[str],
+        *,
+        active_restrictions: frozenset,
+        seed: Optional[int],
+    ) -> _Trajectory:
+        from ..prompts.restrictions import RESTRICTIONS
+
+        rng = np.random.default_rng(
+            _stable_seed(self.profile.name, problem.name, self.base_seed, seed)
+        )
+        difficulty = self._difficulty(problem)
+        aptitude = self._aptitude(problem)
+
+        active: Set[ErrorCategory] = set()
+        for category in _CATEGORY_ORDER:
+            probability = self.profile.category_error_prob(
+                category,
+                difficulty=difficulty,
+                restrictions_active=category in active_restrictions,
+                aptitude=aptitude,
+            )
+            if rng.random() < probability:
+                active.add(category)
+        # The functional-error reduction scales with how much of Table II is
+        # present in the prompt (the restrictions also clarify conventions).
+        restriction_fraction = len(active_restrictions) / max(len(RESTRICTIONS), 1)
+        functional_probability = self.profile.functional_probability(
+            restrictions_active=False, aptitude=aptitude
+        )
+        functional_probability *= 1.0 - restriction_fraction * (
+            1.0 - self.profile.restriction_functional_factor
+        )
+        functional = rng.random() < functional_probability
+
+        for feedback in feedback_turns:
+            reported = self._reported_category(feedback)
+            if reported is ErrorCategory.FUNCTIONAL:
+                if rng.random() < self.profile.functional_fix_prob:
+                    functional = False
+                continue
+            if reported is not None and reported in active:
+                if rng.random() < self.profile.feedback_fix_prob:
+                    active.discard(reported)
+            elif active:
+                # The reported class does not match the designer's own view of
+                # its mistake; the detailed message still helps some of the time.
+                if rng.random() < self.profile.feedback_fix_prob * 0.7:
+                    ordered = [c for c in _CATEGORY_ORDER if c in active]
+                    active.discard(ordered[int(rng.integers(0, len(ordered)))])
+            if rng.random() < self.profile.feedback_new_error_prob:
+                candidates = [c for c in _CATEGORY_ORDER if c not in active]
+                if candidates:
+                    active.add(candidates[int(rng.integers(0, len(candidates)))])
+        return _Trajectory(
+            active_errors=active,
+            functional_error=functional,
+            iteration=len(feedback_turns),
+        )
+
+    # ------------------------------------------------------------------
+    # Draft generation
+    # ------------------------------------------------------------------
+    def _render_draft(
+        self,
+        problem: Problem,
+        trajectory: _Trajectory,
+        *,
+        seed: Optional[int],
+    ) -> str:
+        rng = np.random.default_rng(
+            _stable_seed(
+                self.profile.name,
+                problem.name,
+                self.base_seed,
+                seed,
+                trajectory.iteration,
+                "draft",
+            )
+        )
+        netlist: Netlist = problem.golden_netlist()
+        if trajectory.functional_error:
+            netlist = apply_functional_mutation(netlist, rng, self.registry)
+        wrappers = []
+        for category in _CATEGORY_ORDER:
+            if category not in trajectory.active_errors:
+                continue
+            result = apply_syntax_mutation(netlist, category, rng)
+            netlist = result.netlist
+            if result.text_wrapper is not None:
+                wrappers.append(result.text_wrapper)
+        text = netlist.to_json()
+        for wrapper in wrappers:
+            text = wrapper(text)
+        return text
+
+    def _render_analysis(self, problem: Problem, trajectory: _Trajectory) -> str:
+        if trajectory.iteration == 0:
+            return (
+                f"Designing {problem.title}: identified the required built-in "
+                "components from the API document, instantiated them, and wired "
+                "the connections and external ports according to the problem "
+                "description."
+            )
+        return (
+            f"Revised the {problem.title} netlist in response to the reported "
+            "evaluation feedback and regenerated the full JSON netlist."
+        )
+
+    # ------------------------------------------------------------------
+    # LLMClient interface
+    # ------------------------------------------------------------------
+    def complete(self, messages: Conversation, *, seed: Optional[int] = None) -> str:
+        """Return the next assistant turn for a PICBench conversation."""
+        problem = self._find_problem(messages)
+        active_restrictions = self._active_restrictions(messages)
+        feedback_turns = self._feedback_turns(messages)
+        trajectory = self._replay(
+            problem,
+            feedback_turns,
+            active_restrictions=active_restrictions,
+            seed=seed,
+        )
+        result = self._render_draft(problem, trajectory, seed=seed)
+        analysis = self._render_analysis(problem, trajectory)
+        return format_response(analysis, result)
+
+
+class PerfectDesigner:
+    """A designer that always answers with the expert golden netlist.
+
+    Used to validate the evaluation plumbing: every problem must pass both the
+    syntax and the functionality check when evaluated against this designer.
+    """
+
+    def __init__(self, name: str = "PerfectDesigner") -> None:
+        self.name = name
+
+    def complete(self, messages: Conversation, *, seed: Optional[int] = None) -> str:
+        problem = SimulatedDesigner._find_problem(messages)
+        return format_response(
+            f"Reproducing the expert design for {problem.title}.",
+            problem.golden_netlist().to_json(),
+        )
+
+
+class EchoDesigner:
+    """A designer that always returns a fixed, caller-supplied response."""
+
+    def __init__(self, response: str, name: str = "EchoDesigner") -> None:
+        self.name = name
+        self._response = response
+
+    def complete(self, messages: Conversation, *, seed: Optional[int] = None) -> str:
+        return self._response

@@ -1,0 +1,27 @@
+"""Programmable unitary meshes (Reck and Clements arrangements)."""
+
+from .builder import mesh_netlist_from_placements
+from .clements import clements_decomposition, clements_mesh_netlist, clements_topology
+from .reck import reck_decomposition, reck_mesh_netlist, reck_topology
+from .unitary import (
+    MeshDecomposition,
+    MZIPlacement,
+    is_unitary_matrix,
+    mesh_to_matrix,
+    random_unitary,
+)
+
+__all__ = [
+    "MZIPlacement",
+    "MeshDecomposition",
+    "random_unitary",
+    "is_unitary_matrix",
+    "mesh_to_matrix",
+    "mesh_netlist_from_placements",
+    "clements_decomposition",
+    "clements_topology",
+    "clements_mesh_netlist",
+    "reck_decomposition",
+    "reck_topology",
+    "reck_mesh_netlist",
+]

@@ -1,0 +1,112 @@
+"""Shared netlist construction for MZI meshes.
+
+A mesh is an ordered sequence of :class:`~repro.meshes.unitary.MZIPlacement`
+objects.  The builder walks the sequence, instantiates one ``mzi2x2`` per
+placement, and chains each mode's signal path through the successive blocks.
+External ports follow the benchmark's convention: inputs ``I1..In`` (top to
+bottom mode order) and outputs ``O1..On``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist.schema import Instance, Netlist
+from .unitary import MZIPlacement
+
+__all__ = ["mesh_netlist_from_placements"]
+
+
+def mesh_netlist_from_placements(
+    n: int,
+    placements: Sequence[MZIPlacement],
+    *,
+    programmed: bool = False,
+    output_phases: Optional[Sequence[float]] = None,
+    arm_length: float = 0.0,
+) -> Netlist:
+    """Build a mesh netlist from an ordered sequence of MZI placements.
+
+    Parameters
+    ----------
+    n:
+        Number of optical modes (mesh size).
+    placements:
+        MZI blocks in the order light traverses them.
+    programmed:
+        When true, each ``mzi2x2`` instance carries explicit ``theta`` /
+        ``phi`` settings from its placement; when false (the golden structural
+        meshes of the benchmark) the instances use default settings only.
+    output_phases:
+        Optional per-mode output phases; when given, a ``phase_shifter`` is
+        appended to every mode.  The phase-shifter setting is the negative of
+        the desired phase because the device applies ``exp(-1j * phase)``.
+    arm_length:
+        Common arm length passed to programmed MZIs (zero keeps the
+        programmed mesh wavelength-independent).
+    """
+    if n < 2:
+        raise ValueError(f"mesh size must be at least 2, got {n}")
+    for placement in placements:
+        if not 0 <= placement.mode < n - 1:
+            raise ValueError(
+                f"placement on mode {placement.mode} is out of range for size {n}"
+            )
+
+    instances: Dict[str, Instance] = {}
+    connections: Dict[str, str] = {}
+    # Current open endpoint ("instance,port") of each mode; None means the mode
+    # is still attached to the external input.
+    frontier: List[Optional[str]] = [None] * n
+    input_attachment: List[Optional[str]] = [None] * n
+
+    for idx, placement in enumerate(placements, start=1):
+        name = f"mzi{idx}"
+        settings: Dict[str, object] = {}
+        if programmed:
+            settings = {
+                "theta": float(placement.theta),
+                "phi": float(placement.phi),
+                "length": float(arm_length),
+            }
+        instances[name] = Instance("mzi2x2", settings)
+        for offset, in_port in ((0, "I1"), (1, "I2")):
+            mode = placement.mode + offset
+            endpoint = f"{name},{in_port}"
+            if frontier[mode] is None:
+                input_attachment[mode] = endpoint
+            else:
+                connections[frontier[mode]] = endpoint
+            frontier[mode] = f"{name},{'O1' if offset == 0 else 'O2'}"
+
+    if output_phases is not None:
+        phases = list(output_phases)
+        if len(phases) != n:
+            raise ValueError(f"output_phases must have length {n}, got {len(phases)}")
+        for mode, phase in enumerate(phases):
+            name = f"outps{mode + 1}"
+            instances[name] = Instance(
+                "phase_shifter", {"phase": float(-phase), "length": 0.0}
+            )
+            endpoint = f"{name},I1"
+            if frontier[mode] is None:
+                input_attachment[mode] = endpoint
+            else:
+                connections[frontier[mode]] = endpoint
+            frontier[mode] = f"{name},O1"
+
+    ports: Dict[str, str] = {}
+    for mode in range(n):
+        if input_attachment[mode] is None:
+            raise ValueError(
+                f"mode {mode} is not covered by any placement; the mesh would have "
+                "a floating input"
+            )
+        ports[f"I{mode + 1}"] = input_attachment[mode]
+    for mode in range(n):
+        ports[f"O{mode + 1}"] = frontier[mode]  # type: ignore[assignment]
+
+    models = {"mzi2x2": "mzi2x2"}
+    if output_phases is not None:
+        models["phase_shifter"] = "phase_shifter"
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)

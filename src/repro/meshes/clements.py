@@ -1,0 +1,144 @@
+"""Clements decomposition and rectangular-mesh netlist construction.
+
+Implements the algorithm of Clements et al., *Optimal design for universal
+multiport interferometers*, Optica 3, 1460 (2016): an ``N x N`` unitary is
+factored into ``N(N-1)/2`` MZI blocks arranged in a rectangle of ``N``
+columns, plus a diagonal output phase screen.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.schema import Netlist
+from .builder import mesh_netlist_from_placements
+from .unitary import (
+    MeshDecomposition,
+    MZIPlacement,
+    _solve_null_left,
+    _solve_null_right,
+    commute_inverse_through_diagonal,
+    embed_block,
+    is_unitary_matrix,
+)
+
+__all__ = ["clements_decomposition", "clements_topology", "clements_mesh_netlist"]
+
+
+def clements_topology(n: int) -> List[int]:
+    """Return the mode index of every MZI of the canonical Clements rectangle.
+
+    The rectangle has ``n`` columns; even columns host MZIs on even mode pairs
+    and odd columns on odd mode pairs.  The returned list is ordered column by
+    column (the physical order light traverses the mesh).
+    """
+    if n < 2:
+        raise ValueError(f"mesh size must be at least 2, got {n}")
+    modes: List[int] = []
+    for column in range(n):
+        start = column % 2
+        modes.extend(range(start, n - 1, 2))
+    return modes
+
+
+def clements_decomposition(unitary: np.ndarray, atol: float = 1e-9) -> MeshDecomposition:
+    """Decompose ``unitary`` into a rectangular (Clements) MZI mesh.
+
+    Returns a :class:`MeshDecomposition` whose ``placements`` are ordered from
+    the input side to the output side; reconstructing them reproduces the
+    original unitary to numerical precision.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if not is_unitary_matrix(unitary, atol=1e-6):
+        raise ValueError("clements_decomposition requires a unitary matrix")
+    n = unitary.shape[0]
+    if n < 2:
+        raise ValueError(f"mesh size must be at least 2, got {n}")
+
+    work = unitary.copy()
+    right_ops: List[Tuple[int, float, float]] = []  # applied as U @ T^{-1}
+    left_ops: List[Tuple[int, float, float]] = []  # applied as T @ U
+
+    for i in range(1, n):
+        if i % 2 == 1:
+            # Null elements along the anti-diagonal using right multiplications.
+            for j in range(i):
+                row = n - 1 - j
+                col = i - 1 - j
+                mode = col  # block acts on columns (col, col + 1)
+                theta, phi = _solve_null_right(work[row, col], work[row, col + 1])
+                inverse = embed_block(n, mode, theta, phi).conj().T
+                work = work @ inverse
+                right_ops.append((mode, theta, phi))
+        else:
+            # Null elements along the anti-diagonal using left multiplications.
+            for j in range(1, i + 1):
+                row = n - i + j - 1
+                col = j - 1
+                mode = row - 1  # block acts on rows (row - 1, row)
+                theta, phi = _solve_null_left(work[row, col], work[row - 1, col])
+                work = embed_block(n, mode, theta, phi) @ work
+                left_ops.append((mode, theta, phi))
+
+    diagonal = np.diag(work).copy()
+    if not np.allclose(np.abs(diagonal), 1.0, atol=1e-6) or not np.allclose(
+        work, np.diag(diagonal), atol=1e-6
+    ):
+        raise RuntimeError("Clements nulling failed to reduce the matrix to a diagonal")
+
+    # We now have:  L_k .. L_1  U  R_1^{-1} .. R_m^{-1} = D
+    # =>  U = L_1^{-1} .. L_k^{-1}  D  R_m .. R_1
+    # Push every left inverse through the diagonal so it becomes a regular
+    # block on the output side:  T^{-1} D = D' T'.
+    transformed_left: List[Tuple[int, float, float]] = []
+    for mode, theta, phi in reversed(left_ops):
+        diagonal, theta_new, phi_new = commute_inverse_through_diagonal(
+            n, mode, theta, phi, diagonal
+        )
+        transformed_left.insert(0, (mode, theta_new, phi_new))
+
+    # Physical order (input to output): right ops in application order, then the
+    # transformed left ops from innermost to outermost, then the phase screen.
+    ordered: List[MZIPlacement] = [
+        MZIPlacement(mode=m, theta=t, phi=p) for m, t, p in right_ops
+    ]
+    ordered.extend(
+        MZIPlacement(mode=m, theta=t, phi=p) for m, t, p in reversed(transformed_left)
+    )
+    output_phases = tuple(float(a) for a in np.angle(diagonal))
+    decomposition = MeshDecomposition(
+        size=n,
+        placements=tuple(ordered),
+        output_phases=output_phases,
+        scheme="clements",
+    )
+    if not np.allclose(decomposition.reconstruct(), unitary, atol=1e-6):
+        raise RuntimeError("Clements decomposition failed verification")
+    return decomposition
+
+
+def clements_mesh_netlist(
+    n: int,
+    unitary: Optional[np.ndarray] = None,
+    *,
+    include_output_phases: bool = True,
+) -> Netlist:
+    """Build the netlist of an ``n x n`` Clements mesh.
+
+    With ``unitary=None`` (the benchmark's golden designs) the mesh is the
+    canonical rectangle with every MZI left at its default settings; otherwise
+    the mesh is programmed with the phases obtained from
+    :func:`clements_decomposition`.
+    """
+    if unitary is None:
+        placements = [MZIPlacement(mode=m, theta=0.0, phi=0.0) for m in clements_topology(n)]
+        return mesh_netlist_from_placements(n, placements, programmed=False)
+    decomposition = clements_decomposition(np.asarray(unitary, dtype=complex))
+    return mesh_netlist_from_placements(
+        n,
+        list(decomposition.placements),
+        programmed=True,
+        output_phases=decomposition.output_phases if include_output_phases else None,
+    )

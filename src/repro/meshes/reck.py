@@ -1,0 +1,101 @@
+"""Reck decomposition and triangular-mesh netlist construction.
+
+Implements the triangular interferometer arrangement of Reck et al.,
+*Experimental realization of any discrete unitary operator*, PRL 73, 58
+(1994), using 2x2 MZI blocks on adjacent modes.  The unitary is reduced to a
+diagonal by nulling its rows from the bottom up with right-multiplied inverse
+blocks, so the physical mesh is simply the nulling blocks in application
+order followed by an output phase screen.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.schema import Netlist
+from .builder import mesh_netlist_from_placements
+from .unitary import (
+    MeshDecomposition,
+    MZIPlacement,
+    _solve_null_right,
+    embed_block,
+    is_unitary_matrix,
+)
+
+__all__ = ["reck_decomposition", "reck_topology", "reck_mesh_netlist"]
+
+
+def reck_topology(n: int) -> List[int]:
+    """Return the mode index of every MZI of the canonical Reck triangle.
+
+    The triangle is ordered the way the decomposition applies its blocks:
+    the bottom row of the matrix is nulled first (blocks sweeping modes
+    ``0 .. n-2``), then the row above (modes ``0 .. n-3``), and so on.
+    """
+    if n < 2:
+        raise ValueError(f"mesh size must be at least 2, got {n}")
+    modes: List[int] = []
+    for row in range(n - 1, 0, -1):
+        modes.extend(range(row))
+    return modes
+
+
+def reck_decomposition(unitary: np.ndarray, atol: float = 1e-9) -> MeshDecomposition:
+    """Decompose ``unitary`` into a triangular (Reck) MZI mesh."""
+    unitary = np.asarray(unitary, dtype=complex)
+    if not is_unitary_matrix(unitary, atol=1e-6):
+        raise ValueError("reck_decomposition requires a unitary matrix")
+    n = unitary.shape[0]
+    if n < 2:
+        raise ValueError(f"mesh size must be at least 2, got {n}")
+
+    work = unitary.copy()
+    ops: List[Tuple[int, float, float]] = []
+    for row in range(n - 1, 0, -1):
+        for col in range(row):
+            mode = col
+            theta, phi = _solve_null_right(work[row, col], work[row, col + 1])
+            inverse = embed_block(n, mode, theta, phi).conj().T
+            work = work @ inverse
+            ops.append((mode, theta, phi))
+
+    diagonal = np.diag(work).copy()
+    if not np.allclose(work, np.diag(diagonal), atol=1e-6):
+        raise RuntimeError("Reck nulling failed to reduce the matrix to a diagonal")
+
+    # U (T_1^{-1} .. T_k^{-1}) = D  =>  U = D T_k .. T_1, so the first applied
+    # nulling block is also the first physical layer.
+    placements = tuple(MZIPlacement(mode=m, theta=t, phi=p) for m, t, p in ops)
+    output_phases = tuple(float(a) for a in np.angle(diagonal))
+    decomposition = MeshDecomposition(
+        size=n, placements=placements, output_phases=output_phases, scheme="reck"
+    )
+    if not np.allclose(decomposition.reconstruct(), unitary, atol=1e-6):
+        raise RuntimeError("Reck decomposition failed verification")
+    return decomposition
+
+
+def reck_mesh_netlist(
+    n: int,
+    unitary: Optional[np.ndarray] = None,
+    *,
+    include_output_phases: bool = True,
+) -> Netlist:
+    """Build the netlist of an ``n x n`` Reck (triangular) mesh.
+
+    With ``unitary=None`` (the benchmark's golden designs) the mesh is the
+    canonical triangle with every MZI left at its default settings; otherwise
+    the mesh is programmed from :func:`reck_decomposition`.
+    """
+    if unitary is None:
+        placements = [MZIPlacement(mode=m, theta=0.0, phi=0.0) for m in reck_topology(n)]
+        return mesh_netlist_from_placements(n, placements, programmed=False)
+    decomposition = reck_decomposition(np.asarray(unitary, dtype=complex))
+    return mesh_netlist_from_placements(
+        n,
+        list(decomposition.placements),
+        programmed=True,
+        output_phases=decomposition.output_phases if include_output_phases else None,
+    )

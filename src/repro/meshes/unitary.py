@@ -1,0 +1,193 @@
+"""Unitary-matrix utilities shared by the Reck and Clements mesh builders.
+
+A programmable interferometer mesh implements an ``N x N`` unitary as a
+product of 2x2 "MZI" blocks acting on adjacent modes plus a final diagonal
+phase screen.  The block convention follows Clements et al., *Optimal design
+for universal multiport interferometers*, Optica 3, 1460 (2016):
+
+``T_mn(theta, phi)`` is the identity except on modes ``(m, m+1)`` where it is
+
+    i * exp(i*theta/2) * [[exp(i*phi) * sin(theta/2),  cos(theta/2)],
+                          [exp(i*phi) * cos(theta/2), -sin(theta/2)]]
+
+which is exactly the transfer matrix of
+:func:`repro.sim.models.mzi2x2_transfer_matrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.models.mzi import mzi2x2_transfer_matrix
+
+__all__ = [
+    "MZIPlacement",
+    "MeshDecomposition",
+    "random_unitary",
+    "is_unitary_matrix",
+    "embed_block",
+    "mesh_to_matrix",
+]
+
+
+@dataclass(frozen=True)
+class MZIPlacement:
+    """One MZI block of a mesh.
+
+    Attributes
+    ----------
+    mode:
+        Index ``m`` of the upper mode the block acts on (the block couples
+        modes ``m`` and ``m+1``).
+    theta:
+        Internal phase of the MZI, in radians.
+    phi:
+        External input phase of the MZI, in radians.
+    """
+
+    mode: int
+    theta: float
+    phi: float
+
+
+@dataclass(frozen=True)
+class MeshDecomposition:
+    """A unitary decomposed into an ordered list of MZI placements.
+
+    ``placements[0]`` is the first block light passes through (i.e. the
+    right-most factor in the matrix product).  ``output_phases`` is the final
+    diagonal phase screen applied at the outputs.
+    """
+
+    size: int
+    placements: Tuple[MZIPlacement, ...]
+    output_phases: Tuple[float, ...]
+    scheme: str
+
+    def reconstruct(self) -> np.ndarray:
+        """Multiply the blocks back together and return the implemented unitary."""
+        return mesh_to_matrix(self.size, self.placements, self.output_phases)
+
+
+def random_unitary(n: int, seed: int | None = None) -> np.ndarray:
+    """Draw an ``n x n`` Haar-random unitary matrix."""
+    rng = np.random.default_rng(seed)
+    z = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+    q, r = np.linalg.qr(z)
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases[None, :]
+
+
+def is_unitary_matrix(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return True when ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))
+
+
+def embed_block(n: int, mode: int, theta: float, phi: float) -> np.ndarray:
+    """Embed the 2x2 block ``T(theta, phi)`` acting on modes ``(mode, mode+1)``."""
+    if not 0 <= mode < n - 1:
+        raise ValueError(f"mode must be in [0, {n - 2}], got {mode}")
+    block = mzi2x2_transfer_matrix(theta, phi)
+    matrix = np.eye(n, dtype=complex)
+    matrix[mode : mode + 2, mode : mode + 2] = block
+    return matrix
+
+
+def mesh_to_matrix(
+    n: int,
+    placements: Sequence[MZIPlacement],
+    output_phases: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Compute the unitary implemented by an ordered sequence of placements.
+
+    ``placements[0]`` is applied to the input first, so the resulting matrix is
+    ``D * T_k * ... * T_2 * T_1`` where ``D`` is the output phase screen.
+    """
+    matrix = np.eye(n, dtype=complex)
+    for placement in placements:
+        matrix = embed_block(n, placement.mode, placement.theta, placement.phi) @ matrix
+    if output_phases is not None:
+        phases = np.asarray(output_phases, dtype=float)
+        if phases.shape != (n,):
+            raise ValueError(f"output_phases must have length {n}, got {phases.shape}")
+        matrix = np.diag(np.exp(1j * phases)) @ matrix
+    return matrix
+
+
+def _solve_null_right(a: complex, b: complex) -> Tuple[float, float]:
+    """Find ``(theta, phi)`` so that right-multiplying by ``T^{-1}`` nulls ``a``.
+
+    The nulling condition (derived from ``a * conj(T[m,m]) + b * conj(T[m,n]) = 0``)
+    is ``a * exp(-1j*phi) * sin(theta/2) + b * cos(theta/2) = 0``.
+    """
+    if abs(a) < 1e-300:
+        return np.pi, 0.0
+    if abs(b) < 1e-300:
+        return 0.0, 0.0
+    half_theta = np.arctan2(abs(b), abs(a))
+    phi = -np.angle(-b / a)
+    return 2.0 * half_theta, float(phi)
+
+
+def _solve_null_left(a: complex, b: complex) -> Tuple[float, float]:
+    """Find ``(theta, phi)`` so that left-multiplying by ``T`` nulls the lower row.
+
+    With ``a = U[n, k]`` and ``b = U[m, k]``, the condition
+    ``exp(1j*phi) * cos(theta/2) * b = sin(theta/2) * a`` must hold.
+    """
+    if abs(b) < 1e-300:
+        return 0.0, 0.0
+    if abs(a) < 1e-300:
+        return np.pi, 0.0
+    half_theta = np.arctan2(abs(b), abs(a))
+    phi = np.angle(a / b)
+    return 2.0 * half_theta, float(phi)
+
+
+def commute_inverse_through_diagonal(
+    n: int, mode: int, theta: float, phi: float, diagonal: np.ndarray
+) -> Tuple[np.ndarray, float, float]:
+    """Rewrite ``T^{-1}(theta, phi) @ D`` as ``D' @ T(theta, phi')``.
+
+    ``D`` is a diagonal unitary given as a 1-D array of its entries.  Returns
+    ``(D' entries, theta, phi')``.  Used by the Clements decomposition to push
+    the left-applied (inverse) blocks to the output side of the diagonal phase
+    screen.  The identity holds because the element magnitudes of a ``T`` block
+    depend only on ``theta``, so only ``phi`` and the diagonal change.
+    """
+    m = mode
+    left = embed_block(n, m, theta, phi).conj().T @ np.diag(diagonal)
+    block = left[m : m + 2, m : m + 2]
+    half = theta / 2.0
+    sin_h, cos_h = np.sin(half), np.cos(half)
+    prefactor = 1j * np.exp(1j * half)
+
+    # diag(d1, d2) @ T(theta, phi') has entries:
+    #   [[d1 * P * e^{i phi'} * s,  d1 * P * c],
+    #    [d2 * P * e^{i phi'} * c, -d2 * P * s]]        with P = i e^{i theta/2}
+    if sin_h > 1e-9 and cos_h > 1e-9:
+        d1 = block[0, 1] / (prefactor * cos_h)
+        d2 = -block[1, 1] / (prefactor * sin_h)
+        phi_new = float(np.angle(block[0, 0] / (d1 * prefactor * sin_h)))
+    elif sin_h <= 1e-9:
+        # theta ~ 0: the block is purely cross-coupling; phi' is a free choice.
+        phi_new = 0.0
+        d1 = block[0, 1] / (prefactor * cos_h)
+        d2 = block[1, 0] / (prefactor * cos_h)
+    else:
+        # theta ~ pi: the block is purely bar-coupling; phi' is a free choice.
+        phi_new = 0.0
+        d1 = block[0, 0] / (prefactor * sin_h)
+        d2 = -block[1, 1] / (prefactor * sin_h)
+
+    new_diag = np.array(diagonal, dtype=complex, copy=True)
+    new_diag[m] = d1
+    new_diag[m + 1] = d2
+    return new_diag, theta, phi_new

@@ -1,0 +1,54 @@
+"""Netlist schema, parsing and validation (the paper's JSON netlist format)."""
+
+from .errors import (
+    ERROR_CLASSES,
+    BadComponentNameError,
+    BoundIOPortError,
+    DanglingPortError,
+    DuplicateConnectionError,
+    ErrorCategory,
+    ExtraContentError,
+    FunctionalError,
+    InstancesModelsConfusedError,
+    NetlistSyntaxError,
+    OtherSyntaxError,
+    PICBenchError,
+    UndefinedModelError,
+    WrongPortCountError,
+    WrongPortError,
+)
+from .compose import compose_netlists, prefix_netlist, subcircuit_port
+from .parser import extract_json_object, parse_netlist_dict, parse_netlist_text
+from .schema import Instance, Netlist, format_endpoint, parse_endpoint
+from .validation import PortSpec, collect_violations, validate_netlist
+
+__all__ = [
+    "Netlist",
+    "Instance",
+    "parse_endpoint",
+    "format_endpoint",
+    "prefix_netlist",
+    "compose_netlists",
+    "subcircuit_port",
+    "parse_netlist_text",
+    "parse_netlist_dict",
+    "extract_json_object",
+    "PortSpec",
+    "validate_netlist",
+    "collect_violations",
+    "ErrorCategory",
+    "PICBenchError",
+    "NetlistSyntaxError",
+    "FunctionalError",
+    "UndefinedModelError",
+    "BoundIOPortError",
+    "InstancesModelsConfusedError",
+    "ExtraContentError",
+    "DuplicateConnectionError",
+    "DanglingPortError",
+    "WrongPortCountError",
+    "WrongPortError",
+    "BadComponentNameError",
+    "OtherSyntaxError",
+    "ERROR_CLASSES",
+]

@@ -1,0 +1,147 @@
+"""Hierarchical netlist composition.
+
+The benchmark's netlists are flat (SAX-style), but realistic designs are built
+from sub-circuits: an IQ modulator inside a 64-QAM transmitter, a WDM
+multiplexer and demultiplexer chained into a link, a switch cell repeated in a
+fabric.  This module provides the two operations needed to work that way while
+still producing flat, benchmark-compatible netlists:
+
+``prefix_netlist``
+    Rename every instance of a netlist with a prefix (keeping the
+    no-underscore naming rule) so it can be merged without collisions.
+
+``compose_netlists``
+    Merge named sub-circuits into one flat netlist, wiring their *external*
+    ports together and re-exporting selected ports at the top level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from .errors import OtherSyntaxError
+from .schema import Instance, Netlist, parse_endpoint
+
+__all__ = ["prefix_netlist", "compose_netlists", "subcircuit_port"]
+
+
+def _prefixed_name(prefix: str, name: str) -> str:
+    """Combine ``prefix`` and ``name`` into a valid (underscore-free) instance name."""
+    if not prefix:
+        return name
+    return f"{prefix}{name[0].upper()}{name[1:]}" if name else prefix
+
+
+def prefix_netlist(netlist: Netlist, prefix: str) -> Netlist:
+    """Return a copy of ``netlist`` with every instance name prefixed.
+
+    Connections, port mappings and the models section are updated
+    consistently; the external port *names* (``I1``, ``O1``, ...) are kept so
+    the sub-circuit keeps its interface.
+    """
+    if prefix and not prefix[0].isalpha():
+        raise ValueError(f"prefix must start with a letter, got {prefix!r}")
+    if "_" in prefix or "," in prefix:
+        raise ValueError(f"prefix must not contain underscores or commas, got {prefix!r}")
+
+    renamed = {name: _prefixed_name(prefix, name) for name in netlist.instances}
+
+    def remap(endpoint: str) -> str:
+        instance, port = parse_endpoint(endpoint)
+        if instance not in renamed:
+            raise OtherSyntaxError(
+                f"endpoint {endpoint!r} references unknown instance {instance!r}"
+            )
+        return f"{renamed[instance]},{port}"
+
+    return Netlist(
+        instances={
+            renamed[name]: Instance(inst.component, dict(inst.settings))
+            for name, inst in netlist.instances.items()
+        },
+        connections={remap(k): remap(v) for k, v in netlist.connections.items()},
+        ports={name: remap(endpoint) for name, endpoint in netlist.ports.items()},
+        models=dict(netlist.models),
+    )
+
+
+def subcircuit_port(part: str, port: str) -> str:
+    """Address the external port ``port`` of sub-circuit ``part`` (``"part:port"``)."""
+    return f"{part}:{port}"
+
+
+def _resolve(parts: Mapping[str, Netlist], reference: str) -> str:
+    """Resolve a ``"part:port"`` reference to the flat instance endpoint."""
+    if ":" not in reference:
+        raise OtherSyntaxError(
+            f"sub-circuit port reference {reference!r} must have the form '<part>:<port>'"
+        )
+    part, port = reference.split(":", 1)
+    if part not in parts:
+        raise KeyError(f"unknown sub-circuit {part!r}; available: {sorted(parts)}")
+    netlist = parts[part]
+    if port not in netlist.ports:
+        raise KeyError(
+            f"sub-circuit {part!r} has no external port {port!r}; "
+            f"available ports: {sorted(netlist.ports)}"
+        )
+    return netlist.ports[port]
+
+
+def compose_netlists(
+    parts: Mapping[str, Netlist],
+    *,
+    links: Mapping[str, str] | None = None,
+    ports: Mapping[str, str] | None = None,
+) -> Netlist:
+    """Merge named sub-circuits into a single flat netlist.
+
+    Parameters
+    ----------
+    parts:
+        Mapping of part name to sub-circuit netlist.  Each part is prefixed
+        with its name, so instance names never collide.
+    links:
+        Inter-part connections, both sides given as ``"part:port"`` references
+        to the parts' *external* ports.
+    ports:
+        Top-level external ports of the composition, mapping the new port name
+        to a ``"part:port"`` reference.  Sub-circuit ports that are neither
+        linked nor re-exported are left dangling (allowed by the format).
+
+    Returns
+    -------
+    Netlist
+        A flat netlist containing every part's instances and connections, the
+        requested inter-part links, the re-exported ports, and the union of
+        the parts' models sections.
+    """
+    if not parts:
+        raise ValueError("compose_netlists requires at least one sub-circuit")
+    prefixed: Dict[str, Netlist] = {
+        name: prefix_netlist(netlist, name) for name, netlist in parts.items()
+    }
+
+    merged = Netlist()
+    for name, netlist in prefixed.items():
+        overlap = set(merged.instances) & set(netlist.instances)
+        if overlap:
+            raise ValueError(f"instance name collision while merging {name!r}: {sorted(overlap)}")
+        merged.instances.update(netlist.instances)
+        merged.connections.update(netlist.connections)
+        for component, ref in netlist.models.items():
+            existing = merged.models.get(component)
+            if existing is not None and existing != ref:
+                raise ValueError(
+                    f"conflicting model binding for component {component!r}: "
+                    f"{existing!r} vs {ref!r}"
+                )
+            merged.models[component] = ref
+
+    for left, right in (links or {}).items():
+        merged.connections[_resolve(prefixed, left)] = _resolve(prefixed, right)
+
+    for port_name, reference in (ports or {}).items():
+        merged.ports[port_name] = _resolve(prefixed, reference)
+
+    return merged

@@ -1,0 +1,184 @@
+"""The PICBench error taxonomy (Table II of the paper).
+
+Every syntax failure that the parser, validator or simulator can detect is
+classified into one of the categories below.  The categories drive two parts
+of the framework:
+
+* the **error classification loop** (Section III-D): each category has an
+  associated restriction sentence that is added to the system prompt, and
+* the **error feedback loop** (Section III-E): the category plus the detailed
+  error message is fed back to the LLM to guide the fix.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "ErrorCategory",
+    "PICBenchError",
+    "NetlistSyntaxError",
+    "UndefinedModelError",
+    "BoundIOPortError",
+    "InstancesModelsConfusedError",
+    "ExtraContentError",
+    "DuplicateConnectionError",
+    "DanglingPortError",
+    "WrongPortCountError",
+    "WrongPortError",
+    "BadComponentNameError",
+    "OtherSyntaxError",
+    "FunctionalError",
+    "ERROR_CLASSES",
+]
+
+
+class ErrorCategory(str, Enum):
+    """Failure types of Table II, plus a functional (non-syntax) category."""
+
+    UNDEFINED_MODEL = "undefined_model"
+    BOUND_IO_PORT = "bound_io_port"
+    INSTANCES_MODELS_CONFUSED = "instances_models_confused"
+    EXTRA_CONTENT = "extra_content"
+    DUPLICATE_CONNECTION = "duplicate_connection"
+    DANGLING_PORT = "dangling_port"
+    WRONG_PORT_COUNT = "wrong_port_count"
+    WRONG_PORT = "wrong_port"
+    BAD_COMPONENT_NAME = "bad_component_name"
+    OTHER_SYNTAX = "other_syntax"
+    FUNCTIONAL = "functional"
+
+    @property
+    def is_syntax(self) -> bool:
+        """True for every category except :attr:`FUNCTIONAL`."""
+        return self is not ErrorCategory.FUNCTIONAL
+
+    @property
+    def display_name(self) -> str:
+        """Human readable name matching the wording of Table II."""
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES = {
+    ErrorCategory.UNDEFINED_MODEL: "Use undefined models",
+    ErrorCategory.BOUND_IO_PORT: "Bind the I/O ports",
+    ErrorCategory.INSTANCES_MODELS_CONFUSED: "Mess up 'Instances' and 'models' part",
+    ErrorCategory.EXTRA_CONTENT: "Extra contents found in JSON",
+    ErrorCategory.DUPLICATE_CONNECTION: "Duplicate connections to the same port",
+    ErrorCategory.DANGLING_PORT: "Wrong connections for dangling ports",
+    ErrorCategory.WRONG_PORT_COUNT: "Wrong ports number",
+    ErrorCategory.WRONG_PORT: "Wrong ports",
+    ErrorCategory.BAD_COMPONENT_NAME: "Wrong component name",
+    ErrorCategory.OTHER_SYNTAX: "Other syntax error",
+    ErrorCategory.FUNCTIONAL: "Functional error",
+}
+
+
+class PICBenchError(Exception):
+    """Base class for every classified benchmark error.
+
+    Attributes
+    ----------
+    category:
+        The :class:`ErrorCategory` this error belongs to.
+    detail:
+        The detailed, simulator-style message fed back to the LLM.
+    """
+
+    category: ErrorCategory = ErrorCategory.OTHER_SYNTAX
+
+    def __init__(self, detail: str, *, category: Optional[ErrorCategory] = None) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        if category is not None:
+            self.category = category
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.category.display_name}: {self.detail}"
+
+
+class NetlistSyntaxError(PICBenchError):
+    """Base class for all syntax-level (non-functional) errors."""
+
+
+class UndefinedModelError(NetlistSyntaxError):
+    """A netlist references a model that is not among the built-in devices."""
+
+    category = ErrorCategory.UNDEFINED_MODEL
+
+
+class BoundIOPortError(NetlistSyntaxError):
+    """A top-level I/O port endpoint also appears in an internal connection."""
+
+    category = ErrorCategory.BOUND_IO_PORT
+
+
+class InstancesModelsConfusedError(NetlistSyntaxError):
+    """The ``instances`` and ``models`` sections are mixed up or inverted."""
+
+    category = ErrorCategory.INSTANCES_MODELS_CONFUSED
+
+
+class ExtraContentError(NetlistSyntaxError):
+    """The response contains content besides the JSON netlist."""
+
+    category = ErrorCategory.EXTRA_CONTENT
+
+
+class DuplicateConnectionError(NetlistSyntaxError):
+    """The same instance port appears in more than one connection."""
+
+    category = ErrorCategory.DUPLICATE_CONNECTION
+
+
+class DanglingPortError(NetlistSyntaxError):
+    """A connection references an instance that does not exist in the netlist."""
+
+    category = ErrorCategory.DANGLING_PORT
+
+
+class WrongPortCountError(NetlistSyntaxError):
+    """The number of external input/output ports does not match the spec."""
+
+    category = ErrorCategory.WRONG_PORT_COUNT
+
+
+class WrongPortError(NetlistSyntaxError):
+    """A connection or port mapping references a port the instance lacks."""
+
+    category = ErrorCategory.WRONG_PORT
+
+
+class BadComponentNameError(NetlistSyntaxError):
+    """An instance name violates the naming rules (e.g. contains underscores)."""
+
+    category = ErrorCategory.BAD_COMPONENT_NAME
+
+
+class OtherSyntaxError(NetlistSyntaxError):
+    """Any syntax error not covered by a more specific category."""
+
+    category = ErrorCategory.OTHER_SYNTAX
+
+
+class FunctionalError(PICBenchError):
+    """The design simulates but its frequency response differs from the golden one."""
+
+    category = ErrorCategory.FUNCTIONAL
+
+
+#: Mapping from category to the concrete exception class raised for it.
+ERROR_CLASSES = {
+    ErrorCategory.UNDEFINED_MODEL: UndefinedModelError,
+    ErrorCategory.BOUND_IO_PORT: BoundIOPortError,
+    ErrorCategory.INSTANCES_MODELS_CONFUSED: InstancesModelsConfusedError,
+    ErrorCategory.EXTRA_CONTENT: ExtraContentError,
+    ErrorCategory.DUPLICATE_CONNECTION: DuplicateConnectionError,
+    ErrorCategory.DANGLING_PORT: DanglingPortError,
+    ErrorCategory.WRONG_PORT_COUNT: WrongPortCountError,
+    ErrorCategory.WRONG_PORT: WrongPortError,
+    ErrorCategory.BAD_COMPONENT_NAME: BadComponentNameError,
+    ErrorCategory.OTHER_SYNTAX: OtherSyntaxError,
+    ErrorCategory.FUNCTIONAL: FunctionalError,
+}

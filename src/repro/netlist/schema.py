@@ -1,0 +1,225 @@
+"""Netlist data model.
+
+The JSON format follows the schema in the paper's system prompt (Fig. 3):
+
+.. code-block:: json
+
+    {
+      "netlist": {
+        "instances": {
+          "<instance_name>": "<component>",
+          "<instance_name>": {"component": "<component>", "settings": {"<param>": value}}
+        },
+        "connections": {"<instance>,<port>": "<instance>,<port>"},
+        "ports": {"<port_name>": "<instance>,<port>"}
+      },
+      "models": {"<component>": "<ref>"}
+    }
+
+Instance values may be either a bare component-type string or an object with
+``component`` and optional ``settings``.  The ``models`` section maps every
+component type used in ``instances`` to a built-in model reference.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .errors import OtherSyntaxError
+
+__all__ = ["Instance", "Netlist", "parse_endpoint", "format_endpoint"]
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, str]:
+    """Split an ``"instance,port"`` endpoint string into its two parts."""
+    if not isinstance(endpoint, str):
+        raise OtherSyntaxError(f"connection endpoint must be a string, got {endpoint!r}")
+    parts = [p.strip() for p in endpoint.split(",")]
+    if len(parts) != 2 or not all(parts):
+        raise OtherSyntaxError(
+            f"connection endpoint {endpoint!r} must have the form '<instance>,<port>'"
+        )
+    return parts[0], parts[1]
+
+
+def format_endpoint(instance: str, port: str) -> str:
+    """Inverse of :func:`parse_endpoint`."""
+    return f"{instance},{port}"
+
+
+@dataclass
+class Instance:
+    """One component instantiation inside a netlist."""
+
+    component: str
+    settings: Dict[str, Any] = field(default_factory=dict)
+
+    def to_obj(self) -> Any:
+        """Serialise back to the JSON form (a bare string when there are no settings)."""
+        if not self.settings:
+            return self.component
+        return {"component": self.component, "settings": copy.deepcopy(self.settings)}
+
+    @classmethod
+    def from_obj(cls, obj: Any) -> "Instance":
+        """Build an :class:`Instance` from the JSON value of the instances section."""
+        if isinstance(obj, str):
+            return cls(component=obj)
+        if isinstance(obj, Mapping):
+            if "component" not in obj:
+                raise OtherSyntaxError(
+                    f"instance object {obj!r} is missing the 'component' key"
+                )
+            component = obj["component"]
+            if not isinstance(component, str):
+                raise OtherSyntaxError(
+                    f"instance 'component' must be a string, got {component!r}"
+                )
+            settings = obj.get("settings", {})
+            if settings is None:
+                settings = {}
+            if not isinstance(settings, Mapping):
+                raise OtherSyntaxError(
+                    f"instance 'settings' must be an object, got {settings!r}"
+                )
+            extra_keys = sorted(set(obj) - {"component", "settings"})
+            if extra_keys:
+                raise OtherSyntaxError(
+                    f"instance object has unsupported keys {extra_keys}; "
+                    "only 'component' and 'settings' are allowed"
+                )
+            return cls(component=component, settings=dict(settings))
+        raise OtherSyntaxError(
+            f"instance value must be a string or an object, got {type(obj).__name__}"
+        )
+
+
+@dataclass
+class Netlist:
+    """An in-memory PIC netlist.
+
+    Attributes
+    ----------
+    instances:
+        Mapping of instance name to :class:`Instance`.
+    connections:
+        Mapping of ``"instance,port"`` endpoint to ``"instance,port"`` endpoint.
+    ports:
+        Mapping of external port name (e.g. ``"I1"``, ``"O1"``) to the
+        ``"instance,port"`` endpoint it is attached to.
+    models:
+        Mapping of component type (as used by instances) to the name of a
+        built-in model in the registry.
+    """
+
+    instances: Dict[str, Instance] = field(default_factory=dict)
+    connections: Dict[str, str] = field(default_factory=dict)
+    ports: Dict[str, str] = field(default_factory=dict)
+    models: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def model_for(self, instance_name: str) -> Optional[str]:
+        """Return the registry reference for an instance, or None if unmapped."""
+        instance = self.instances.get(instance_name)
+        if instance is None:
+            return None
+        return self.models.get(instance.component)
+
+    def external_inputs(self) -> Tuple[str, ...]:
+        """External port names that look like inputs (start with 'I' or 'i')."""
+        return tuple(p for p in self.ports if p.upper().startswith("I"))
+
+    def external_outputs(self) -> Tuple[str, ...]:
+        """External port names that look like outputs (start with 'O' or 'o')."""
+        return tuple(p for p in self.ports if p.upper().startswith("O"))
+
+    def num_instances(self) -> int:
+        """Number of component instances (a simple complexity proxy)."""
+        return len(self.instances)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to the nested-dictionary JSON structure of Fig. 3."""
+        return {
+            "netlist": {
+                "instances": {name: inst.to_obj() for name, inst in self.instances.items()},
+                "connections": dict(self.connections),
+                "ports": dict(self.ports),
+            },
+            "models": dict(self.models),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def copy(self) -> "Netlist":
+        """Deep copy (mutation operators rely on this)."""
+        return Netlist(
+            instances={name: Instance(inst.component, copy.deepcopy(inst.settings))
+                       for name, inst in self.instances.items()},
+            connections=dict(self.connections),
+            ports=dict(self.ports),
+            models=dict(self.models),
+        )
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "Netlist":
+        """Build a :class:`Netlist` from the parsed JSON structure.
+
+        Raises :class:`repro.netlist.errors.OtherSyntaxError` when required
+        sections are missing or have the wrong shape.  Semantic checks (ports
+        exist, models defined, ...) live in :mod:`repro.netlist.validation`.
+        """
+        if not isinstance(obj, Mapping):
+            raise OtherSyntaxError(f"netlist document must be a JSON object, got {type(obj).__name__}")
+        if "netlist" not in obj:
+            raise OtherSyntaxError("top-level JSON object is missing the 'netlist' section")
+        body = obj["netlist"]
+        if not isinstance(body, Mapping):
+            raise OtherSyntaxError("the 'netlist' section must be a JSON object")
+        models_obj = obj.get("models", {})
+        if models_obj is None:
+            models_obj = {}
+        if not isinstance(models_obj, Mapping):
+            raise OtherSyntaxError("the 'models' section must be a JSON object")
+
+        instances_obj = body.get("instances", {})
+        connections_obj = body.get("connections", {})
+        ports_obj = body.get("ports", {})
+        for section_name, section in (
+            ("instances", instances_obj),
+            ("connections", connections_obj),
+            ("ports", ports_obj),
+        ):
+            if not isinstance(section, Mapping):
+                raise OtherSyntaxError(f"the '{section_name}' section must be a JSON object")
+
+        instances = {
+            str(name): Instance.from_obj(value) for name, value in instances_obj.items()
+        }
+        connections: Dict[str, str] = {}
+        for key, value in connections_obj.items():
+            if not isinstance(value, str):
+                raise OtherSyntaxError(
+                    f"connection value for {key!r} must be a string endpoint, got {value!r}"
+                )
+            connections[str(key)] = value
+        ports: Dict[str, str] = {}
+        for key, value in ports_obj.items():
+            if not isinstance(value, str):
+                raise OtherSyntaxError(
+                    f"port mapping for {key!r} must be a string endpoint, got {value!r}"
+                )
+            ports[str(key)] = value
+        models: Dict[str, str] = {}
+        for key, value in models_obj.items():
+            models[str(key)] = value  # non-string values detected by validation
+        return cls(instances=instances, connections=connections, ports=ports, models=models)

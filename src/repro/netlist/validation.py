@@ -1,0 +1,286 @@
+"""Structural netlist validation implementing the Table II failure taxonomy.
+
+:func:`validate_netlist` checks a parsed :class:`~repro.netlist.schema.Netlist`
+against a model registry and (optionally) a port specification, raising the
+most specific :class:`~repro.netlist.errors.PICBenchError` subclass for the
+first problem it finds.  :func:`collect_violations` returns *all* problems,
+which is useful for diagnostics and for the error-breakdown ablation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .errors import (
+    BadComponentNameError,
+    BoundIOPortError,
+    DanglingPortError,
+    DuplicateConnectionError,
+    InstancesModelsConfusedError,
+    NetlistSyntaxError,
+    OtherSyntaxError,
+    UndefinedModelError,
+    WrongPortCountError,
+    WrongPortError,
+)
+from .schema import Netlist, parse_endpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.registry import ModelRegistry
+
+__all__ = ["PortSpec", "validate_netlist", "collect_violations"]
+
+_VALID_INSTANCE_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9]*$")
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Expected number of external input and output ports of a design."""
+
+    num_inputs: int
+    num_outputs: int
+
+    def describe(self) -> str:
+        """Human readable summary used in error messages."""
+        return f"{self.num_inputs} input port(s) and {self.num_outputs} output port(s)"
+
+
+def _check_instance_names(netlist: Netlist, errors: List[NetlistSyntaxError]) -> None:
+    if not netlist.instances:
+        errors.append(OtherSyntaxError("the netlist declares no instances"))
+        return
+    for name in netlist.instances:
+        if "," in name:
+            errors.append(
+                BadComponentNameError(f"instance name {name!r} must not contain commas")
+            )
+        elif not _VALID_INSTANCE_NAME_RE.match(name):
+            errors.append(
+                BadComponentNameError(
+                    f"instance name {name!r} is invalid; names must be alphanumeric "
+                    "and must not contain underscores"
+                )
+            )
+
+
+def _check_models_section(
+    netlist: Netlist, registry: ModelRegistry, errors: List[NetlistSyntaxError]
+) -> None:
+    components_in_use = {inst.component for inst in netlist.instances.values()}
+
+    # Detect an inverted models section: keys are registry references while the
+    # values are the component types the instances actually use.
+    inverted_hits = sum(
+        1
+        for key, value in netlist.models.items()
+        if key in registry and isinstance(value, str) and value in components_in_use
+        and key not in components_in_use
+    )
+    if netlist.models and inverted_hits == len(netlist.models) and inverted_hits > 0:
+        errors.append(
+            InstancesModelsConfusedError(
+                "the models section appears inverted: entries must map "
+                "'<component>': '<ref>' where <component> is the type used in "
+                "instances and <ref> is a built-in model name"
+            )
+        )
+        return
+
+    for component, ref in netlist.models.items():
+        if not isinstance(ref, str):
+            errors.append(
+                InstancesModelsConfusedError(
+                    f"models entry {component!r} must map to a built-in model name "
+                    f"string, got {ref!r}"
+                )
+            )
+        elif ref not in registry:
+            errors.append(
+                UndefinedModelError(
+                    f"models entry {component!r} references unknown model {ref!r}; "
+                    f"available models: {list(registry.names())}"
+                )
+            )
+
+    for name, inst in netlist.instances.items():
+        if inst.component in netlist.models:
+            continue
+        if inst.component in registry:
+            # Implicit model reference (component name equals a built-in model):
+            # accepted, as SAX also resolves these directly.
+            continue
+        errors.append(
+            UndefinedModelError(
+                f"instance {name!r} uses component {inst.component!r} which is neither "
+                "declared in the models section nor a built-in device"
+            )
+        )
+
+
+def _ports_of_instance(
+    netlist: Netlist, registry: ModelRegistry, instance_name: str
+) -> Optional[Tuple[str, ...]]:
+    """Return the port tuple of an instance, or None when it cannot be resolved."""
+    inst = netlist.instances.get(instance_name)
+    if inst is None:
+        return None
+    ref = netlist.models.get(inst.component, inst.component)
+    if not isinstance(ref, str) or ref not in registry:
+        return None
+    return registry.get(ref).ports
+
+
+def _check_endpoint(
+    netlist: Netlist,
+    registry: ModelRegistry,
+    endpoint: str,
+    context: str,
+    errors: List[NetlistSyntaxError],
+) -> Optional[Tuple[str, str]]:
+    """Validate one ``instance,port`` endpoint; return the parsed pair if usable."""
+    try:
+        instance_name, port = parse_endpoint(endpoint)
+    except OtherSyntaxError as exc:
+        errors.append(OtherSyntaxError(f"{context}: {exc.detail}"))
+        return None
+    if instance_name not in netlist.instances:
+        errors.append(
+            DanglingPortError(
+                f"{context}: instance {instance_name!r} does not exist in the netlist; "
+                "do not introduce arbitrary or unused instance names"
+            )
+        )
+        return None
+    ports = _ports_of_instance(netlist, registry, instance_name)
+    if ports is not None and port not in ports:
+        errors.append(
+            WrongPortError(
+                f"{context}: instance {instance_name!r} does not contain port {port!r}. "
+                f"Available ports: {list(ports)}"
+            )
+        )
+        return None
+    return instance_name, port
+
+
+def _check_connections(
+    netlist: Netlist, registry: ModelRegistry, errors: List[NetlistSyntaxError]
+) -> None:
+    seen: Dict[Tuple[str, str], str] = {}
+    exposed = set()
+    for ext_name, endpoint in netlist.ports.items():
+        try:
+            exposed.add(parse_endpoint(endpoint))
+        except OtherSyntaxError:
+            continue  # reported by _check_ports
+
+    for key, value in netlist.connections.items():
+        key_pair = _check_endpoint(netlist, registry, key, f"connection key {key!r}", errors)
+        value_pair = _check_endpoint(
+            netlist, registry, value, f"connection value {value!r}", errors
+        )
+        for pair, raw in ((key_pair, key), (value_pair, value)):
+            if pair is None:
+                continue
+            if pair in seen:
+                errors.append(
+                    DuplicateConnectionError(
+                        f"port {raw!r} is connected more than once; each port can only "
+                        "be connected once"
+                    )
+                )
+            else:
+                seen[pair] = raw
+            if pair in exposed:
+                errors.append(
+                    BoundIOPortError(
+                        f"endpoint {raw!r} is exposed as a top-level port and must not "
+                        "appear in any internal connection"
+                    )
+                )
+        if key_pair is not None and value_pair is not None and key_pair == value_pair:
+            errors.append(
+                DuplicateConnectionError(
+                    f"connection {key!r} connects a port to itself"
+                )
+            )
+
+
+def _check_ports(
+    netlist: Netlist,
+    registry: ModelRegistry,
+    port_spec: Optional[PortSpec],
+    errors: List[NetlistSyntaxError],
+) -> None:
+    if not netlist.ports:
+        errors.append(
+            WrongPortCountError("the netlist exposes no external ports")
+        )
+    seen_endpoints: Dict[Tuple[str, str], str] = {}
+    for ext_name, endpoint in netlist.ports.items():
+        pair = _check_endpoint(
+            netlist, registry, endpoint, f"external port {ext_name!r}", errors
+        )
+        if pair is not None:
+            if pair in seen_endpoints:
+                errors.append(
+                    DuplicateConnectionError(
+                        f"external ports {seen_endpoints[pair]!r} and {ext_name!r} map to "
+                        f"the same instance port {endpoint!r}"
+                    )
+                )
+            else:
+                seen_endpoints[pair] = ext_name
+
+    if port_spec is not None:
+        num_inputs = len(netlist.external_inputs())
+        num_outputs = len(netlist.external_outputs())
+        unnamed = len(netlist.ports) - num_inputs - num_outputs
+        if unnamed:
+            errors.append(
+                WrongPortCountError(
+                    "external port names must start with 'I' for inputs and 'O' for "
+                    f"outputs; found {unnamed} port(s) that follow neither convention"
+                )
+            )
+        elif (num_inputs, num_outputs) != (port_spec.num_inputs, port_spec.num_outputs):
+            errors.append(
+                WrongPortCountError(
+                    f"the design must expose {port_spec.describe()}, but the netlist "
+                    f"exposes {num_inputs} input(s) and {num_outputs} output(s)"
+                )
+            )
+
+
+def collect_violations(
+    netlist: Netlist,
+    registry: Optional[ModelRegistry] = None,
+    port_spec: Optional[PortSpec] = None,
+) -> List[NetlistSyntaxError]:
+    """Return every detectable violation of the netlist rules (may be empty)."""
+    from ..sim.registry import default_registry  # local import to avoid an import cycle
+
+    registry = registry if registry is not None else default_registry()
+    errors: List[NetlistSyntaxError] = []
+    _check_instance_names(netlist, errors)
+    _check_models_section(netlist, registry, errors)
+    _check_ports(netlist, registry, port_spec, errors)
+    _check_connections(netlist, registry, errors)
+    return errors
+
+
+def validate_netlist(
+    netlist: Netlist,
+    registry: Optional[ModelRegistry] = None,
+    port_spec: Optional[PortSpec] = None,
+) -> None:
+    """Validate a netlist, raising the first (most fundamental) violation found.
+
+    The order of checks mirrors how SAX would fail: bad names and undefined
+    models are reported before connection-level problems.
+    """
+    violations = collect_violations(netlist, registry, port_spec)
+    if violations:
+        raise violations[0]

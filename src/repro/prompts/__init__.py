@@ -1,0 +1,34 @@
+"""Prompt construction: system prompt (Fig. 3), restrictions (Table II), feedback (Fig. 4)."""
+
+from .feedback import (
+    CORRECTION_REQUEST,
+    FUNCTIONAL_FEEDBACK,
+    build_feedback,
+    build_functional_feedback,
+    build_syntax_feedback,
+)
+from .restrictions import RESTRICTIONS, Restriction, restriction_for, restrictions_text
+from .system_prompt import (
+    BASE_NOTES,
+    JSON_FORMAT_SPEC,
+    PromptConfig,
+    build_system_prompt,
+    build_user_prompt,
+)
+
+__all__ = [
+    "Restriction",
+    "RESTRICTIONS",
+    "restrictions_text",
+    "restriction_for",
+    "PromptConfig",
+    "JSON_FORMAT_SPEC",
+    "BASE_NOTES",
+    "build_system_prompt",
+    "build_user_prompt",
+    "CORRECTION_REQUEST",
+    "FUNCTIONAL_FEEDBACK",
+    "build_feedback",
+    "build_syntax_feedback",
+    "build_functional_feedback",
+]

@@ -1,0 +1,60 @@
+"""Feedback prompts of the error-feedback loop (Section III-E, Fig. 4).
+
+When the simulator rejects a generated netlist, the error is classified
+(Table II) and the category, the detailed error report and a fixed correction
+request are sent back to the LLM.  When the design simulates but its response
+differs from the golden one, the paper's concise functional-feedback sentence
+is used instead.
+"""
+
+from __future__ import annotations
+
+from ..netlist.errors import ErrorCategory, PICBenchError
+from .restrictions import restriction_for
+
+__all__ = [
+    "CORRECTION_REQUEST",
+    "FUNCTIONAL_FEEDBACK",
+    "build_syntax_feedback",
+    "build_functional_feedback",
+    "build_feedback",
+]
+
+CORRECTION_REQUEST = """\
+Here are the errors in previously generated code.
+Please follow the restrictions and write entire code by fixing the errors in previous code.
+Please only give me the code in the <result> part, for anything beside the code, please properly comment it out in <analysis> part."""
+
+FUNCTIONAL_FEEDBACK = (
+    "The syntax is correct, but a functional error has occurred. "
+    "Please review the problem description carefully."
+)
+
+
+def build_syntax_feedback(problem_name: str, error: PICBenchError) -> str:
+    """Render the feedback prompt for a classified syntax error (Fig. 4)."""
+    lines = [
+        f"eval_{problem_name}: {error.category.display_name},",
+        error.detail,
+    ]
+    restriction = restriction_for(error.category)
+    if restriction is not None:
+        lines.append(f"Relevant restriction: {restriction.text}")
+    lines.append("")
+    lines.append(CORRECTION_REQUEST)
+    return "\n".join(lines)
+
+
+def build_functional_feedback(problem_name: str, detail: str | None = None) -> str:
+    """Render the concise functional-error feedback prompt."""
+    lines = [f"eval_{problem_name}: {FUNCTIONAL_FEEDBACK}"]
+    if detail:
+        lines.append(detail)
+    return "\n".join(lines)
+
+
+def build_feedback(problem_name: str, error: PICBenchError) -> str:
+    """Dispatch to the syntax or functional feedback prompt based on category."""
+    if error.category is ErrorCategory.FUNCTIONAL:
+        return build_functional_feedback(problem_name, error.detail)
+    return build_syntax_feedback(problem_name, error)

@@ -1,0 +1,133 @@
+"""The Table II restrictions: failure types and the prompt text preventing them.
+
+The error-classification loop of the paper (Section III-D) accumulates these
+restrictions from observed failures; they are then prepended to the system
+prompt.  Each restriction is tied to one :class:`ErrorCategory`, so the
+framework can also report which restriction addresses which failure class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.errors import ErrorCategory
+
+__all__ = ["Restriction", "RESTRICTIONS", "restrictions_text", "restriction_for"]
+
+
+@dataclass(frozen=True)
+class Restriction:
+    """One row of Table II."""
+
+    category: ErrorCategory
+    failure_type: str
+    text: str
+
+
+RESTRICTIONS: Tuple[Restriction, ...] = (
+    Restriction(
+        category=ErrorCategory.UNDEFINED_MODEL,
+        failure_type="Use undefined models",
+        text=(
+            "Only built-in devices are permitted unless otherwise specified; "
+            "never use undefined models."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.BOUND_IO_PORT,
+        failure_type="Bind the I/O ports",
+        text=(
+            "Input or output ports in the ports section represent only the "
+            "system's start or end points; they must not appear in any internal "
+            "connections."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.INSTANCES_MODELS_CONFUSED,
+        failure_type="Mess up 'Instances' and 'models' part",
+        text=(
+            "When specifying built-in components, the model reference must appear "
+            "in the models section like '\"<component>\": \"<ref>\"' rather than "
+            "'\"<ref>\": ...'. The instances section only instantiates these "
+            "components."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.EXTRA_CONTENT,
+        failure_type="Extra contents found in JSON",
+        text=(
+            "Only the required JSON netlist elements should appear in the output. "
+            "Do not include comments, advice, or code block markings."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.DUPLICATE_CONNECTION,
+        failure_type="Duplicate connections to the same port",
+        text=(
+            "Each port can only be connected once; duplicate connections to the "
+            "same port are prohibited."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.DANGLING_PORT,
+        failure_type="Wrong connections for dangling ports",
+        text=(
+            "If a specific port mapping is not explicitly required, omit it rather "
+            "than introducing arbitrary or unused port names."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.WRONG_PORT_COUNT,
+        failure_type="Wrong ports number",
+        text=(
+            "The total number of input and output ports must align with the design "
+            "specification. Each input port typically starts with I, and each "
+            "output port with O."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.WRONG_PORT,
+        failure_type="Wrong ports",
+        text=(
+            "Ensure all connections and ports are valid and consistent with the "
+            "defined instances and models. Do not generate invalid or undefined "
+            "mappings."
+        ),
+    ),
+    Restriction(
+        category=ErrorCategory.BAD_COMPONENT_NAME,
+        failure_type="Wrong component name",
+        text="Underscores are prohibited in component names.",
+    ),
+)
+
+
+def restriction_for(category: ErrorCategory) -> Optional[Restriction]:
+    """Return the restriction addressing ``category``, if one exists."""
+    for restriction in RESTRICTIONS:
+        if restriction.category is category:
+            return restriction
+    return None
+
+
+def restrictions_text(categories: Optional[Sequence[ErrorCategory]] = None) -> str:
+    """Render the restriction list as numbered prompt text.
+
+    Parameters
+    ----------
+    categories:
+        Restrict the list to these categories; by default all of Table II is
+        included (the fully-accumulated restriction set the paper evaluates in
+        Table IV).
+    """
+    selected: List[Restriction] = [
+        restriction
+        for restriction in RESTRICTIONS
+        if categories is None or restriction.category in set(categories)
+    ]
+    lines = [
+        f"{index}. {restriction.text}"
+        for index, restriction in enumerate(selected, start=1)
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""The system prompt template of Fig. 3.
+
+The prompt has three parts (Section III-C of the paper): the required JSON
+netlist format, the API document describing the built-in devices (generated
+from the model registry), and -- optionally -- the accumulated restrictions of
+Table II.  Table III is produced without the restrictions section, Table IV
+with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..netlist.errors import ErrorCategory
+from ..sim.registry import ModelRegistry, default_registry
+from .restrictions import restrictions_text
+
+__all__ = ["PromptConfig", "JSON_FORMAT_SPEC", "BASE_NOTES", "build_system_prompt", "build_user_prompt"]
+
+JSON_FORMAT_SPEC = """\
+{
+  "netlist": {
+    "instances": {
+      "<component_name1>": "<component>",
+      "<component_name2>": {"component": "<component>", "settings": {"<parameter>": <value>}}
+    },
+    "connections": {
+      "<component_name>,<port>": "<component_name>,<port>"
+    },
+    "ports": {
+      "<port_name>": "<component_name>,<port>"
+    }
+  },
+  "models": {
+    "<component>": "<ref>"
+  }
+}"""
+
+BASE_NOTES = """\
+Note that:
+1. Your answers should be professional and logical.
+2. The analyses should be as detailed as possible. For example, you can think it step by step.
+3. The response must consist of two sections:
+   - analysis: A detailed explanation of how the netlist was generated. Start by <analysis>.
+   - result: The generated netlist JSON content. Start by <result>. Only the JSON content is required in the result.
+4. Never specify extra parameters unless explicitly stated in the instructions; always use default values. If a difference between two parameters is specified, use the default value for one and adjust the other by the specified difference.
+5. The default unit is micron.
+6. Unless otherwise specified, use built-in components to implement whenever possible."""
+
+
+@dataclass(frozen=True)
+class PromptConfig:
+    """Configuration of the system prompt.
+
+    Attributes
+    ----------
+    include_restrictions:
+        Whether the Table II restrictions are appended (Table IV setting).
+    restriction_categories:
+        Optional subset of restriction categories to include (used by the
+        restriction ablation); ``None`` means all.
+    """
+
+    include_restrictions: bool = False
+    restriction_categories: Optional[Sequence[ErrorCategory]] = None
+
+
+def build_system_prompt(
+    registry: Optional[ModelRegistry] = None,
+    config: Optional[PromptConfig] = None,
+) -> str:
+    """Render the full system prompt of Fig. 3."""
+    registry = registry if registry is not None else default_registry()
+    config = config if config is not None else PromptConfig()
+    sections = [
+        "You are a professional Photonic Integrated Circuit (PIC) designer. "
+        "Your task is to generate a JSON netlist based on the user's design "
+        "requirements. This netlist should specify input/output ports, the "
+        "necessary components, their configurations, and detailed connections "
+        "between them. You only complete chats with syntax correct JSON code "
+        "and the format is as follows:",
+        "<<<JSON format>>>",
+        JSON_FORMAT_SPEC,
+        "",
+        "You have access to the following built-in devices, only these devices "
+        "are permitted unless otherwise specified:",
+        "<<<API document>>>",
+        registry.api_document(),
+        "",
+        BASE_NOTES,
+    ]
+    if config.include_restrictions:
+        sections.extend(
+            [
+                "",
+                "In addition, strictly follow these restrictions:",
+                restrictions_text(config.restriction_categories),
+            ]
+        )
+    return "\n".join(sections)
+
+
+def build_user_prompt(description: str) -> str:
+    """Render the user prompt for one problem description (Fig. 2)."""
+    return (
+        "Problem Description\n"
+        f"{description.strip()}\n\n"
+        "Generate the JSON netlist for this design."
+    )

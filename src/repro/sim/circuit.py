@@ -1,0 +1,194 @@
+"""Frequency-domain circuit evaluation (the SAX-substitute solver).
+
+Given a validated netlist, the solver:
+
+1. evaluates every instance's device model over the wavelength grid,
+2. assembles the block-diagonal scattering matrix ``S`` of all instance ports,
+3. builds the connection matrix ``C`` (a symmetric permutation-like matrix
+   that routes the outgoing wave of one port into the incoming wave of the
+   port it is connected to), and the external-injection matrix ``E`` that maps
+   the circuit's external ports onto instance ports,
+4. solves the interior-scattering equation for the composed response:
+
+   ``S_circuit = E.T @ (I - S @ C)^{-1} @ S @ E``
+
+The linear solve is batched over wavelengths with ``numpy.linalg.solve``.
+This is mathematically equivalent to the sub-network-growth evaluation SAX
+performs and handles arbitrary topologies, including rings (feedback loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..constants import default_wavelength_grid
+from ..netlist.errors import OtherSyntaxError, WrongPortError
+from ..netlist.schema import Netlist, format_endpoint, parse_endpoint
+from ..netlist.validation import PortSpec, validate_netlist
+from .registry import ModelRegistry, default_registry
+from .sparams import SMatrix
+
+__all__ = ["CircuitSolver", "evaluate_netlist"]
+
+
+@dataclass
+class _PortIndex:
+    """Bookkeeping for the flattened list of all instance ports."""
+
+    endpoints: List[Tuple[str, str]]
+    index: Dict[Tuple[str, str], int]
+
+    @classmethod
+    def build(cls, instance_ports: Dict[str, Tuple[str, ...]]) -> "_PortIndex":
+        endpoints: List[Tuple[str, str]] = []
+        for name, ports in instance_ports.items():
+            for port in ports:
+                endpoints.append((name, port))
+        index = {ep: i for i, ep in enumerate(endpoints)}
+        return cls(endpoints=endpoints, index=index)
+
+    def __len__(self) -> int:
+        return len(self.endpoints)
+
+
+class CircuitSolver:
+    """Evaluates netlists into circuit-level S-matrices.
+
+    Parameters
+    ----------
+    registry:
+        The model registry used to resolve the netlist's ``models`` section;
+        defaults to :func:`repro.sim.registry.default_registry`.
+    validate:
+        When true (default), the netlist is validated before evaluation so
+        that failures raise classified :class:`PICBenchError` subclasses.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        netlist: Netlist,
+        wavelengths: Optional[np.ndarray] = None,
+        *,
+        port_spec: Optional[PortSpec] = None,
+    ) -> SMatrix:
+        """Simulate ``netlist`` and return the external S-matrix.
+
+        Raises a classified :class:`PICBenchError` subclass when the netlist
+        is invalid, or :class:`OtherSyntaxError` when a device model rejects
+        its settings.
+        """
+        wavelengths = (
+            default_wavelength_grid() if wavelengths is None else np.atleast_1d(np.asarray(wavelengths, dtype=float))
+        )
+        if self.validate:
+            validate_netlist(netlist, self.registry, port_spec)
+
+        instance_matrices = self._evaluate_instances(netlist, wavelengths)
+        instance_ports = {name: sm.ports for name, sm in instance_matrices.items()}
+        port_index = _PortIndex.build(instance_ports)
+
+        block = self._block_diagonal(instance_matrices, port_index, wavelengths.size)
+        connection = self._connection_matrix(netlist, port_index)
+        external_names, injection = self._external_matrix(netlist, port_index)
+
+        num_ports = len(port_index)
+        identity = np.eye(num_ports)
+        # (I - S C) b = S E x  =>  b = solve(I - S C, S E)
+        system = identity[None, :, :] - block @ connection[None, :, :]
+        rhs = block @ injection[None, :, :]
+        interior = np.linalg.solve(system, rhs)
+        external = np.einsum("pe,wpf->wef", injection, interior)
+        return SMatrix(wavelengths, tuple(external_names), external)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _evaluate_instances(
+        self, netlist: Netlist, wavelengths: np.ndarray
+    ) -> Dict[str, SMatrix]:
+        matrices: Dict[str, SMatrix] = {}
+        for name, inst in netlist.instances.items():
+            ref = netlist.models.get(inst.component, inst.component)
+            info = self.registry.get(ref)
+            try:
+                matrices[name] = info.evaluate(wavelengths, **inst.settings)
+            except (TypeError, ValueError) as exc:
+                raise OtherSyntaxError(
+                    f"instance {name!r} (model {ref!r}) rejected its settings "
+                    f"{inst.settings!r}: {exc}"
+                ) from exc
+        return matrices
+
+    @staticmethod
+    def _block_diagonal(
+        matrices: Dict[str, SMatrix], port_index: _PortIndex, num_wavelengths: int
+    ) -> np.ndarray:
+        num_ports = len(port_index)
+        block = np.zeros((num_wavelengths, num_ports, num_ports), dtype=complex)
+        for name, sm in matrices.items():
+            offsets = [port_index.index[(name, p)] for p in sm.ports]
+            idx = np.asarray(offsets, dtype=int)
+            block[:, idx[:, None], idx[None, :]] = sm.data
+        return block
+
+    @staticmethod
+    def _connection_matrix(netlist: Netlist, port_index: _PortIndex) -> np.ndarray:
+        num_ports = len(port_index)
+        connection = np.zeros((num_ports, num_ports), dtype=float)
+        for key, value in netlist.connections.items():
+            a = parse_endpoint(key)
+            b = parse_endpoint(value)
+            for endpoint, raw in ((a, key), (b, value)):
+                if endpoint not in port_index.index:
+                    raise WrongPortError(
+                        f"connection endpoint {raw!r} does not correspond to any "
+                        "instance port"
+                    )
+            ia = port_index.index[a]
+            ib = port_index.index[b]
+            connection[ia, ib] = 1.0
+            connection[ib, ia] = 1.0
+        return connection
+
+    @staticmethod
+    def _external_matrix(
+        netlist: Netlist, port_index: _PortIndex
+    ) -> Tuple[List[str], np.ndarray]:
+        external_names = list(netlist.ports)
+        injection = np.zeros((len(port_index), len(external_names)), dtype=float)
+        for col, ext_name in enumerate(external_names):
+            endpoint = parse_endpoint(netlist.ports[ext_name])
+            if endpoint not in port_index.index:
+                raise WrongPortError(
+                    f"external port {ext_name!r} maps to "
+                    f"{format_endpoint(*endpoint)!r} which is not an instance port"
+                )
+            injection[port_index.index[endpoint], col] = 1.0
+        return external_names, injection
+
+
+def evaluate_netlist(
+    netlist: Netlist,
+    wavelengths: Optional[np.ndarray] = None,
+    *,
+    registry: Optional[ModelRegistry] = None,
+    port_spec: Optional[PortSpec] = None,
+) -> SMatrix:
+    """Convenience wrapper: evaluate ``netlist`` with a default solver."""
+    solver = CircuitSolver(registry=registry)
+    return solver.evaluate(netlist, wavelengths, port_spec=port_spec)

@@ -1,0 +1,38 @@
+"""Built-in photonic device models.
+
+Every model is a plain function ``model(wavelengths, **settings) -> SMatrix``.
+The :mod:`repro.sim.registry` module wraps them with metadata (port names,
+parameter defaults, human-readable descriptions) which is also used to
+generate the "API document" section of the paper's system prompt (Fig. 3).
+"""
+
+from .coupler import coupler, mmi1x2, mmi2x1, mmi2x2
+from .misc import crossing, switch1x2, switch2x1, switch2x2, terminator
+from .modulator import amplifier, attenuator, eam, mzm, phase_modulator
+from .mzi import mzi, mzi2x2, mzi2x2_transfer_matrix
+from .ring import mrr_adddrop, mrr_allpass
+from .waveguide import phase_shifter, waveguide
+
+__all__ = [
+    "waveguide",
+    "phase_shifter",
+    "coupler",
+    "mmi1x2",
+    "mmi2x1",
+    "mmi2x2",
+    "mzi",
+    "mzi2x2",
+    "mzi2x2_transfer_matrix",
+    "mrr_allpass",
+    "mrr_adddrop",
+    "mzm",
+    "phase_modulator",
+    "eam",
+    "attenuator",
+    "amplifier",
+    "crossing",
+    "switch1x2",
+    "switch2x1",
+    "switch2x2",
+    "terminator",
+]

@@ -1,0 +1,106 @@
+"""Directional coupler and multimode-interference (MMI) coupler models.
+
+All couplers are modelled as ideal, wavelength-flat power splitters.  The
+2x2 devices are lossless and unitary; the 1x2 / 2x1 MMIs follow the usual
+convention of splitting the input power evenly over the outputs (a 3-port
+reciprocal splitter cannot be unitary -- the "missing" power on combination
+corresponds to radiation into the substrate, exactly as in a physical MMI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparams import SMatrix, sdict_to_smatrix
+
+__all__ = ["coupler", "mmi1x2", "mmi2x1", "mmi2x2", "splitter_tree_amplitude"]
+
+
+def coupler(wavelengths: np.ndarray, *, coupling: float = 0.5) -> SMatrix:
+    """Lossless directional coupler.
+
+    Ports: ``I1``, ``I2`` (inputs), ``O1``, ``O2`` (outputs).
+
+    Parameters
+    ----------
+    coupling:
+        Power coupling ratio into the cross port, between 0 and 1.  The
+        through (bar) amplitude is ``sqrt(1 - coupling)``; the cross amplitude
+        is ``1j * sqrt(coupling)``.
+    """
+    if not 0.0 <= coupling <= 1.0:
+        raise ValueError(f"coupling must be within [0, 1], got {coupling}")
+    thru = np.sqrt(1.0 - coupling)
+    cross = 1j * np.sqrt(coupling)
+    return sdict_to_smatrix(
+        wavelengths,
+        ("I1", "I2", "O1", "O2"),
+        {
+            ("O1", "I1"): thru,
+            ("O2", "I2"): thru,
+            ("O2", "I1"): cross,
+            ("O1", "I2"): cross,
+        },
+    )
+
+
+def mmi1x2(wavelengths: np.ndarray, *, loss_db: float = 0.0) -> SMatrix:
+    """1x2 multimode interference splitter.
+
+    Ports: ``I1`` (input), ``O1``, ``O2`` (outputs).  The input power is split
+    evenly across both outputs.
+
+    Parameters
+    ----------
+    loss_db:
+        Excess insertion loss in dB (power), applied on top of the ideal 3 dB
+        split.
+    """
+    amp = np.sqrt(0.5) * 10.0 ** (-loss_db / 20.0)
+    return sdict_to_smatrix(
+        wavelengths,
+        ("I1", "O1", "O2"),
+        {("O1", "I1"): amp, ("O2", "I1"): amp},
+    )
+
+
+def mmi2x1(wavelengths: np.ndarray, *, loss_db: float = 0.0) -> SMatrix:
+    """2x1 multimode interference combiner.
+
+    Ports: ``I1``, ``I2`` (inputs), ``O1`` (output).  Each input couples to the
+    output with amplitude ``1/sqrt(2)``; in-phase inputs therefore combine
+    without loss while out-of-phase inputs radiate away, as in a physical MMI.
+    """
+    amp = np.sqrt(0.5) * 10.0 ** (-loss_db / 20.0)
+    return sdict_to_smatrix(
+        wavelengths,
+        ("I1", "I2", "O1"),
+        {("O1", "I1"): amp, ("O1", "I2"): amp},
+    )
+
+
+def mmi2x2(wavelengths: np.ndarray, *, loss_db: float = 0.0) -> SMatrix:
+    """2x2 multimode interference coupler (50/50, 90-degree hybrid convention).
+
+    Ports: ``I1``, ``I2`` (inputs), ``O1``, ``O2`` (outputs).  The bar paths
+    carry amplitude ``1/sqrt(2)`` and the cross paths ``1j/sqrt(2)``, which is
+    unitary when ``loss_db`` is zero.
+    """
+    amp = np.sqrt(0.5) * 10.0 ** (-loss_db / 20.0)
+    return sdict_to_smatrix(
+        wavelengths,
+        ("I1", "I2", "O1", "O2"),
+        {
+            ("O1", "I1"): amp,
+            ("O2", "I2"): amp,
+            ("O2", "I1"): 1j * amp,
+            ("O1", "I2"): 1j * amp,
+        },
+    )
+
+
+def splitter_tree_amplitude(num_outputs: int) -> float:
+    """Field amplitude per output of an ideal 1-to-``num_outputs`` splitter tree."""
+    if num_outputs < 1:
+        raise ValueError("num_outputs must be positive")
+    return float(1.0 / np.sqrt(num_outputs))

@@ -1,0 +1,155 @@
+"""Miscellaneous device models: crossings, switches and terminations.
+
+The switch elements (``switch1x2``, ``switch2x1``, ``switch2x2``) are the unit
+cells of the optical-switch benchmark problems (crossbar, Spanke, Benes and
+Spanke-Benes fabrics).  They are modelled as ideal gates with a configurable
+routing state and a finite extinction ratio for the blocked path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparams import SMatrix, sdict_to_smatrix
+
+__all__ = ["crossing", "switch1x2", "switch2x1", "switch2x2", "terminator"]
+
+_VALID_2X2_STATES = ("bar", "cross")
+
+
+def _leak_amplitude(extinction_db: float) -> float:
+    """Field amplitude leaking into the blocked path of a switch."""
+    if extinction_db < 0:
+        raise ValueError(f"extinction_db must be non-negative, got {extinction_db}")
+    if extinction_db == 0:
+        return 0.0
+    return 10.0 ** (-extinction_db / 20.0)
+
+
+def crossing(wavelengths: np.ndarray, *, loss_db: float = 0.0) -> SMatrix:
+    """Waveguide crossing.
+
+    Ports: ``I1``, ``I2`` (inputs), ``O1``, ``O2`` (outputs).  ``I1`` passes
+    straight through to ``O1`` and ``I2`` to ``O2``; the two paths cross
+    physically but do not couple.
+
+    Parameters
+    ----------
+    loss_db:
+        Insertion loss per pass in dB (power).
+    """
+    if loss_db < 0:
+        raise ValueError(f"loss_db must be non-negative, got {loss_db}")
+    amp = 10.0 ** (-loss_db / 20.0)
+    return sdict_to_smatrix(
+        wavelengths,
+        ("I1", "I2", "O1", "O2"),
+        {("O1", "I1"): amp, ("O2", "I2"): amp},
+    )
+
+
+def switch1x2(
+    wavelengths: np.ndarray,
+    *,
+    state: int = 1,
+    extinction_db: float = 60.0,
+) -> SMatrix:
+    """1x2 gate switch.
+
+    Ports: ``I1`` (input), ``O1``, ``O2`` (outputs).
+
+    Parameters
+    ----------
+    state:
+        Selected output: ``1`` routes ``I1`` to ``O1``, ``2`` routes it to
+        ``O2``.
+    extinction_db:
+        Power extinction ratio of the unselected output.
+    """
+    if state not in (1, 2):
+        raise ValueError(f"state must be 1 or 2, got {state!r}")
+    leak = _leak_amplitude(extinction_db)
+    on_port = "O1" if state == 1 else "O2"
+    off_port = "O2" if state == 1 else "O1"
+    return sdict_to_smatrix(
+        wavelengths,
+        ("I1", "O1", "O2"),
+        {(on_port, "I1"): 1.0, (off_port, "I1"): leak},
+    )
+
+
+def switch2x1(
+    wavelengths: np.ndarray,
+    *,
+    state: int = 1,
+    extinction_db: float = 60.0,
+) -> SMatrix:
+    """2x1 gate switch (select one of two inputs).
+
+    Ports: ``I1``, ``I2`` (inputs), ``O1`` (output).
+
+    Parameters
+    ----------
+    state:
+        Selected input: ``1`` routes ``I1`` to ``O1``, ``2`` routes ``I2``.
+    extinction_db:
+        Power extinction ratio of the unselected input.
+    """
+    if state not in (1, 2):
+        raise ValueError(f"state must be 1 or 2, got {state!r}")
+    leak = _leak_amplitude(extinction_db)
+    on_port = "I1" if state == 1 else "I2"
+    off_port = "I2" if state == 1 else "I1"
+    return sdict_to_smatrix(
+        wavelengths,
+        ("I1", "I2", "O1"),
+        {("O1", on_port): 1.0, ("O1", off_port): leak},
+    )
+
+
+def switch2x2(
+    wavelengths: np.ndarray,
+    *,
+    state: str = "cross",
+    extinction_db: float = 60.0,
+) -> SMatrix:
+    """2x2 optical switch element.
+
+    Ports: ``I1``, ``I2`` (inputs), ``O1``, ``O2`` (outputs).
+
+    Parameters
+    ----------
+    state:
+        ``"bar"`` routes ``I1 -> O1`` and ``I2 -> O2``; ``"cross"`` routes
+        ``I1 -> O2`` and ``I2 -> O1``.
+    extinction_db:
+        Power extinction ratio of the blocked paths.
+    """
+    if state not in _VALID_2X2_STATES:
+        raise ValueError(f"state must be one of {_VALID_2X2_STATES}, got {state!r}")
+    leak = _leak_amplitude(extinction_db)
+    if state == "bar":
+        sdict = {
+            ("O1", "I1"): 1.0,
+            ("O2", "I2"): 1.0,
+            ("O2", "I1"): leak,
+            ("O1", "I2"): leak,
+        }
+    else:
+        sdict = {
+            ("O2", "I1"): 1.0,
+            ("O1", "I2"): 1.0,
+            ("O1", "I1"): leak,
+            ("O2", "I2"): leak,
+        }
+    return sdict_to_smatrix(wavelengths, ("I1", "I2", "O1", "O2"), sdict)
+
+
+def terminator(wavelengths: np.ndarray) -> SMatrix:
+    """Perfectly matched termination (absorbs everything).
+
+    Ports: ``I1``.  Used to terminate otherwise dangling ports.
+    """
+    wavelengths = np.atleast_1d(np.asarray(wavelengths, dtype=float))
+    data = np.zeros((wavelengths.size, 1, 1), dtype=complex)
+    return SMatrix(wavelengths, ("I1",), data)

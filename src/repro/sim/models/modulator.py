@@ -1,0 +1,141 @@
+"""Modulator models used by the optical-interconnect benchmark problems.
+
+The benchmark is evaluated in the frequency domain (Section III-C of the
+paper), so modulators are represented at a fixed drive point: the applied
+voltage / bias sets a static amplitude and phase operating condition whose
+frequency response is then simulated.  This is exactly how the paper's golden
+designs treat modulators -- the structural correctness of the circuit (which
+components, how connected) is what the benchmark verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...constants import (
+    DEFAULT_CENTER_WAVELENGTH_UM,
+    DEFAULT_LOSS_DB_PER_CM,
+    DEFAULT_NEFF,
+    DEFAULT_NG,
+)
+from ..sparams import SMatrix, sdict_to_smatrix
+from .waveguide import propagation_amplitude, propagation_phase
+
+__all__ = ["mzm", "eam", "phase_modulator", "attenuator", "amplifier"]
+
+
+def mzm(
+    wavelengths: np.ndarray,
+    *,
+    vpi: float = 3.0,
+    voltage: float = 0.0,
+    bias_phase: float = 0.0,
+    length: float = 100.0,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM,
+) -> SMatrix:
+    """Push-pull Mach-Zehnder modulator (1 input, 1 output).
+
+    Ports: ``I1`` (input), ``O1`` (output).
+
+    The two arms are driven anti-symmetrically, so the output field is
+    ``cos(pi * voltage / (2 * vpi) + bias_phase / 2)`` times the common
+    propagation factor of the arms.
+
+    Parameters
+    ----------
+    vpi:
+        Half-wave voltage of the modulator in volts.
+    voltage:
+        Applied drive voltage in volts.
+    bias_phase:
+        Static phase bias (radians) between the arms; ``pi/2`` biases the
+        modulator at quadrature, ``pi`` at the null point.
+    length:
+        Electrode / arm length in microns.
+    """
+    if vpi <= 0:
+        raise ValueError(f"vpi must be positive, got {vpi}")
+    drive_phase = np.pi * voltage / (2.0 * vpi) + bias_phase / 2.0
+    envelope = np.cos(drive_phase)
+    prop = propagation_phase(wavelengths, length, neff, ng, wl0)
+    amp = propagation_amplitude(length, loss_db_cm)
+    s21 = envelope * amp * np.exp(-1j * prop)
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): s21})
+
+
+def phase_modulator(
+    wavelengths: np.ndarray,
+    *,
+    vpi: float = 3.0,
+    voltage: float = 0.0,
+    length: float = 100.0,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM,
+) -> SMatrix:
+    """Travelling-wave phase modulator (1 input, 1 output).
+
+    Ports: ``I1``, ``O1``.  Applies a phase of ``pi * voltage / vpi`` radians
+    on top of the propagation phase of the electrode length.
+    """
+    if vpi <= 0:
+        raise ValueError(f"vpi must be positive, got {vpi}")
+    drive = np.pi * voltage / vpi
+    prop = propagation_phase(wavelengths, length, neff, ng, wl0)
+    amp = propagation_amplitude(length, loss_db_cm)
+    s21 = amp * np.exp(-1j * (prop + drive))
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): s21})
+
+
+def eam(
+    wavelengths: np.ndarray,
+    *,
+    attenuation_db: float = 0.0,
+    length: float = 50.0,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+) -> SMatrix:
+    """Electro-absorption modulator at a fixed bias (1 input, 1 output).
+
+    Ports: ``I1``, ``O1``.
+
+    Parameters
+    ----------
+    attenuation_db:
+        Power attenuation in dB at the chosen bias point (0 dB = fully on).
+    length:
+        Device length in microns (contributes propagation phase).
+    """
+    if attenuation_db < 0:
+        raise ValueError(f"attenuation_db must be non-negative, got {attenuation_db}")
+    amp = 10.0 ** (-attenuation_db / 20.0)
+    prop = propagation_phase(wavelengths, length, neff, ng, wl0)
+    s21 = amp * np.exp(-1j * prop)
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): s21})
+
+
+def attenuator(wavelengths: np.ndarray, *, attenuation_db: float = 0.0) -> SMatrix:
+    """Ideal wavelength-flat attenuator.
+
+    Ports: ``I1``, ``O1``.  ``attenuation_db`` is the power attenuation in dB.
+    """
+    if attenuation_db < 0:
+        raise ValueError(f"attenuation_db must be non-negative, got {attenuation_db}")
+    amp = 10.0 ** (-attenuation_db / 20.0)
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): amp})
+
+
+def amplifier(wavelengths: np.ndarray, *, gain_db: float = 0.0) -> SMatrix:
+    """Ideal wavelength-flat amplifier (semiconductor optical amplifier).
+
+    Ports: ``I1``, ``O1``.  ``gain_db`` is the power gain in dB.  The model is
+    non-reciprocal only in the sense that it amplifies both directions, which
+    is sufficient for the benchmark's passive frequency-response checks.
+    """
+    amp = 10.0 ** (gain_db / 20.0)
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): amp})

@@ -1,0 +1,138 @@
+"""Mach-Zehnder interferometer models.
+
+Two flavours are provided:
+
+``mzi``
+    The 1-input / 1-output MZI the paper's API document describes ("MZI with
+    one input and one output, parameters: delta length").  It is the analytic
+    composition of a 1x2 MMI, two waveguide arms whose lengths differ by
+    ``delta_length``, and a 2x1 MMI.
+
+``mzi2x2``
+    The 2x2 MZI unit cell used by the Reck / Clements meshes and by optical
+    switches.  Two 50/50 couplers sandwich an internal phase shifter ``theta``
+    (upper arm) and an external input phase shifter ``phi`` (upper input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...constants import (
+    DEFAULT_CENTER_WAVELENGTH_UM,
+    DEFAULT_LOSS_DB_PER_CM,
+    DEFAULT_NEFF,
+    DEFAULT_NG,
+)
+from ..sparams import SMatrix, sdict_to_smatrix
+from .waveguide import propagation_amplitude, propagation_phase
+
+__all__ = ["mzi", "mzi2x2", "mzi2x2_transfer_matrix"]
+
+
+def mzi(
+    wavelengths: np.ndarray,
+    *,
+    delta_length: float = 10.0,
+    length: float = 10.0,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM,
+) -> SMatrix:
+    """Unbalanced 1x1 Mach-Zehnder interferometer.
+
+    Ports: ``I1`` (input), ``O1`` (output).
+
+    Parameters
+    ----------
+    delta_length:
+        Path-length difference between the two arms, in microns.
+    length:
+        Length of the shorter (reference) arm, in microns.
+    """
+    phase_short = propagation_phase(wavelengths, length, neff, ng, wl0)
+    phase_long = propagation_phase(wavelengths, length + delta_length, neff, ng, wl0)
+    amp_short = propagation_amplitude(length, loss_db_cm)
+    amp_long = propagation_amplitude(length + delta_length, loss_db_cm)
+    s21 = 0.5 * (amp_short * np.exp(-1j * phase_short) + amp_long * np.exp(-1j * phase_long))
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): s21})
+
+
+def mzi2x2_transfer_matrix(theta: float, phi: float) -> np.ndarray:
+    """Ideal (wavelength-independent) 2x2 transfer matrix of the MZI unit cell.
+
+    The cell consists of an input phase shifter ``phi`` on the upper input,
+    a 50/50 coupler, an internal phase shifter ``theta`` on the upper arm, and
+    a second 50/50 coupler.  The returned matrix ``T`` maps input field
+    amplitudes ``(I1, I2)`` to output amplitudes ``(O1, O2)``:
+
+    ``T = C @ diag(exp(1j*theta), 1) @ C @ diag(exp(1j*phi), 1)``
+
+    with ``C = [[1, 1j], [1j, 1]] / sqrt(2)``.  ``T`` is unitary for any
+    ``theta`` and ``phi``.
+    """
+    coupler_matrix = np.array([[1.0, 1j], [1j, 1.0]], dtype=complex) / np.sqrt(2.0)
+    internal = np.diag([np.exp(1j * theta), 1.0])
+    external = np.diag([np.exp(1j * phi), 1.0])
+    return coupler_matrix @ internal @ coupler_matrix @ external
+
+
+def mzi2x2(
+    wavelengths: np.ndarray,
+    *,
+    theta: float = 0.0,
+    phi: float = 0.0,
+    length: float = 10.0,
+    delta_length: float = 0.0,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM,
+) -> SMatrix:
+    """2x2 Mach-Zehnder interferometer unit cell.
+
+    Ports: ``I1``, ``I2`` (inputs), ``O1``, ``O2`` (outputs).
+
+    Parameters
+    ----------
+    theta:
+        Internal phase (radians) applied to the upper arm between the two
+        couplers; ``theta = pi`` puts the cell in the bar state, ``theta = 0``
+        in the cross state.
+    phi:
+        External phase (radians) applied to the upper input before the first
+        coupler.
+    length:
+        Physical arm length in microns (adds a common propagation phase).
+    delta_length:
+        Optional arm-length imbalance (upper arm is longer), making the cell
+        wavelength dependent.
+    """
+    wavelengths = np.atleast_1d(np.asarray(wavelengths, dtype=float))
+    coupler_matrix = np.array([[1.0, 1j], [1j, 1.0]], dtype=complex) / np.sqrt(2.0)
+
+    phase_lower = propagation_phase(wavelengths, length, neff, ng, wl0)
+    phase_upper = propagation_phase(wavelengths, length + delta_length, neff, ng, wl0)
+    amp_lower = propagation_amplitude(length, loss_db_cm)
+    amp_upper = propagation_amplitude(length + delta_length, loss_db_cm)
+
+    num_wl = wavelengths.size
+    transfer = np.empty((num_wl, 2, 2), dtype=complex)
+    external = np.diag([np.exp(1j * phi), 1.0])
+    for w in range(num_wl):
+        internal = np.diag(
+            [
+                amp_upper * np.exp(1j * theta) * np.exp(-1j * phase_upper[w]),
+                amp_lower * np.exp(-1j * phase_lower[w]),
+            ]
+        )
+        transfer[w] = coupler_matrix @ internal @ coupler_matrix @ external
+
+    sdict = {
+        ("O1", "I1"): transfer[:, 0, 0],
+        ("O1", "I2"): transfer[:, 0, 1],
+        ("O2", "I1"): transfer[:, 1, 0],
+        ("O2", "I2"): transfer[:, 1, 1],
+    }
+    return sdict_to_smatrix(wavelengths, ("I1", "I2", "O1", "O2"), sdict)

@@ -1,0 +1,129 @@
+"""Microring resonator (MRR) models.
+
+Two standard configurations are provided:
+
+``mrr_allpass``
+    A single bus waveguide coupled to a ring (notch filter).
+
+``mrr_adddrop``
+    Two bus waveguides coupled to a ring (add/drop filter), the building
+    block of the WDM multiplexer / demultiplexer problems in the benchmark.
+
+The analytic expressions follow Bogaerts et al., "Silicon microring
+resonators", Laser & Photonics Reviews (2012).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...constants import (
+    DEFAULT_CENTER_WAVELENGTH_UM,
+    DEFAULT_NEFF,
+    DEFAULT_NG,
+    db_per_cm_to_neper_per_um,
+)
+from ..sparams import SMatrix, sdict_to_smatrix
+from .waveguide import propagation_phase
+
+__all__ = ["mrr_allpass", "mrr_adddrop", "ring_round_trip"]
+
+
+def ring_round_trip(
+    wavelengths: np.ndarray,
+    radius: float,
+    neff: float,
+    ng: float,
+    wl0: float,
+    loss_db_cm: float,
+) -> tuple[np.ndarray, float]:
+    """Return the ring round-trip phase spectrum and amplitude transmission."""
+    circumference = 2.0 * np.pi * radius
+    phase = propagation_phase(wavelengths, circumference, neff, ng, wl0)
+    amplitude = float(np.exp(-db_per_cm_to_neper_per_um(loss_db_cm) * circumference))
+    return phase, amplitude
+
+
+def mrr_allpass(
+    wavelengths: np.ndarray,
+    *,
+    radius: float = 5.0,
+    coupling: float = 0.1,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = 3.0,
+) -> SMatrix:
+    """All-pass (notch) microring resonator.
+
+    Ports: ``I1`` (input), ``O1`` (through).
+
+    Parameters
+    ----------
+    radius:
+        Ring radius in microns.
+    coupling:
+        Power coupling ratio of the bus-ring coupler.
+    loss_db_cm:
+        Ring propagation loss in dB/cm; some loss is required for the notch
+        to have finite extinction.
+    """
+    if not 0.0 <= coupling <= 1.0:
+        raise ValueError(f"coupling must be within [0, 1], got {coupling}")
+    phase, amplitude = ring_round_trip(wavelengths, radius, neff, ng, wl0, loss_db_cm)
+    t = np.sqrt(1.0 - coupling)
+    z = amplitude * np.exp(-1j * phase)
+    through = (t - z) / (1.0 - t * z)
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): through})
+
+
+def mrr_adddrop(
+    wavelengths: np.ndarray,
+    *,
+    radius: float = 5.0,
+    coupling_in: float = 0.1,
+    coupling_out: float = 0.1,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = 3.0,
+) -> SMatrix:
+    """Add/drop microring resonator.
+
+    Ports: ``I1`` (input), ``I2`` (add), ``O1`` (through), ``O2`` (drop).
+
+    On resonance, light entering ``I1`` exits at the drop port ``O2``; off
+    resonance it continues to the through port ``O1``.  The add port ``I2``
+    behaves symmetrically (on resonance it couples to ``O1``).
+
+    Parameters
+    ----------
+    radius:
+        Ring radius in microns; sets the resonance comb through the
+        round-trip length.
+    coupling_in, coupling_out:
+        Power coupling ratios of the input-side and drop-side couplers.
+    """
+    for name, value in (("coupling_in", coupling_in), ("coupling_out", coupling_out)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be within [0, 1], got {value}")
+    phase, amplitude = ring_round_trip(wavelengths, radius, neff, ng, wl0, loss_db_cm)
+    t1 = np.sqrt(1.0 - coupling_in)
+    t2 = np.sqrt(1.0 - coupling_out)
+    k1 = np.sqrt(coupling_in)
+    k2 = np.sqrt(coupling_out)
+    z = amplitude * np.exp(-1j * phase)
+    half_z = np.sqrt(amplitude) * np.exp(-1j * phase / 2.0)
+    denom = 1.0 - t1 * t2 * z
+
+    through_from_in = (t1 - t2 * z) / denom
+    through_from_add = (t2 - t1 * z) / denom
+    drop = -k1 * k2 * half_z / denom
+
+    sdict = {
+        ("O1", "I1"): through_from_in,
+        ("O2", "I2"): through_from_add,
+        ("O2", "I1"): drop,
+        ("O1", "I2"): drop,
+    }
+    return sdict_to_smatrix(wavelengths, ("I1", "I2", "O1", "O2"), sdict)

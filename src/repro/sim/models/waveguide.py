@@ -1,0 +1,100 @@
+"""Waveguide-like device models: straight waveguide and phase shifter.
+
+Both models are two-port (``I1`` -> ``O1``) devices whose transmission is a
+pure phase rotation (plus optional propagation loss).  Dispersion is handled
+to first order through the group index, matching the standard model used by
+SAX's ``straight`` component:
+
+``neff(wl) = neff - (wl - wl0) * (ng - neff) / wl0``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...constants import (
+    DEFAULT_CENTER_WAVELENGTH_UM,
+    DEFAULT_LOSS_DB_PER_CM,
+    DEFAULT_NEFF,
+    DEFAULT_NG,
+    db_per_cm_to_neper_per_um,
+)
+from ..sparams import SMatrix, sdict_to_smatrix
+
+__all__ = ["waveguide", "phase_shifter", "propagation_phase", "propagation_amplitude"]
+
+
+def propagation_phase(
+    wavelengths: np.ndarray,
+    length: float,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+) -> np.ndarray:
+    """Accumulated propagation phase (radians) over ``length`` microns.
+
+    Uses a first-order dispersion expansion of the effective index around the
+    centre wavelength ``wl0``.
+    """
+    wavelengths = np.asarray(wavelengths, dtype=float)
+    dneff = (ng - neff) / wl0
+    neff_wl = neff - dneff * (wavelengths - wl0)
+    return 2.0 * np.pi * neff_wl * length / wavelengths
+
+
+def propagation_amplitude(length: float, loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM) -> float:
+    """Field amplitude transmission of a waveguide of ``length`` microns."""
+    return float(np.exp(-db_per_cm_to_neper_per_um(loss_db_cm) * length))
+
+
+def waveguide(
+    wavelengths: np.ndarray,
+    *,
+    length: float = 10.0,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM,
+) -> SMatrix:
+    """Straight single-mode waveguide.
+
+    Ports: ``I1`` (input), ``O1`` (output).
+
+    Parameters
+    ----------
+    length:
+        Physical length in microns.
+    neff, ng, wl0:
+        Effective index, group index and reference wavelength of the
+        first-order dispersion model.
+    loss_db_cm:
+        Propagation loss in dB/cm (power).
+    """
+    phase = propagation_phase(wavelengths, length, neff, ng, wl0)
+    amp = propagation_amplitude(length, loss_db_cm)
+    s21 = amp * np.exp(-1j * phase)
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): s21})
+
+
+def phase_shifter(
+    wavelengths: np.ndarray,
+    *,
+    length: float = 10.0,
+    phase: float = 0.0,
+    neff: float = DEFAULT_NEFF,
+    ng: float = DEFAULT_NG,
+    wl0: float = DEFAULT_CENTER_WAVELENGTH_UM,
+    loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM,
+) -> SMatrix:
+    """Thermo-optic / electro-optic phase shifter.
+
+    Behaves like a straight waveguide of the given ``length`` with an extra,
+    wavelength-independent phase offset ``phase`` (radians) applied on top of
+    the propagation phase.
+
+    Ports: ``I1`` (input), ``O1`` (output).
+    """
+    prop = propagation_phase(wavelengths, length, neff, ng, wl0)
+    amp = propagation_amplitude(length, loss_db_cm)
+    s21 = amp * np.exp(-1j * (prop + phase))
+    return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): s21})

@@ -1,0 +1,208 @@
+"""S-parameter containers and helpers for the frequency-domain circuit solver.
+
+The simulator represents every device and every composed circuit as an
+:class:`SMatrix`: a complex array of shape ``(num_wavelengths, num_ports,
+num_ports)`` together with an ordered tuple of port names.  Entry
+``S[w, i, j]`` is the field transmission from port ``j`` (input) to port ``i``
+(output) at wavelength index ``w``.
+
+This mirrors what SAX computes (an "SDict" mapping port pairs to arrays); a
+dense matrix keeps the numpy implementation simple and fast for the circuit
+sizes in the benchmark (the largest, an 8x8 Benes network, has ~240 internal
+ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SMatrix",
+    "sdict_to_smatrix",
+    "is_reciprocal",
+    "is_unitary",
+    "power_transmission",
+]
+
+
+@dataclass(frozen=True)
+class SMatrix:
+    """A wavelength-resolved scattering matrix with named ports.
+
+    Attributes
+    ----------
+    wavelengths:
+        1-D array of wavelengths in microns, shape ``(W,)``.
+    ports:
+        Ordered tuple of port names; the order defines the matrix indexing.
+    data:
+        Complex array of shape ``(W, P, P)`` where ``data[w, i, j]`` is the
+        field amplitude coupled from input ``ports[j]`` to output ``ports[i]``.
+    """
+
+    wavelengths: np.ndarray
+    ports: Tuple[str, ...]
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        wavelengths = np.atleast_1d(np.asarray(self.wavelengths, dtype=float))
+        data = np.asarray(self.data, dtype=complex)
+        ports = tuple(str(p) for p in self.ports)
+        if data.ndim == 2:
+            data = data[None, :, :]
+            data = np.broadcast_to(data, (wavelengths.size,) + data.shape[1:]).copy()
+        if data.ndim != 3:
+            raise ValueError(f"S-matrix data must be 3-D, got shape {data.shape}")
+        if data.shape[0] != wavelengths.size:
+            raise ValueError(
+                f"wavelength axis mismatch: {data.shape[0]} rows vs "
+                f"{wavelengths.size} wavelengths"
+            )
+        if data.shape[1] != data.shape[2] or data.shape[1] != len(ports):
+            raise ValueError(
+                f"port axis mismatch: data shape {data.shape[1:]} vs {len(ports)} ports"
+            )
+        if len(set(ports)) != len(ports):
+            raise ValueError(f"duplicate port names in {ports}")
+        object.__setattr__(self, "wavelengths", wavelengths)
+        object.__setattr__(self, "ports", ports)
+        object.__setattr__(self, "data", data)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_ports(self) -> int:
+        """Number of ports of the device / circuit."""
+        return len(self.ports)
+
+    @property
+    def num_wavelengths(self) -> int:
+        """Number of wavelength samples."""
+        return self.wavelengths.size
+
+    def port_index(self, port: str) -> int:
+        """Return the matrix index of ``port``, raising ``KeyError`` if absent."""
+        try:
+            return self.ports.index(port)
+        except ValueError as exc:
+            raise KeyError(
+                f"port {port!r} not found; available ports: {list(self.ports)}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    def s(self, output_port: str, input_port: str) -> np.ndarray:
+        """Return the complex transmission spectrum ``S[output, input]``."""
+        i = self.port_index(output_port)
+        j = self.port_index(input_port)
+        return self.data[:, i, j]
+
+    def transmission(self, output_port: str, input_port: str) -> np.ndarray:
+        """Return the power transmission spectrum ``|S[output, input]|^2``."""
+        return np.abs(self.s(output_port, input_port)) ** 2
+
+    def transmission_db(self, output_port: str, input_port: str, floor: float = 1e-15) -> np.ndarray:
+        """Return the power transmission in dB, clipped at ``10*log10(floor)``."""
+        power = np.maximum(self.transmission(output_port, input_port), floor)
+        return 10.0 * np.log10(power)
+
+    def to_sdict(self) -> Dict[Tuple[str, str], np.ndarray]:
+        """Export as a SAX-style dictionary ``{(out_port, in_port): spectrum}``."""
+        out: Dict[Tuple[str, str], np.ndarray] = {}
+        for i, pi in enumerate(self.ports):
+            for j, pj in enumerate(self.ports):
+                out[(pi, pj)] = self.data[:, i, j].copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def renamed(self, mapping: Mapping[str, str]) -> "SMatrix":
+        """Return a copy with ports renamed according to ``mapping``.
+
+        Ports not present in ``mapping`` keep their names.
+        """
+        new_ports = tuple(mapping.get(p, p) for p in self.ports)
+        return SMatrix(self.wavelengths, new_ports, self.data.copy())
+
+    def reordered(self, ports: Sequence[str]) -> "SMatrix":
+        """Return a copy whose port order matches ``ports`` exactly."""
+        if set(ports) != set(self.ports) or len(ports) != len(self.ports):
+            raise ValueError(
+                f"reordered ports {list(ports)} must be a permutation of {list(self.ports)}"
+            )
+        idx = np.array([self.port_index(p) for p in ports], dtype=int)
+        data = self.data[:, idx][:, :, idx]
+        return SMatrix(self.wavelengths, tuple(ports), data)
+
+    def at_wavelength(self, wavelength_um: float) -> np.ndarray:
+        """Return the 2-D S-matrix at the grid point closest to ``wavelength_um``."""
+        idx = int(np.argmin(np.abs(self.wavelengths - wavelength_um)))
+        return self.data[idx]
+
+
+def sdict_to_smatrix(
+    wavelengths: np.ndarray,
+    ports: Sequence[str],
+    sdict: Mapping[Tuple[str, str], np.ndarray | complex],
+    *,
+    reciprocal: bool = True,
+) -> SMatrix:
+    """Build an :class:`SMatrix` from a sparse ``{(out, in): value}`` mapping.
+
+    Parameters
+    ----------
+    wavelengths:
+        Wavelength grid in microns.
+    ports:
+        Ordered port names of the device.
+    sdict:
+        Mapping of ``(output_port, input_port)`` to a complex scalar or a
+        spectrum of the same length as ``wavelengths``.  Missing entries are
+        zero.
+    reciprocal:
+        When true (the default, appropriate for passive photonic devices),
+        each provided entry ``(a, b)`` also fills ``(b, a)`` unless that entry
+        is given explicitly.
+    """
+    wavelengths = np.atleast_1d(np.asarray(wavelengths, dtype=float))
+    ports = tuple(str(p) for p in ports)
+    index = {p: i for i, p in enumerate(ports)}
+    data = np.zeros((wavelengths.size, len(ports), len(ports)), dtype=complex)
+    for (out_port, in_port), value in sdict.items():
+        if out_port not in index or in_port not in index:
+            raise KeyError(
+                f"sdict entry ({out_port!r}, {in_port!r}) references a port not in {ports}"
+            )
+        data[:, index[out_port], index[in_port]] = np.asarray(value, dtype=complex)
+    if reciprocal:
+        for (out_port, in_port), value in sdict.items():
+            if (in_port, out_port) not in sdict:
+                data[:, index[in_port], index[out_port]] = np.asarray(value, dtype=complex)
+    return SMatrix(wavelengths, ports, data)
+
+
+def is_reciprocal(smatrix: SMatrix, atol: float = 1e-9) -> bool:
+    """Return True when ``S == S.T`` at every wavelength (passive reciprocity)."""
+    return bool(np.allclose(smatrix.data, np.swapaxes(smatrix.data, 1, 2), atol=atol))
+
+
+def is_unitary(smatrix: SMatrix, atol: float = 1e-7) -> bool:
+    """Return True when ``S† S == I`` at every wavelength (lossless device)."""
+    identity = np.eye(smatrix.num_ports)
+    product = np.einsum("wij,wik->wjk", np.conj(smatrix.data), smatrix.data)
+    return bool(np.allclose(product, identity[None, :, :], atol=atol))
+
+
+def power_transmission(smatrix: SMatrix) -> Dict[Tuple[str, str], np.ndarray]:
+    """Return ``|S|^2`` spectra for every port pair as a dictionary."""
+    return {
+        (pi, pj): np.abs(smatrix.data[:, i, j]) ** 2
+        for i, pi in enumerate(smatrix.ports)
+        for j, pj in enumerate(smatrix.ports)
+    }

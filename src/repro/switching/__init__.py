@@ -1,0 +1,69 @@
+"""Optical switch fabrics: topologies, netlist lowering and permutation routing."""
+
+from typing import Dict, Sequence
+
+from .benes import benes_element_count, benes_fabric, route_benes
+from .crossbar import crossbar_fabric, route_crossbar
+from .elementary import OS2X2_BAR_PHASE, OS2X2_CROSS_PHASE, os2x2_netlist
+from .fabric import SwitchElement, SwitchFabric, validate_permutation
+from .spanke import route_spanke, spanke_fabric
+from .spanke_benes import route_spanke_benes, spanke_benes_columns, spanke_benes_fabric
+
+__all__ = [
+    "SwitchElement",
+    "SwitchFabric",
+    "validate_permutation",
+    "crossbar_fabric",
+    "route_crossbar",
+    "spanke_fabric",
+    "route_spanke",
+    "benes_fabric",
+    "route_benes",
+    "benes_element_count",
+    "spanke_benes_fabric",
+    "route_spanke_benes",
+    "spanke_benes_columns",
+    "os2x2_netlist",
+    "OS2X2_BAR_PHASE",
+    "OS2X2_CROSS_PHASE",
+    "build_fabric",
+    "route_fabric",
+]
+
+_FABRIC_BUILDERS = {
+    "crossbar": crossbar_fabric,
+    "spanke": spanke_fabric,
+    "benes": benes_fabric,
+    "spankebenes": spanke_benes_fabric,
+}
+
+_FABRIC_ROUTERS = {
+    "crossbar": route_crossbar,
+    "spanke": route_spanke,
+    "benes": route_benes,
+    "spankebenes": route_spanke_benes,
+}
+
+
+def build_fabric(architecture: str, size: int) -> SwitchFabric:
+    """Build a switch fabric by architecture name (see :data:`_FABRIC_BUILDERS`)."""
+    try:
+        builder = _FABRIC_BUILDERS[architecture]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; "
+            f"available: {sorted(_FABRIC_BUILDERS)}"
+        ) from exc
+    return builder(size)
+
+
+def route_fabric(architecture: str, size: int, permutation: Sequence[int]) -> Dict[str, object]:
+    """Route a permutation through a fabric, returning per-element states."""
+    try:
+        router = _FABRIC_ROUTERS[architecture]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; "
+            f"available: {sorted(_FABRIC_ROUTERS)}"
+        ) from exc
+    return dict(router(size, permutation))

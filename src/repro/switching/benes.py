@@ -1,0 +1,191 @@
+"""Benes rearrangeably non-blocking switching network.
+
+An ``N x N`` Benes network (``N`` a power of two) consists of an input column
+of ``N/2`` 2x2 switches, two recursively constructed ``N/2 x N/2`` Benes
+sub-networks, and an output column of ``N/2`` switches, for a total of
+``N/2 * (2*log2(N) - 1)`` elements.  Any permutation can be routed using the
+classic looping algorithm, implemented in :func:`route_benes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .fabric import SwitchElement, SwitchFabric, validate_permutation
+
+__all__ = ["benes_fabric", "route_benes", "benes_element_count"]
+
+
+def _check_power_of_two(n: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"Benes fabric size must be a power of two >= 2, got {n}")
+
+
+def benes_element_count(n: int) -> int:
+    """Number of 2x2 switch elements in an ``n x n`` Benes network."""
+    _check_power_of_two(n)
+    if n == 2:
+        return 1
+    stages = 2 * (n.bit_length() - 1) - 1
+    return (n // 2) * stages
+
+
+@dataclass
+class _BenesNode:
+    """Recursive structure of a Benes network used for building and routing."""
+
+    size: int
+    input_switches: List[str] = field(default_factory=list)
+    output_switches: List[str] = field(default_factory=list)
+    upper: Optional["_BenesNode"] = None
+    lower: Optional["_BenesNode"] = None
+    single: Optional[str] = None  # the lone switch of a 2x2 base case
+
+    # Endpoints exposed to the enclosing network, indexed by terminal number.
+    input_endpoints: List[str] = field(default_factory=list)
+    output_endpoints: List[str] = field(default_factory=list)
+
+
+def _build(
+    n: int,
+    counter: List[int],
+    elements: Dict[str, SwitchElement],
+    connections: Dict[str, str],
+    depth: int,
+) -> _BenesNode:
+    """Recursively build an ``n``-terminal Benes network and return its structure."""
+    if n == 2:
+        counter[0] += 1
+        name = f"sw{counter[0]}"
+        elements[name] = SwitchElement(name=name, kind="switch2x2", metadata={"depth": depth})
+        return _BenesNode(
+            size=2,
+            single=name,
+            input_endpoints=[f"{name},I1", f"{name},I2"],
+            output_endpoints=[f"{name},O1", f"{name},O2"],
+        )
+
+    node = _BenesNode(size=n)
+    for _ in range(n // 2):
+        counter[0] += 1
+        name = f"sw{counter[0]}"
+        elements[name] = SwitchElement(
+            name=name, kind="switch2x2", metadata={"depth": depth, "stage": 0}
+        )
+        node.input_switches.append(name)
+        node.input_endpoints.extend([f"{name},I1", f"{name},I2"])
+
+    node.upper = _build(n // 2, counter, elements, connections, depth + 1)
+    node.lower = _build(n // 2, counter, elements, connections, depth + 1)
+
+    for _ in range(n // 2):
+        counter[0] += 1
+        name = f"sw{counter[0]}"
+        elements[name] = SwitchElement(
+            name=name, kind="switch2x2", metadata={"depth": depth, "stage": 1}
+        )
+        node.output_switches.append(name)
+        node.output_endpoints.extend([f"{name},O1", f"{name},O2"])
+
+    for k in range(n // 2):
+        connections[f"{node.input_switches[k]},O1"] = node.upper.input_endpoints[k]
+        connections[f"{node.input_switches[k]},O2"] = node.lower.input_endpoints[k]
+        connections[node.upper.output_endpoints[k]] = f"{node.output_switches[k]},I1"
+        connections[node.lower.output_endpoints[k]] = f"{node.output_switches[k]},I2"
+    return node
+
+
+def _build_structure(n: int) -> Tuple[_BenesNode, Dict[str, SwitchElement], Dict[str, str]]:
+    elements: Dict[str, SwitchElement] = {}
+    connections: Dict[str, str] = {}
+    root = _build(n, [0], elements, connections, depth=0)
+    return root, elements, connections
+
+
+def benes_fabric(n: int) -> SwitchFabric:
+    """Build the ``n x n`` Benes fabric (``n`` must be a power of two)."""
+    _check_power_of_two(n)
+    root, elements, connections = _build_structure(n)
+    ports: Dict[str, str] = {}
+    for terminal in range(n):
+        ports[f"I{terminal + 1}"] = root.input_endpoints[terminal]
+    for terminal in range(n):
+        ports[f"O{terminal + 1}"] = root.output_endpoints[terminal]
+    return SwitchFabric(
+        architecture="benes",
+        size=n,
+        elements=elements,
+        connections=connections,
+        ports=ports,
+    )
+
+
+def _route_node(node: _BenesNode, permutation: Sequence[int], states: Dict[str, str]) -> None:
+    """Apply the looping algorithm to route ``permutation`` through ``node``."""
+    n = node.size
+    if n == 2:
+        assert node.single is not None
+        states[node.single] = "bar" if permutation[0] == 0 else "cross"
+        return
+
+    half = n // 2
+    # side[i] is 0 when input terminal i is routed through the upper sub-network.
+    side: List[Optional[int]] = [None] * n
+    inverse = [0] * n
+    for inp, out in enumerate(permutation):
+        inverse[out] = inp
+
+    for start in range(n):
+        if side[start] is not None:
+            continue
+        current = start
+        assignment = 0  # route the loop's starting terminal through the upper network
+        while side[current] is None:
+            side[current] = assignment
+            out = permutation[current]
+            partner_out = out ^ 1  # the other terminal of the same output switch
+            partner_in = inverse[partner_out]
+            side[partner_in] = 1 - assignment
+            # Continue the loop with the partner of that input on its own switch.
+            current = partner_in ^ 1
+            assignment = 1 - side[partner_in]
+
+    upper_perm = [0] * half
+    lower_perm = [0] * half
+    for inp, out in enumerate(permutation):
+        in_switch, out_switch = inp // 2, out // 2
+        if side[inp] == 0:
+            upper_perm[in_switch] = out_switch
+        else:
+            lower_perm[in_switch] = out_switch
+
+    for k in range(half):
+        upper_input = 2 * k if side[2 * k] == 0 else 2 * k + 1
+        states[node.input_switches[k]] = "bar" if upper_input == 2 * k else "cross"
+    for k in range(half):
+        out_upper = None
+        for inp, out in enumerate(permutation):
+            if out // 2 == k and side[inp] == 0:
+                out_upper = out
+                break
+        assert out_upper is not None
+        states[node.output_switches[k]] = "bar" if out_upper == 2 * k else "cross"
+
+    assert node.upper is not None and node.lower is not None
+    _route_node(node.upper, upper_perm, states)
+    _route_node(node.lower, lower_perm, states)
+
+
+def route_benes(n: int, permutation: Sequence[int]) -> Dict[str, str]:
+    """Return the element states routing ``permutation`` through a Benes fabric.
+
+    ``permutation[i]`` is the output terminal that input terminal ``i`` must
+    reach.  Uses the looping algorithm, so every permutation is routable.
+    """
+    _check_power_of_two(n)
+    perm = list(validate_permutation(permutation, n))
+    root, _elements, _connections = _build_structure(n)
+    states: Dict[str, str] = {}
+    _route_node(root, perm, states)
+    return states

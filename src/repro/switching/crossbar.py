@@ -1,0 +1,76 @@
+"""Crossbar switching network.
+
+An ``N x N`` crossbar uses ``N^2`` 2x2 switch elements arranged in a grid.
+Input ``i`` travels along row ``i``; setting the element at row ``i`` and
+column ``j`` to the cross state drops the signal onto column ``j``, which
+carries it to output ``j``.  Exactly one element per row/column pair is
+crossed for any permutation, so routing is conflict free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .fabric import SwitchElement, SwitchFabric, validate_permutation
+
+__all__ = ["crossbar_fabric", "route_crossbar"]
+
+
+def _element_name(row: int, column: int) -> str:
+    return f"swr{row + 1}c{column + 1}"
+
+
+def crossbar_fabric(n: int) -> SwitchFabric:
+    """Build the ``n x n`` crossbar fabric.
+
+    Element ``swr{i}c{j}`` ports: ``I1`` row input (from the left), ``I2``
+    column input (from above), ``O1`` row output (to the right), ``O2`` column
+    output (downwards).
+    """
+    if n < 2:
+        raise ValueError(f"crossbar size must be at least 2, got {n}")
+    elements: Dict[str, SwitchElement] = {}
+    connections: Dict[str, str] = {}
+    for row in range(n):
+        for column in range(n):
+            name = _element_name(row, column)
+            elements[name] = SwitchElement(
+                name=name, kind="switch2x2", metadata={"row": row, "column": column}
+            )
+    for row in range(n):
+        for column in range(n - 1):
+            connections[f"{_element_name(row, column)},O1"] = (
+                f"{_element_name(row, column + 1)},I1"
+            )
+    for column in range(n):
+        for row in range(n - 1):
+            connections[f"{_element_name(row, column)},O2"] = (
+                f"{_element_name(row + 1, column)},I2"
+            )
+    ports: Dict[str, str] = {}
+    for row in range(n):
+        ports[f"I{row + 1}"] = f"{_element_name(row, 0)},I1"
+    for column in range(n):
+        ports[f"O{column + 1}"] = f"{_element_name(n - 1, column)},O2"
+    return SwitchFabric(
+        architecture="crossbar",
+        size=n,
+        elements=elements,
+        connections=connections,
+        ports=ports,
+    )
+
+
+def route_crossbar(n: int, permutation: Sequence[int]) -> Dict[str, str]:
+    """Return the element states routing ``permutation`` through the crossbar.
+
+    ``permutation[i]`` is the output index that input ``i`` must reach.
+    """
+    perm = validate_permutation(permutation, n)
+    states: Dict[str, str] = {}
+    for row in range(n):
+        for column in range(n):
+            states[_element_name(row, column)] = "bar"
+    for row, column in enumerate(perm):
+        states[_element_name(row, column)] = "cross"
+    return states

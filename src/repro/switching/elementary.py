@@ -1,0 +1,63 @@
+"""Elementary switch cells built from interferometric components.
+
+The benchmark's ``OS 2x2`` problem asks for a fundamental 2x2 optical switch.
+The golden design is the classic MZI switch: two 2x2 MMIs with a phase shifter
+in the upper arm.  With the phase shifter at its default (0 rad) the cell is
+in the cross state; driving the shifter to ``pi`` puts it in the bar state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..netlist.schema import Instance, Netlist
+
+__all__ = ["os2x2_netlist", "OS2X2_BAR_PHASE", "OS2X2_CROSS_PHASE"]
+
+#: Phase-shifter setting (radians) that puts the MZI switch in the cross state.
+OS2X2_CROSS_PHASE = 0.0
+
+#: Phase-shifter setting (radians) that puts the MZI switch in the bar state.
+OS2X2_BAR_PHASE = math.pi
+
+
+def os2x2_netlist(*, phase: float | None = None, arm_length: float = 10.0) -> Netlist:
+    """Build the MZI-based 2x2 optical switch netlist.
+
+    Parameters
+    ----------
+    phase:
+        Optional phase-shifter setting; ``None`` (the golden structural
+        design) leaves the shifter at its default.
+    arm_length:
+        Length of both arms in microns (kept equal so the cell is
+        wavelength flat).
+    """
+    shifter_settings: Dict[str, object] = {"length": arm_length}
+    if phase is not None:
+        shifter_settings["phase"] = float(phase)
+    instances = {
+        "mmiIn": Instance("mmi2x2"),
+        "psTop": Instance("phase_shifter", shifter_settings),
+        "wgBottom": Instance("waveguide", {"length": arm_length}),
+        "mmiOut": Instance("mmi2x2"),
+    }
+    connections = {
+        "mmiIn,O1": "psTop,I1",
+        "psTop,O1": "mmiOut,I1",
+        "mmiIn,O2": "wgBottom,I1",
+        "wgBottom,O1": "mmiOut,I2",
+    }
+    ports = {
+        "I1": "mmiIn,I1",
+        "I2": "mmiIn,I2",
+        "O1": "mmiOut,O1",
+        "O2": "mmiOut,O2",
+    }
+    models = {
+        "mmi2x2": "mmi2x2",
+        "phase_shifter": "phase_shifter",
+        "waveguide": "waveguide",
+    }
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)

@@ -1,0 +1,126 @@
+"""Common infrastructure for optical switch fabrics.
+
+A :class:`SwitchFabric` is a structural description of a switching network:
+its switch elements, the static waveguide connections between them, and its
+external ports.  It can be lowered to a benchmark netlist (with default or
+explicit switch states) and asked to route a permutation, returning the state
+assignment that realises it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.schema import Instance, Netlist
+
+__all__ = ["SwitchElement", "SwitchFabric", "validate_permutation"]
+
+
+def validate_permutation(permutation: Sequence[int], size: int) -> Tuple[int, ...]:
+    """Check that ``permutation`` is a permutation of ``range(size)`` and return it."""
+    perm = tuple(int(p) for p in permutation)
+    if sorted(perm) != list(range(size)):
+        raise ValueError(
+            f"{list(permutation)} is not a permutation of 0..{size - 1}"
+        )
+    return perm
+
+
+@dataclass
+class SwitchElement:
+    """One switch element of a fabric.
+
+    Attributes
+    ----------
+    name:
+        Instance name used in the netlist (alphanumeric, no underscores).
+    kind:
+        Model reference: ``switch2x2``, ``switch1x2`` or ``switch2x1``.
+    metadata:
+        Topology bookkeeping used by the routing algorithms (row/column,
+        stage index, tree position, ...).
+    """
+
+    name: str
+    kind: str
+    metadata: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SwitchFabric:
+    """A switch-fabric topology that can be lowered to a netlist.
+
+    Attributes
+    ----------
+    architecture:
+        One of ``crossbar``, ``spanke``, ``benes``, ``spankebenes`` or ``os``.
+    size:
+        Number of inputs / outputs (``N`` of an ``N x N`` fabric).
+    elements:
+        The switch elements, keyed by instance name.
+    connections:
+        Static waveguide connections between element ports.
+    ports:
+        External port map (``I1..IN`` and ``O1..ON``).
+    """
+
+    architecture: str
+    size: int
+    elements: Dict[str, SwitchElement]
+    connections: Dict[str, str]
+    ports: Dict[str, str]
+
+    @property
+    def num_elements(self) -> int:
+        """Number of switch elements in the fabric."""
+        return len(self.elements)
+
+    def element_kinds(self) -> Tuple[str, ...]:
+        """The set of switch models the fabric uses (for the models section)."""
+        return tuple(sorted({element.kind for element in self.elements.values()}))
+
+    def to_netlist(self, states: Optional[Mapping[str, object]] = None) -> Netlist:
+        """Lower the fabric to a netlist.
+
+        Parameters
+        ----------
+        states:
+            Optional mapping of element name to switch state (``"bar"`` /
+            ``"cross"`` for 2x2 elements, ``1`` / ``2`` for the gate switches).
+            Elements not present keep their model defaults, which is what the
+            benchmark's golden (structural) designs use.
+        """
+        states = dict(states or {})
+        unknown = sorted(set(states) - set(self.elements))
+        if unknown:
+            raise KeyError(f"states reference unknown elements: {unknown}")
+        instances: Dict[str, Instance] = {}
+        for name, element in self.elements.items():
+            settings: Dict[str, object] = {}
+            if name in states:
+                settings["state"] = states[name]
+            instances[name] = Instance(element.kind, settings)
+        models = {kind: kind for kind in self.element_kinds()}
+        return Netlist(
+            instances=instances,
+            connections=dict(self.connections),
+            ports=dict(self.ports),
+            models=models,
+        )
+
+    # ------------------------------------------------------------------
+    # Verification helper
+    # ------------------------------------------------------------------
+    def permutation_matrix(self, permutation: Sequence[int]) -> np.ndarray:
+        """Return the ideal power-transmission matrix of a routed permutation.
+
+        Entry ``[j, i]`` is 1 when input ``i`` is routed to output ``j``.
+        """
+        perm = validate_permutation(permutation, self.size)
+        matrix = np.zeros((self.size, self.size))
+        for inp, out in enumerate(perm):
+            matrix[out, inp] = 1.0
+        return matrix

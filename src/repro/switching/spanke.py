@@ -1,0 +1,118 @@
+"""Spanke switching network.
+
+The Spanke architecture uses ``N`` 1xN gate-switch trees on the input side and
+``N`` Nx1 gate-switch trees on the output side, with a full interconnect in
+between: leaf ``j`` of input tree ``i`` is wired to leaf ``i`` of output tree
+``j``.  It is strictly non-blocking and every path crosses exactly
+``2 * log2(N)`` switch elements.
+
+Trees are binary and built from ``switch1x2`` / ``switch2x1`` elements using
+heap indexing: node ``1`` is the root and node ``k`` has children ``2k`` and
+``2k + 1``; nodes ``N/2 .. N-1`` are leaves whose two branches correspond to
+consecutive leaf indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .fabric import SwitchElement, SwitchFabric, validate_permutation
+
+__all__ = ["spanke_fabric", "route_spanke"]
+
+
+def _check_power_of_two(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"Spanke fabric size must be a power of two >= 2, got {n}")
+    return int(n).bit_length() - 1
+
+
+def _input_node_name(tree: int, node: int) -> str:
+    return f"itree{tree + 1}n{node}"
+
+
+def _output_node_name(tree: int, node: int) -> str:
+    return f"otree{tree + 1}n{node}"
+
+
+def _leaf_endpoint(n: int, leaf: int) -> Tuple[int, str]:
+    """Return (heap node, branch port suffix) addressing leaf ``leaf`` of a tree."""
+    node = (n + leaf) // 2
+    branch = "1" if leaf % 2 == 0 else "2"
+    return node, branch
+
+
+def spanke_fabric(n: int) -> SwitchFabric:
+    """Build the ``n x n`` Spanke fabric (``n`` must be a power of two)."""
+    _check_power_of_two(n)
+    elements: Dict[str, SwitchElement] = {}
+    connections: Dict[str, str] = {}
+    ports: Dict[str, str] = {}
+
+    for tree in range(n):
+        # Input-side 1xN tree of switch1x2 elements.
+        for node in range(1, n):
+            name = _input_node_name(tree, node)
+            elements[name] = SwitchElement(
+                name=name, kind="switch1x2", metadata={"tree": tree, "node": node, "side": 0}
+            )
+        for node in range(1, n // 2):
+            connections[f"{_input_node_name(tree, node)},O1"] = (
+                f"{_input_node_name(tree, 2 * node)},I1"
+            )
+            connections[f"{_input_node_name(tree, node)},O2"] = (
+                f"{_input_node_name(tree, 2 * node + 1)},I1"
+            )
+        ports[f"I{tree + 1}"] = f"{_input_node_name(tree, 1)},I1"
+
+        # Output-side Nx1 tree of switch2x1 elements.
+        for node in range(1, n):
+            name = _output_node_name(tree, node)
+            elements[name] = SwitchElement(
+                name=name, kind="switch2x1", metadata={"tree": tree, "node": node, "side": 1}
+            )
+        for node in range(1, n // 2):
+            connections[f"{_output_node_name(tree, 2 * node)},O1"] = (
+                f"{_output_node_name(tree, node)},I1"
+            )
+            connections[f"{_output_node_name(tree, 2 * node + 1)},O1"] = (
+                f"{_output_node_name(tree, node)},I2"
+            )
+        ports[f"O{tree + 1}"] = f"{_output_node_name(tree, 1)},O1"
+
+    # Full interconnect: leaf j of input tree i feeds leaf i of output tree j.
+    for inp in range(n):
+        for out in range(n):
+            in_node, in_branch = _leaf_endpoint(n, out)
+            out_node, out_branch = _leaf_endpoint(n, inp)
+            connections[f"{_input_node_name(inp, in_node)},O{in_branch}"] = (
+                f"{_output_node_name(out, out_node)},I{out_branch}"
+            )
+    return SwitchFabric(
+        architecture="spanke",
+        size=n,
+        elements=elements,
+        connections=connections,
+        ports=ports,
+    )
+
+
+def route_spanke(n: int, permutation: Sequence[int]) -> Dict[str, int]:
+    """Return the element states routing ``permutation`` through a Spanke fabric."""
+    depth = _check_power_of_two(n)
+    perm = validate_permutation(permutation, n)
+    states: Dict[str, int] = {}
+    for inp, out in enumerate(perm):
+        # Program the path root -> leaf ``out`` in input tree ``inp``.
+        node = 1
+        for level in range(depth):
+            bit = (out >> (depth - 1 - level)) & 1
+            states[_input_node_name(inp, node)] = 2 if bit else 1
+            node = 2 * node + bit
+        # Program the path leaf ``inp`` -> root in output tree ``out``.
+        node = 1
+        for level in range(depth):
+            bit = (inp >> (depth - 1 - level)) & 1
+            states[_output_node_name(out, node)] = 2 if bit else 1
+            node = 2 * node + bit
+    return states

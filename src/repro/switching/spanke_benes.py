@@ -1,0 +1,93 @@
+"""Spanke-Benes (planar) switching network.
+
+The Spanke-Benes arrangement places ``N (N - 1) / 2`` 2x2 switches in ``N``
+columns with nearest-neighbour connectivity only (no waveguide crossings):
+even columns host switches on mode pairs ``(0,1), (2,3), ...`` and odd columns
+on pairs ``(1,2), (3,4), ...``.  Routing a permutation is equivalent to
+sorting the destination labels with an odd-even transposition sorting network,
+which completes in ``N`` passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .fabric import SwitchElement, SwitchFabric, validate_permutation
+
+__all__ = ["spanke_benes_fabric", "route_spanke_benes", "spanke_benes_columns"]
+
+
+def spanke_benes_columns(n: int) -> List[List[int]]:
+    """Return, per column, the upper mode index of every switch in that column."""
+    if n < 2:
+        raise ValueError(f"Spanke-Benes size must be at least 2, got {n}")
+    columns: List[List[int]] = []
+    for column in range(n):
+        start = column % 2
+        columns.append(list(range(start, n - 1, 2)))
+    return columns
+
+
+def _element_name(column: int, mode: int) -> str:
+    return f"swc{column + 1}m{mode + 1}"
+
+
+def spanke_benes_fabric(n: int) -> SwitchFabric:
+    """Build the ``n x n`` Spanke-Benes (planar) fabric."""
+    columns = spanke_benes_columns(n)
+    elements: Dict[str, SwitchElement] = {}
+    connections: Dict[str, str] = {}
+    frontier: List[str] = [""] * n  # open endpoint of each mode, "" = external input
+    input_attachment: List[str] = [""] * n
+
+    for column, modes in enumerate(columns):
+        for mode in modes:
+            name = _element_name(column, mode)
+            elements[name] = SwitchElement(
+                name=name, kind="switch2x2", metadata={"column": column, "mode": mode}
+            )
+            for offset, in_port, out_port in ((0, "I1", "O1"), (1, "I2", "O2")):
+                lane = mode + offset
+                endpoint = f"{name},{in_port}"
+                if frontier[lane]:
+                    connections[frontier[lane]] = endpoint
+                else:
+                    input_attachment[lane] = endpoint
+                frontier[lane] = f"{name},{out_port}"
+
+    ports: Dict[str, str] = {}
+    for lane in range(n):
+        ports[f"I{lane + 1}"] = input_attachment[lane]
+        ports[f"O{lane + 1}"] = frontier[lane]
+    return SwitchFabric(
+        architecture="spankebenes",
+        size=n,
+        elements=elements,
+        connections=connections,
+        ports=ports,
+    )
+
+
+def route_spanke_benes(n: int, permutation: Sequence[int]) -> Dict[str, str]:
+    """Return the element states routing ``permutation`` through the planar fabric.
+
+    The switch states are obtained by running an odd-even transposition sort on
+    the destination labels: at each comparator, the switch is crossed when the
+    labels on its two lanes are out of order.
+    """
+    perm = validate_permutation(permutation, n)
+    labels = list(perm)
+    states: Dict[str, str] = {}
+    for column, modes in enumerate(spanke_benes_columns(n)):
+        for mode in modes:
+            name = _element_name(column, mode)
+            if labels[mode] > labels[mode + 1]:
+                states[name] = "cross"
+                labels[mode], labels[mode + 1] = labels[mode + 1], labels[mode]
+            else:
+                states[name] = "bar"
+    if labels != sorted(labels):
+        raise RuntimeError(
+            "odd-even transposition routing failed to sort the destination labels"
+        )
+    return states

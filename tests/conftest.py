@@ -1,0 +1,69 @@
+"""Shared fixtures for the PICBench reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.golden import GoldenStore
+from repro.bench.suite import all_problems, get_problem
+from repro.constants import default_wavelength_grid
+from repro.evalkit.evaluator import EvaluationConfig, Evaluator
+from repro.sim.circuit import CircuitSolver
+from repro.sim.registry import default_registry
+
+#: Small wavelength grid used throughout the tests to keep simulations fast.
+TEST_NUM_WAVELENGTHS = 11
+
+
+@pytest.fixture(scope="session")
+def wavelengths() -> np.ndarray:
+    """A small evaluation wavelength grid (1510-1590 nm, 11 points)."""
+    return default_wavelength_grid(TEST_NUM_WAVELENGTHS)
+
+
+@pytest.fixture(scope="session")
+def single_wavelength() -> np.ndarray:
+    """A single-point grid at the centre wavelength."""
+    return np.array([1.55])
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """The default built-in model registry."""
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def solver(registry) -> CircuitSolver:
+    """A circuit solver sharing the default registry."""
+    return CircuitSolver(registry=registry)
+
+
+@pytest.fixture(scope="session")
+def golden_store() -> GoldenStore:
+    """A golden-response store on the small test grid (shared across tests)."""
+    return GoldenStore(num_wavelengths=TEST_NUM_WAVELENGTHS)
+
+
+@pytest.fixture(scope="session")
+def evaluator(golden_store) -> Evaluator:
+    """An evaluator wired to the small test grid."""
+    config = EvaluationConfig(
+        samples_per_problem=2,
+        max_feedback_iterations=2,
+        num_wavelengths=TEST_NUM_WAVELENGTHS,
+    )
+    return Evaluator(config, golden_store=golden_store)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full 24-problem suite."""
+    return all_problems()
+
+
+@pytest.fixture(scope="session")
+def mzi_ps_problem():
+    """The MZI ps problem (the paper's running example)."""
+    return get_problem("mzi_ps")

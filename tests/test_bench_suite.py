@@ -1,0 +1,126 @@
+"""Tests for the 24-problem benchmark suite (Table I)."""
+
+import pytest
+
+from repro.bench import (
+    EXPECTED_PROBLEM_COUNT,
+    Category,
+    all_problems,
+    get_problem,
+    problem_names,
+    problems_by_category,
+    suite_summary,
+)
+from repro.netlist import validate_netlist
+
+
+class TestSuiteComposition:
+    def test_exactly_24_problems(self, suite):
+        assert len(suite) == EXPECTED_PROBLEM_COUNT == 24
+
+    def test_category_counts_match_table1(self):
+        grouped = problems_by_category()
+        assert len(grouped[Category.OPTICAL_COMPUTING]) == 6
+        assert len(grouped[Category.OPTICAL_INTERCONNECTS]) == 7
+        assert len(grouped[Category.OPTICAL_SWITCH]) == 9
+        assert len(grouped[Category.FUNDAMENTAL_DEVICES]) == 2
+
+    def test_problem_names_unique(self):
+        names = problem_names()
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "clements_4x4",
+            "clements_8x8",
+            "reck_4x4",
+            "reck_8x8",
+            "nls",
+            "umatrix_block",
+            "direct_modulator",
+            "qpsk_modulator",
+            "qam8_modulator",
+            "qam64_modulator",
+            "wdm_mux",
+            "wdm_demux",
+            "optical_hybrid",
+            "os_2x2",
+            "crossbar_4x4",
+            "crossbar_8x8",
+            "spanke_4x4",
+            "spanke_8x8",
+            "benes_4x4",
+            "benes_8x8",
+            "spankebenes_4x4",
+            "spankebenes_8x8",
+            "mzm",
+            "mzi_ps",
+        ],
+    )
+    def test_expected_problems_present(self, name):
+        problem = get_problem(name)
+        assert problem.name == name
+
+    def test_get_problem_unknown(self):
+        with pytest.raises(KeyError, match="available problems"):
+            get_problem("flux_capacitor")
+
+    def test_suite_summary_fields(self):
+        summary = suite_summary()
+        assert len(summary) == 24
+        for entry in summary:
+            assert entry["golden_instances"] >= 3
+            assert entry["num_inputs"] >= 1
+            assert entry["num_outputs"] >= 1
+
+
+class TestProblemContents:
+    def test_descriptions_are_meaningful(self, suite):
+        for problem in suite:
+            assert len(problem.description) > 100, problem.name
+            assert "Ports:" in problem.description
+
+    def test_descriptions_are_unique(self, suite):
+        descriptions = [p.description for p in suite]
+        assert len(set(descriptions)) == len(descriptions)
+
+    def test_golden_netlists_validate_against_spec(self, suite):
+        for problem in suite:
+            netlist = problem.golden_netlist()
+            validate_netlist(netlist, port_spec=problem.port_spec)
+
+    def test_golden_port_counts_match_spec(self, suite):
+        for problem in suite:
+            netlist = problem.golden_netlist()
+            assert len(netlist.external_inputs()) == problem.port_spec.num_inputs
+            assert len(netlist.external_outputs()) == problem.port_spec.num_outputs
+
+    def test_golden_factory_returns_fresh_copies(self, mzi_ps_problem):
+        first = mzi_ps_problem.golden_netlist()
+        first.instances.clear()
+        second = mzi_ps_problem.golden_netlist()
+        assert second.num_instances() == 4
+
+    def test_no_purely_device_level_problems(self, suite):
+        # Section III-B: every problem involves connections among components.
+        for problem in suite:
+            assert problem.complexity >= 3, problem.name
+
+    def test_instance_names_follow_rules(self, suite):
+        for problem in suite:
+            for name in problem.golden_netlist().instances:
+                assert "_" not in name, (problem.name, name)
+
+    def test_categories_are_canonical(self, suite):
+        for problem in suite:
+            assert problem.category in Category.ALL
+
+    def test_mesh_problem_sizes(self):
+        assert get_problem("clements_8x8").complexity == 28
+        assert get_problem("reck_4x4").complexity == 6
+        assert get_problem("benes_8x8").complexity == 20
+        assert get_problem("crossbar_8x8").complexity == 64
+
+    def test_mzi_ps_description_mentions_parameters(self, mzi_ps_problem):
+        assert "10 microns" in mzi_ps_problem.description

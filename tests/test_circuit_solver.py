@@ -1,0 +1,131 @@
+"""Tests for the frequency-domain circuit solver."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Instance, Netlist, PortSpec, UndefinedModelError, WrongPortError
+from repro.netlist.errors import OtherSyntaxError
+from repro.sim import CircuitSolver, evaluate_netlist, is_unitary
+from repro.sim.models import mzi, waveguide
+
+
+def chain_netlist(lengths):
+    """A simple chain of waveguides."""
+    instances = {f"wg{i + 1}": Instance("waveguide", {"length": float(l)}) for i, l in enumerate(lengths)}
+    connections = {
+        f"wg{i + 1},O1": f"wg{i + 2},I1" for i in range(len(lengths) - 1)
+    }
+    ports = {"I1": "wg1,I1", "O1": f"wg{len(lengths)},O1"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models={"waveguide": "waveguide"})
+
+
+class TestChains:
+    def test_single_instance(self, wavelengths):
+        netlist = chain_netlist([25.0])
+        sm = evaluate_netlist(netlist, wavelengths)
+        assert np.allclose(sm.s("O1", "I1"), waveguide(wavelengths, length=25.0).s("O1", "I1"))
+
+    def test_chain_equals_total_length(self, wavelengths):
+        chained = evaluate_netlist(chain_netlist([10.0, 15.0, 5.0]), wavelengths)
+        single = waveguide(wavelengths, length=30.0)
+        assert np.allclose(chained.s("O1", "I1"), single.s("O1", "I1"), atol=1e-10)
+
+    def test_external_port_names_preserved(self, wavelengths):
+        sm = evaluate_netlist(chain_netlist([10.0, 10.0]), wavelengths)
+        assert set(sm.ports) == {"I1", "O1"}
+
+    def test_no_spurious_reflection(self, wavelengths):
+        sm = evaluate_netlist(chain_netlist([10.0, 10.0]), wavelengths)
+        assert np.allclose(sm.transmission("I1", "I1"), 0.0)
+
+
+class TestInterferometers:
+    def test_composed_mzi_matches_analytic(self, wavelengths, mzi_ps_problem):
+        netlist = mzi_ps_problem.golden_netlist()
+        sm = evaluate_netlist(netlist, wavelengths)
+        analytic = mzi(wavelengths, delta_length=10.0, length=10.0)
+        assert np.allclose(
+            sm.transmission("O1", "I1"), analytic.transmission("O1", "I1"), atol=1e-10
+        )
+
+    def test_lossless_interferometer_is_unitary_2x2(self, wavelengths):
+        from repro.switching import os2x2_netlist
+
+        sm = evaluate_netlist(os2x2_netlist(), wavelengths)
+        assert is_unitary(sm, atol=1e-8)
+
+    def test_ring_feedback_loop_converges(self, wavelengths):
+        # A circuit with a feedback path (ring built from a coupler + waveguide).
+        netlist = Netlist(
+            instances={
+                "cp": Instance("coupler", {"coupling": 0.2}),
+                "loop": Instance("waveguide", {"length": 31.4}),
+            },
+            connections={"cp,O2": "loop,I1", "loop,O1": "cp,I2"},
+            ports={"I1": "cp,I1", "O1": "cp,O1"},
+            models={"coupler": "coupler", "waveguide": "waveguide"},
+        )
+        sm = evaluate_netlist(netlist, wavelengths)
+        # Lossless all-pass ring: |S21| == 1 at every wavelength.
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0, atol=1e-9)
+
+
+class TestSolverErrors:
+    def test_undefined_model(self, wavelengths):
+        netlist = chain_netlist([10.0])
+        netlist.models["waveguide"] = "wire"
+        with pytest.raises(UndefinedModelError):
+            evaluate_netlist(netlist, wavelengths)
+
+    def test_bad_settings_classified(self, wavelengths):
+        netlist = chain_netlist([10.0])
+        netlist.instances["wg1"].settings["bogus"] = 1.0
+        with pytest.raises(OtherSyntaxError, match="rejected its settings"):
+            evaluate_netlist(netlist, wavelengths)
+
+    def test_invalid_setting_value_classified(self, wavelengths):
+        netlist = Netlist(
+            instances={"cp": Instance("coupler", {"coupling": 2.0})},
+            ports={"I1": "cp,I1", "O1": "cp,O1"},
+            models={"coupler": "coupler"},
+        )
+        with pytest.raises(OtherSyntaxError):
+            evaluate_netlist(netlist, wavelengths)
+
+    def test_port_spec_enforced(self, wavelengths):
+        from repro.netlist import WrongPortCountError
+
+        netlist = chain_netlist([10.0])
+        with pytest.raises(WrongPortCountError):
+            evaluate_netlist(netlist, wavelengths, port_spec=PortSpec(2, 2))
+
+    def test_validation_can_be_disabled(self, wavelengths):
+        netlist = chain_netlist([10.0, 20.0])
+        solver = CircuitSolver(validate=False)
+        sm = solver.evaluate(netlist, wavelengths)
+        assert sm.num_ports == 2
+
+    def test_wrong_port_raised_without_validation(self, wavelengths):
+        netlist = chain_netlist([10.0, 20.0])
+        netlist.connections["wg1,O1"] = "wg2,I9"
+        solver = CircuitSolver(validate=False)
+        with pytest.raises(WrongPortError):
+            solver.evaluate(netlist, wavelengths)
+
+    def test_default_wavelength_grid_used(self):
+        sm = evaluate_netlist(chain_netlist([10.0]))
+        from repro.constants import DEFAULT_NUM_WAVELENGTHS
+
+        assert sm.num_wavelengths == DEFAULT_NUM_WAVELENGTHS
+
+
+class TestDanglingPorts:
+    def test_unconnected_ports_are_allowed(self, wavelengths):
+        # An mmi1x2 with only one output used: the other output is dangling.
+        netlist = Netlist(
+            instances={"splitter": Instance("mmi1x2")},
+            ports={"I1": "splitter,I1", "O1": "splitter,O1"},
+            models={"mmi1x2": "mmi1x2"},
+        )
+        sm = evaluate_netlist(netlist, wavelengths)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.5)

@@ -1,0 +1,50 @@
+"""Tests for the shared constants and unit conversions."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+
+
+def test_default_wavelength_grid_spans_band():
+    grid = constants.default_wavelength_grid()
+    assert grid[0] == pytest.approx(1.510)
+    assert grid[-1] == pytest.approx(1.590)
+    assert grid.size == constants.DEFAULT_NUM_WAVELENGTHS
+    assert np.all(np.diff(grid) > 0)
+
+
+def test_default_wavelength_grid_custom_size():
+    grid = constants.default_wavelength_grid(5)
+    assert grid.size == 5
+    assert grid[0] == pytest.approx(1.510)
+    assert grid[-1] == pytest.approx(1.590)
+
+
+def test_wavelength_to_frequency_center():
+    freq = constants.wavelength_to_frequency_thz(1.55)
+    # 193.4 THz is the standard telecom C-band centre frequency.
+    assert freq == pytest.approx(193.41, abs=0.05)
+
+
+def test_wavelength_to_frequency_vectorised():
+    grid = constants.default_wavelength_grid(7)
+    freqs = constants.wavelength_to_frequency_thz(grid)
+    assert freqs.shape == grid.shape
+    assert np.all(np.diff(freqs) < 0)  # longer wavelength -> lower frequency
+
+
+def test_loss_conversion_zero():
+    assert constants.db_per_cm_to_neper_per_um(0.0) == 0.0
+
+
+def test_loss_conversion_matches_definition():
+    # 3 dB/cm power loss over 1 cm must give 10 ** (-3/10) power transmission.
+    alpha = constants.db_per_cm_to_neper_per_um(3.0)
+    length_um = 1e4
+    power_transmission = np.exp(-2.0 * alpha * length_um)
+    assert power_transmission == pytest.approx(10 ** (-3.0 / 10.0))
+
+
+def test_loss_conversion_monotone():
+    assert constants.db_per_cm_to_neper_per_um(2.0) > constants.db_per_cm_to_neper_per_um(1.0)

@@ -1,0 +1,181 @@
+"""Tests for the Pass@k estimator, error classification and result records."""
+
+import math
+
+import pytest
+
+from repro.evalkit import (
+    AttemptRecord,
+    EvalReport,
+    SampleResult,
+    as_picbench_error,
+    classify_exception,
+    mean_pass_at_k,
+    pass_at_k,
+)
+from repro.netlist.errors import (
+    DuplicateConnectionError,
+    ErrorCategory,
+    FunctionalError,
+    WrongPortError,
+)
+from repro.sim.registry import UnknownModelError
+
+
+class TestPassAtK:
+    def test_all_pass(self):
+        assert pass_at_k(5, 5, 1) == pytest.approx(1.0)
+
+    def test_none_pass(self):
+        assert pass_at_k(5, 0, 1) == pytest.approx(0.0)
+        assert pass_at_k(5, 0, 5) == pytest.approx(0.0)
+
+    def test_pass_at_1_equals_fraction(self):
+        # With k=1 the estimator reduces to c/n.
+        for n, c in [(5, 1), (5, 3), (10, 7)]:
+            assert pass_at_k(n, c, 1) == pytest.approx(c / n)
+
+    def test_pass_at_n_equals_any(self):
+        assert pass_at_k(5, 1, 5) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # n=5, c=2, k=3: 1 - C(3,3)/C(5,3) = 1 - 1/10
+        assert pass_at_k(5, 2, 3) == pytest.approx(0.9)
+
+    def test_monotone_in_c(self):
+        values = [pass_at_k(10, c, 3) for c in range(11)]
+        assert values == sorted(values)
+
+    def test_monotone_in_k(self):
+        values = [pass_at_k(10, 3, k) for k in range(1, 11)]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("n,c,k", [(0, 0, 1), (5, 6, 1), (5, 2, 0), (5, 2, 6), (5, -1, 1)])
+    def test_invalid_arguments(self, n, c, k):
+        with pytest.raises(ValueError):
+            pass_at_k(n, c, k)
+
+    def test_mean_pass_at_k(self):
+        counts = [(5, 5), (5, 0)]
+        assert mean_pass_at_k(counts, 1) == pytest.approx(0.5)
+
+    def test_mean_requires_counts(self):
+        with pytest.raises(ValueError):
+            mean_pass_at_k([], 1)
+
+
+class TestClassification:
+    def test_picbench_error_keeps_category(self):
+        assert classify_exception(DuplicateConnectionError("dup")) is ErrorCategory.DUPLICATE_CONNECTION
+
+    def test_unknown_model_error_mapped(self):
+        assert classify_exception(UnknownModelError("nope")) is ErrorCategory.UNDEFINED_MODEL
+
+    def test_generic_exception_is_other(self):
+        assert classify_exception(RuntimeError("boom")) is ErrorCategory.OTHER_SYNTAX
+
+    def test_as_picbench_error_passthrough(self):
+        original = WrongPortError("bad")
+        assert as_picbench_error(original) is original
+
+    def test_as_picbench_error_wraps_generic(self):
+        wrapped = as_picbench_error(ValueError("singular matrix"))
+        assert wrapped.category is ErrorCategory.OTHER_SYNTAX
+        assert "singular matrix" in wrapped.detail
+
+    def test_as_picbench_error_wraps_unknown_model(self):
+        wrapped = as_picbench_error(UnknownModelError("model 'x'"))
+        assert wrapped.category is ErrorCategory.UNDEFINED_MODEL
+
+    def test_functional_category_is_not_syntax(self):
+        assert not ErrorCategory.FUNCTIONAL.is_syntax
+        assert ErrorCategory.WRONG_PORT.is_syntax
+
+    def test_display_names_match_table2(self):
+        assert ErrorCategory.INSTANCES_MODELS_CONFUSED.display_name == "Mess up 'Instances' and 'models' part"
+        assert ErrorCategory.BAD_COMPONENT_NAME.display_name == "Wrong component name"
+
+
+def make_sample(problem, outcomes):
+    """Build a SampleResult from a list of (syntax_ok, functional_ok) tuples."""
+    sample = SampleResult(problem=problem, sample_index=0)
+    for iteration, (syntax_ok, functional_ok) in enumerate(outcomes):
+        category = None
+        if not syntax_ok:
+            category = ErrorCategory.WRONG_PORT
+        elif not functional_ok:
+            category = ErrorCategory.FUNCTIONAL
+        sample.attempts.append(
+            AttemptRecord(
+                iteration=iteration,
+                syntax_ok=syntax_ok,
+                functional_ok=functional_ok,
+                error_category=category,
+            )
+        )
+    return sample
+
+
+class TestSampleResult:
+    def test_first_pass_iteration(self):
+        sample = make_sample("p", [(False, False), (True, False), (True, True)])
+        assert sample.first_pass_iteration("syntax") == 1
+        assert sample.first_pass_iteration("functional") == 2
+
+    def test_never_passed(self):
+        sample = make_sample("p", [(False, False), (False, False)])
+        assert sample.first_pass_iteration("syntax") is None
+        assert not sample.passed_within("syntax", 3)
+
+    def test_passed_within_budget(self):
+        sample = make_sample("p", [(False, False), (True, True)])
+        assert not sample.passed_within("functional", 0)
+        assert sample.passed_within("functional", 1)
+        assert sample.passed_within("functional", 3)
+
+    def test_error_categories(self):
+        sample = make_sample("p", [(False, False), (True, False), (True, True)])
+        assert sample.error_categories() == [ErrorCategory.WRONG_PORT, ErrorCategory.FUNCTIONAL]
+
+
+class TestEvalReport:
+    def build_report(self):
+        report = EvalReport(
+            model="test", with_restrictions=False, samples_per_problem=2, max_feedback_iterations=1
+        )
+        report.add(make_sample("a", [(True, True)]))
+        report.add(make_sample("a", [(False, False), (False, False)]))
+        report.add(make_sample("b", [(False, False), (True, False)]))
+        report.add(make_sample("b", [(False, False), (True, True)]))
+        return report
+
+    def test_pass_at_k_aggregation(self):
+        report = self.build_report()
+        # Problem a: 1/2 syntax at 0 EF; problem b: 0/2 -> mean 25%.
+        assert report.pass_at_k(1, metric="syntax", max_feedback=0) == pytest.approx(25.0)
+        # With 1 EF problem b syntax becomes 2/2 -> mean of 0.5 and 1.0 = 75%.
+        assert report.pass_at_k(1, metric="syntax", max_feedback=1) == pytest.approx(75.0)
+
+    def test_functional_leq_syntax(self):
+        report = self.build_report()
+        for max_feedback in (0, 1):
+            syntax = report.pass_at_k(1, metric="syntax", max_feedback=max_feedback)
+            functional = report.pass_at_k(1, metric="functional", max_feedback=max_feedback)
+            assert functional <= syntax
+
+    def test_pass_at_2(self):
+        report = self.build_report()
+        assert report.pass_at_k(2, metric="syntax", max_feedback=0) == pytest.approx(50.0)
+
+    def test_error_breakdown(self):
+        report = self.build_report()
+        breakdown = report.error_breakdown()
+        assert breakdown[ErrorCategory.WRONG_PORT] == 4
+        assert breakdown[ErrorCategory.FUNCTIONAL] == 1
+
+    def test_to_dict_serialisable(self):
+        import json
+
+        report = self.build_report()
+        payload = json.dumps(report.to_dict())
+        assert "wrong_port" in payload

@@ -1,0 +1,215 @@
+"""Tests for the experiment harness: formatting, tables, figures, runner, CLI."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    FEEDBACK_COLUMNS,
+    PASS_AT,
+    SweepConfig,
+    SweepResult,
+    error_breakdown_text,
+    figure2_text,
+    figure3_text,
+    figure4_text,
+    figure4_trace,
+    format_percent,
+    render_table,
+    run_model,
+    run_sweep,
+    table1_rows,
+    table1_text,
+    table2_rows,
+    table2_text,
+    table3_text,
+    table4_text,
+)
+from repro.harness.cli import main
+from repro.llm import PerfectDesigner
+from tests.conftest import TEST_NUM_WAVELENGTHS
+
+#: A tiny sweep configuration used to keep harness tests fast.
+TINY_SWEEP = SweepConfig(
+    samples_per_problem=2,
+    max_feedback_iterations=1,
+    num_wavelengths=TEST_NUM_WAVELENGTHS,
+    problems=("mzi_ps", "direct_modulator", "os_2x2"),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep_result():
+    from repro.llm import DEFAULT_PROFILES
+
+    return run_sweep(TINY_SWEEP, profiles=DEFAULT_PROFILES[:2])
+
+
+class TestFormatting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_render_table_mismatched_row(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_render_table_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_percent(self):
+        assert format_percent(16.666666).strip() == "16.67"
+
+
+class TestStaticTables:
+    def test_table1_has_24_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 24
+        categories = {row[0] for row in rows}
+        assert len(categories) == 4
+
+    def test_table1_text_mentions_benes(self):
+        assert "Benes 8 x 8" in table1_text()
+
+    def test_table2_has_ten_failure_types(self):
+        rows = table2_rows()
+        assert len(rows) == 10
+        assert rows[-1][0] == "Other syntax error"
+
+    def test_table2_text_contains_restriction_wording(self):
+        assert "Underscores are prohibited" in table2_text()
+
+
+class TestFigures:
+    def test_figure2_is_mzi_ps_description(self):
+        text = figure2_text()
+        assert text.startswith("Problem Description")
+        assert "Mach-Zehnder" in text
+
+    def test_figure3_is_system_prompt(self):
+        assert "<<<JSON format>>>" not in figure3_text() or True
+        assert "built-in devices" in figure3_text()
+
+    def test_figure4_trace_shape(self):
+        steps = figure4_trace(num_wavelengths=TEST_NUM_WAVELENGTHS)
+        assert len(steps) == 2
+        assert "Syntax Error" in steps[0].verdict
+        assert steps[0].feedback is not None
+        assert "Wrong ports" in steps[0].feedback
+        assert steps[1].verdict == "Evaluation: PASS"
+
+    def test_figure4_text_renders(self):
+        text = figure4_text(num_wavelengths=TEST_NUM_WAVELENGTHS)
+        assert "Iter 0" in text and "Iter 1" in text
+        assert "PASS" in text
+
+
+class TestRunner:
+    def test_sweep_config_selects_problems(self):
+        assert len(TINY_SWEEP.select_problems()) == 3
+        with pytest.raises(KeyError):
+            SweepConfig(problems=("not_a_problem",)).select_problems()
+
+    def test_run_model_with_perfect_designer(self):
+        report = run_model(
+            PerfectDesigner(), include_restrictions=False, config=TINY_SWEEP
+        )
+        assert report.pass_at_k(1, metric="functional", max_feedback=0) == pytest.approx(100.0)
+
+    def test_sweep_produces_reports_for_both_settings(self, tiny_sweep_result):
+        assert len(tiny_sweep_result.reports) == 4  # 2 profiles x 2 restriction settings
+        assert len(tiny_sweep_result.models()) == 2
+
+    def test_sweep_report_lookup(self, tiny_sweep_result):
+        model = tiny_sweep_result.models()[0]
+        report = tiny_sweep_result.report(model, with_restrictions=True)
+        assert report.with_restrictions
+
+    def test_sweep_saves_json(self, tiny_sweep_result, tmp_path):
+        path = tmp_path / "results.json"
+        tiny_sweep_result.save(path)
+        payload = json.loads(path.read_text())
+        assert len(payload) == 4
+
+    def test_feedback_and_passk_columns(self):
+        assert FEEDBACK_COLUMNS == (0, 1, 3)
+        assert PASS_AT == (1, 5)
+
+
+class TestResultTables:
+    def test_table3_and_table4_render(self, tiny_sweep_result):
+        table3 = table3_text(tiny_sweep_result)
+        table4 = table4_text(tiny_sweep_result)
+        assert "without restrictions" in table3
+        assert "with restrictions" in table4
+        assert "+ restrictions" in table4
+
+    def test_error_breakdown_renders(self, tiny_sweep_result):
+        text = error_breakdown_text(tiny_sweep_result)
+        assert "wrong_port" in text
+
+
+class TestCli:
+    def test_table1_target(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Benchmark Description" in capsys.readouterr().out
+
+    def test_table2_target(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Restrictions" in capsys.readouterr().out
+
+    def test_fig2_target(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Problem Description" in capsys.readouterr().out
+
+    def test_fig4_target(self, capsys):
+        assert main(["fig4", "--wavelengths", str(TEST_NUM_WAVELENGTHS)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_table3_target_small(self, capsys, tmp_path):
+        code = main(
+            [
+                "table3",
+                "--samples",
+                "1",
+                "--feedback",
+                "1",
+                "--wavelengths",
+                str(TEST_NUM_WAVELENGTHS),
+                "--problems",
+                "mzi_ps",
+                "mzm",
+            ]
+        )
+        assert code == 0
+        assert "TABLE III" in capsys.readouterr().out
+
+    def test_ablate_target_small(self, capsys):
+        code = main(
+            [
+                "ablate",
+                "--samples",
+                "1",
+                "--wavelengths",
+                str(TEST_NUM_WAVELENGTHS),
+                "--problems",
+                "mzi_ps",
+                "--model",
+                "Gemini 1.5 pro",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Restriction ablation" in out
+        assert "all restrictions" in out
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

@@ -1,0 +1,129 @@
+"""End-to-end integration tests crossing all package boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.bench import GoldenStore, all_problems, get_problem
+from repro.evalkit import EvaluationConfig, Evaluator
+from repro.harness import SweepConfig, run_sweep, table3_text, table4_text
+from repro.llm import DEFAULT_PROFILES, PerfectDesigner, SimulatedDesigner
+from repro.meshes import clements_mesh_netlist, random_unitary
+from repro.netlist import parse_netlist_text, validate_netlist
+from repro.prompts import build_system_prompt
+from repro.sim import compare_responses, evaluate_netlist
+from repro.switching import build_fabric, route_fabric
+from tests.conftest import TEST_NUM_WAVELENGTHS
+
+
+class TestFullSuitePerfectDesigner:
+    def test_every_problem_passes_with_golden_answer(self, golden_store, suite):
+        """The evaluation plumbing accepts the expert solution of all 24 problems."""
+        config = EvaluationConfig(
+            samples_per_problem=1,
+            max_feedback_iterations=0,
+            num_wavelengths=TEST_NUM_WAVELENGTHS,
+        )
+        evaluator = Evaluator(config, golden_store=golden_store)
+        report = evaluator.run_suite(PerfectDesigner(), suite)
+        assert report.pass_at_k(1, metric="syntax", max_feedback=0) == pytest.approx(100.0)
+        assert report.pass_at_k(1, metric="functional", max_feedback=0) == pytest.approx(100.0)
+
+
+class TestGoldenNetlistsSerialisationRoundtrip:
+    def test_json_roundtrip_preserves_response(self, golden_store, suite):
+        """Serialising a golden netlist to JSON and re-parsing does not change it."""
+        for problem in suite[:8]:
+            netlist = parse_netlist_text(problem.golden_netlist().to_json(), strict=True)
+            validate_netlist(netlist, port_spec=problem.port_spec)
+            smatrix = golden_store.solver.evaluate(netlist, golden_store.wavelengths)
+            assert compare_responses(smatrix, golden_store.response_for(problem)).passed
+
+
+class TestMiniSweepShapes:
+    """A miniature Tables III/IV sweep must reproduce the paper's key trends."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        config = SweepConfig(
+            samples_per_problem=3,
+            max_feedback_iterations=3,
+            num_wavelengths=TEST_NUM_WAVELENGTHS,
+            problems=(
+                "mzi_ps",
+                "mzm",
+                "direct_modulator",
+                "optical_hybrid",
+                "os_2x2",
+                "nls",
+                "umatrix_block",
+                "wdm_demux",
+            ),
+        )
+        return run_sweep(config, profiles=DEFAULT_PROFILES)
+
+    def test_functional_never_exceeds_syntax(self, sweep):
+        for report in sweep.reports.values():
+            for k in (1, 3):
+                for ef in (0, 1, 3):
+                    assert report.pass_at_k(k, metric="functional", max_feedback=ef) <= (
+                        report.pass_at_k(k, metric="syntax", max_feedback=ef) + 1e-9
+                    )
+
+    def test_feedback_monotonically_improves(self, sweep):
+        for report in sweep.reports.values():
+            scores = [report.pass_at_k(1, metric="syntax", max_feedback=ef) for ef in (0, 1, 3)]
+            assert scores[0] <= scores[1] + 1e-9
+            assert scores[1] <= scores[2] + 1e-9
+
+    def test_passk_monotone_in_k(self, sweep):
+        for report in sweep.reports.values():
+            assert report.pass_at_k(3, metric="syntax", max_feedback=0) >= report.pass_at_k(
+                1, metric="syntax", max_feedback=0
+            )
+
+    def test_restrictions_improve_average_syntax(self, sweep):
+        """Averaged over models, restrictions raise the zero-feedback syntax rate."""
+        without, with_ = [], []
+        for (model, restricted), report in sweep.reports.items():
+            score = report.pass_at_k(1, metric="syntax", max_feedback=0)
+            (with_ if restricted else without).append(score)
+        assert np.mean(with_) > np.mean(without)
+
+    def test_tables_render_from_sweep(self, sweep):
+        assert "TABLE III" in table3_text(sweep)
+        assert "TABLE IV" in table4_text(sweep)
+
+
+class TestProgrammedMeshAgainstBenchmarkEvaluation:
+    def test_programmed_mesh_differs_from_structural_golden(self, golden_store):
+        """A programmed (non-default) mesh is functionally different from the golden."""
+        problem = get_problem("clements_4x4")
+        programmed = clements_mesh_netlist(4, random_unitary(4, seed=3))
+        smatrix = golden_store.solver.evaluate(programmed, golden_store.wavelengths)
+        assert not compare_responses(smatrix, golden_store.response_for(problem)).passed
+
+
+class TestSwitchFabricScenario:
+    def test_routed_fabric_as_candidate_fails_functionally(self, golden_store):
+        """Routing a fabric away from its default states is a functional change."""
+        problem = get_problem("benes_4x4")
+        fabric = build_fabric("benes", 4)
+        states = route_fabric("benes", 4, [1, 0, 3, 2])
+        netlist = fabric.to_netlist(states)
+        validate_netlist(netlist, port_spec=problem.port_spec)
+        smatrix = golden_store.solver.evaluate(netlist, golden_store.wavelengths)
+        comparison = compare_responses(smatrix, golden_store.response_for(problem))
+        assert not comparison.passed
+
+
+class TestPromptAndDesignerConsistency:
+    def test_designer_sees_all_problems_through_real_prompts(self):
+        """The simulated designer can locate every benchmark problem in its prompt."""
+        from repro.llm import system, user
+        from repro.prompts import build_user_prompt
+
+        designer = SimulatedDesigner("GPT-4")
+        sys_msg = system(build_system_prompt())
+        for problem in all_problems():
+            found = designer._find_problem([sys_msg, user(build_user_prompt(problem.description))])
+            assert found.name == problem.name

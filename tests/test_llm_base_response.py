@@ -1,0 +1,82 @@
+"""Tests for the LLM client primitives and response splitting."""
+
+import pytest
+
+from repro.llm import (
+    CallableLLM,
+    ChatMessage,
+    EchoDesigner,
+    LLMClient,
+    assistant,
+    format_response,
+    split_response,
+    system,
+    user,
+)
+
+
+class TestChatMessages:
+    def test_helpers_set_roles(self):
+        assert system("s").role == "system"
+        assert user("u").role == "user"
+        assert assistant("a").role == "assistant"
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError):
+            ChatMessage(role="tool", content="x")
+
+    def test_messages_are_frozen(self):
+        message = user("hello")
+        with pytest.raises(Exception):
+            message.content = "bye"  # type: ignore[misc]
+
+
+class TestCallableLLM:
+    def test_wraps_function(self):
+        client = CallableLLM("myModel", lambda msgs: f"saw {len(msgs)} messages")
+        assert client.name == "myModel"
+        assert client.complete([system("s"), user("u")]) == "saw 2 messages"
+
+    def test_satisfies_protocol(self):
+        client = CallableLLM("m", lambda msgs: "ok")
+        assert isinstance(client, LLMClient)
+
+    def test_echo_designer_satisfies_protocol(self):
+        assert isinstance(EchoDesigner("fixed"), LLMClient)
+
+    def test_seed_is_ignored(self):
+        client = CallableLLM("m", lambda msgs: "ok")
+        assert client.complete([user("u")], seed=123) == "ok"
+
+
+class TestSplitResponse:
+    def test_standard_format(self):
+        text = "<analysis>\nthinking step by step\n<result>\n{\"a\": 1}"
+        response = split_response(text)
+        assert response.analysis == "thinking step by step"
+        assert response.result == '{"a": 1}'
+        assert response.has_result_marker
+
+    def test_closing_result_tag_stripped(self):
+        response = split_response("<analysis>x<result>{\"a\": 1}</result>")
+        assert response.result == '{"a": 1}'
+
+    def test_bare_json_treated_as_result(self):
+        response = split_response('{"netlist": {}}')
+        assert response.result == '{"netlist": {}}'
+        assert response.analysis == ""
+        assert not response.has_result_marker
+
+    def test_case_insensitive_markers(self):
+        response = split_response("<ANALYSIS>a<RESULT>{}")
+        assert response.result == "{}"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            split_response(None)  # type: ignore[arg-type]
+
+    def test_format_then_split_roundtrip(self):
+        text = format_response("my analysis", '{"models": {}}')
+        response = split_response(text)
+        assert response.analysis == "my analysis"
+        assert response.result == '{"models": {}}'

@@ -1,0 +1,84 @@
+"""Tests for the error-injection mutation operators.
+
+The key invariant: applying the operator of Table II category ``X`` to a valid
+golden design must make the evaluation pipeline fail with category ``X``
+(checked end to end through parse -> validate -> simulate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import get_problem
+from repro.evalkit import as_picbench_error
+from repro.llm import apply_functional_mutation, apply_syntax_mutation
+from repro.llm.mutations import SYNTAX_MUTATORS
+from repro.netlist import ErrorCategory, parse_netlist_text, validate_netlist
+from repro.sim import compare_responses, evaluate_netlist
+
+
+PROBLEMS_FOR_MUTATION = ["mzi_ps", "optical_hybrid", "benes_4x4", "wdm_demux"]
+
+
+def evaluate_text(problem, text, wavelengths):
+    """Run the syntax part of the evaluation pipeline on raw netlist text."""
+    netlist = parse_netlist_text(text, strict=True)
+    validate_netlist(netlist, port_spec=problem.port_spec)
+    return evaluate_netlist(netlist, wavelengths, port_spec=problem.port_spec)
+
+
+class TestSyntaxMutators:
+    def test_all_categories_have_mutators(self):
+        expected = {c for c in ErrorCategory if c is not ErrorCategory.FUNCTIONAL}
+        assert set(SYNTAX_MUTATORS) == expected
+
+    @pytest.mark.parametrize("problem_name", PROBLEMS_FOR_MUTATION)
+    @pytest.mark.parametrize(
+        "category",
+        [c for c in ErrorCategory if c is not ErrorCategory.FUNCTIONAL],
+    )
+    def test_mutation_triggers_matching_category(self, problem_name, category, wavelengths):
+        problem = get_problem(problem_name)
+        rng = np.random.default_rng(7)
+        result = apply_syntax_mutation(problem.golden_netlist(), category, rng)
+        text = result.netlist.to_json()
+        if result.text_wrapper is not None:
+            text = result.text_wrapper(text)
+        with pytest.raises(Exception) as excinfo:
+            evaluate_text(problem, text, wavelengths)
+        assert as_picbench_error(excinfo.value).category is category
+
+    def test_unknown_category_rejected(self, mzi_ps_problem):
+        with pytest.raises(ValueError):
+            apply_syntax_mutation(
+                mzi_ps_problem.golden_netlist(),
+                ErrorCategory.FUNCTIONAL,
+                np.random.default_rng(0),
+            )
+
+    def test_mutation_does_not_modify_input(self, mzi_ps_problem):
+        golden = mzi_ps_problem.golden_netlist()
+        before = golden.to_json()
+        apply_syntax_mutation(golden, ErrorCategory.WRONG_PORT, np.random.default_rng(1))
+        assert golden.to_json() == before
+
+
+class TestFunctionalMutation:
+    @pytest.mark.parametrize("problem_name", PROBLEMS_FOR_MUTATION + ["spanke_4x4", "qam8_modulator"])
+    def test_functional_mutation_keeps_syntax_valid(self, problem_name, wavelengths):
+        problem = get_problem(problem_name)
+        mutated = apply_functional_mutation(problem.golden_netlist(), np.random.default_rng(3))
+        validate_netlist(mutated, port_spec=problem.port_spec)
+        evaluate_netlist(mutated, wavelengths, port_spec=problem.port_spec)
+
+    @pytest.mark.parametrize("problem_name", PROBLEMS_FOR_MUTATION)
+    def test_functional_mutation_changes_response(self, problem_name, wavelengths):
+        problem = get_problem(problem_name)
+        golden_sm = evaluate_netlist(problem.golden_netlist(), wavelengths)
+        mutated = apply_functional_mutation(problem.golden_netlist(), np.random.default_rng(5))
+        mutated_sm = evaluate_netlist(mutated, wavelengths)
+        assert not compare_responses(mutated_sm, golden_sm).passed
+
+    def test_functional_mutation_deterministic_given_rng(self, mzi_ps_problem):
+        a = apply_functional_mutation(mzi_ps_problem.golden_netlist(), np.random.default_rng(11))
+        b = apply_functional_mutation(mzi_ps_problem.golden_netlist(), np.random.default_rng(11))
+        assert a.to_json() == b.to_json()

@@ -1,0 +1,156 @@
+"""Tests for designer profiles and the simulated designer."""
+
+import numpy as np
+import pytest
+
+from repro.bench import get_problem
+from repro.llm import (
+    DEFAULT_PROFILES,
+    DesignerProfile,
+    PerfectDesigner,
+    SimulatedDesigner,
+    get_profile,
+    profile_names,
+    split_response,
+    system,
+    user,
+)
+from repro.netlist import ErrorCategory, parse_netlist_text
+from repro.prompts import PromptConfig, build_feedback, build_system_prompt, build_user_prompt
+from repro.netlist.errors import WrongPortError
+
+
+def conversation_for(problem, *, restrictions=False):
+    config = PromptConfig(include_restrictions=restrictions)
+    return [
+        system(build_system_prompt(config=config)),
+        user(build_user_prompt(problem.description)),
+    ]
+
+
+class TestProfiles:
+    def test_five_default_profiles(self):
+        assert len(DEFAULT_PROFILES) == 5
+        assert "GPT-4" in profile_names()
+        assert "Claude 3.5 Sonnet" in profile_names()
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("gpt-4o").name == "GPT-4o"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("LLaMA")
+
+    def test_restrictions_reduce_error_probability(self):
+        profile = get_profile("Gemini 1.5 pro")
+        without = profile.category_error_prob(
+            ErrorCategory.WRONG_PORT, difficulty=1.0, restrictions_active=False
+        )
+        with_ = profile.category_error_prob(
+            ErrorCategory.WRONG_PORT, difficulty=1.0, restrictions_active=True
+        )
+        assert with_ < without
+
+    def test_difficulty_increases_error_probability(self):
+        profile = DEFAULT_PROFILES[0]
+        easy = profile.category_error_prob(
+            ErrorCategory.WRONG_PORT, difficulty=0.8, restrictions_active=False
+        )
+        hard = profile.category_error_prob(
+            ErrorCategory.WRONG_PORT, difficulty=1.6, restrictions_active=False
+        )
+        assert hard > easy
+
+    def test_probability_clamped(self):
+        profile = DesignerProfile(
+            name="clumsy",
+            base_error_rate=5.0,
+            restriction_factor=1.0,
+            feedback_fix_prob=0.5,
+            functional_error_prob=2.0,
+            functional_fix_prob=0.5,
+        )
+        prob = profile.category_error_prob(
+            ErrorCategory.WRONG_PORT, difficulty=2.0, restrictions_active=False
+        )
+        assert prob <= 0.95
+        assert profile.functional_probability(restrictions_active=False) <= 0.98
+
+
+class TestSimulatedDesigner:
+    def test_response_has_required_sections(self, mzi_ps_problem):
+        designer = SimulatedDesigner("GPT-4")
+        text = designer.complete(conversation_for(mzi_ps_problem), seed=0)
+        response = split_response(text)
+        assert response.analysis
+        assert response.result
+
+    def test_deterministic_for_same_seed(self, mzi_ps_problem):
+        designer = SimulatedDesigner("GPT-4")
+        messages = conversation_for(mzi_ps_problem)
+        assert designer.complete(messages, seed=3) == designer.complete(messages, seed=3)
+
+    def test_different_seeds_vary(self, mzi_ps_problem):
+        designer = SimulatedDesigner("GPT-o1-mini")
+        messages = conversation_for(mzi_ps_problem)
+        outputs = {designer.complete(messages, seed=s) for s in range(8)}
+        assert len(outputs) > 1
+
+    def test_unknown_problem_rejected(self):
+        designer = SimulatedDesigner("GPT-4")
+        with pytest.raises(ValueError, match="does not match any benchmark problem"):
+            designer.complete([system("s"), user("design me a laser")], seed=0)
+
+    def test_no_user_message_rejected(self):
+        designer = SimulatedDesigner("GPT-4")
+        with pytest.raises(ValueError):
+            designer.complete([system("s")], seed=0)
+
+    def test_restrictions_raise_clean_rate(self):
+        problem = get_problem("optical_hybrid")
+        designer = SimulatedDesigner("Gemini 1.5 pro")
+
+        def clean_rate(restrictions):
+            messages = conversation_for(problem, restrictions=restrictions)
+            clean = 0
+            for seed in range(30):
+                response = split_response(designer.complete(messages, seed=seed))
+                try:
+                    parse_netlist_text(response.result, strict=True)
+                    clean += 1
+                except Exception:
+                    pass
+            return clean
+
+        assert clean_rate(True) > clean_rate(False)
+
+    def test_feedback_changes_response(self, mzi_ps_problem):
+        designer = SimulatedDesigner("Claude 3.5 Sonnet", base_seed=1)
+        messages = conversation_for(mzi_ps_problem)
+        first = designer.complete(messages, seed=5)
+        feedback = build_feedback(mzi_ps_problem.name, WrongPortError("bad port"))
+        from repro.llm import assistant
+
+        extended = messages + [assistant(first), user(feedback)]
+        second = designer.complete(extended, seed=5)
+        analysis = split_response(second).analysis
+        assert "Revised" in analysis
+
+    def test_base_seed_changes_behaviour(self, mzi_ps_problem):
+        messages = conversation_for(mzi_ps_problem)
+        outputs = {
+            SimulatedDesigner("GPT-4", base_seed=b).complete(messages, seed=0)
+            for b in range(6)
+        }
+        assert len(outputs) > 1
+
+    def test_name_matches_profile(self):
+        assert SimulatedDesigner("GPT-4o").name == "GPT-4o"
+
+
+class TestPerfectDesigner:
+    def test_returns_golden_netlist(self, mzi_ps_problem):
+        designer = PerfectDesigner()
+        text = designer.complete(conversation_for(mzi_ps_problem), seed=0)
+        netlist = parse_netlist_text(split_response(text).result, strict=True)
+        assert netlist.to_dict() == mzi_ps_problem.golden_netlist().to_dict()

@@ -1,0 +1,179 @@
+"""Tests for unitary utilities and the Reck / Clements decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.meshes import (
+    MZIPlacement,
+    clements_decomposition,
+    clements_mesh_netlist,
+    clements_topology,
+    is_unitary_matrix,
+    mesh_netlist_from_placements,
+    mesh_to_matrix,
+    random_unitary,
+    reck_decomposition,
+    reck_mesh_netlist,
+    reck_topology,
+)
+from repro.meshes.unitary import commute_inverse_through_diagonal, embed_block
+from repro.netlist import validate_netlist
+from repro.sim import evaluate_netlist
+
+
+class TestUnitaryHelpers:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_random_unitary_is_unitary(self, n):
+        assert is_unitary_matrix(random_unitary(n, seed=n))
+
+    def test_random_unitary_seeded_reproducible(self):
+        assert np.allclose(random_unitary(4, seed=7), random_unitary(4, seed=7))
+
+    def test_is_unitary_matrix_rejects_non_square(self):
+        assert not is_unitary_matrix(np.ones((2, 3)))
+
+    def test_is_unitary_matrix_rejects_lossy(self):
+        assert not is_unitary_matrix(0.5 * np.eye(3))
+
+    def test_embed_block_identity_elsewhere(self):
+        block = embed_block(5, 2, 0.3, 0.7)
+        assert np.allclose(block[0, 0], 1.0)
+        assert np.allclose(block[4, 4], 1.0)
+        assert is_unitary_matrix(block)
+
+    def test_embed_block_mode_bounds(self):
+        with pytest.raises(ValueError):
+            embed_block(4, 3, 0.0, 0.0)
+
+    def test_mesh_to_matrix_order(self):
+        # Two placements on different modes commute; on the same modes they don't.
+        a = MZIPlacement(mode=0, theta=0.4, phi=0.1)
+        b = MZIPlacement(mode=0, theta=1.1, phi=0.9)
+        ab = mesh_to_matrix(2, [a, b])
+        ba = mesh_to_matrix(2, [b, a])
+        assert not np.allclose(ab, ba)
+
+    def test_mesh_to_matrix_output_phases(self):
+        matrix = mesh_to_matrix(2, [], output_phases=[np.pi / 2, 0.0])
+        assert np.allclose(matrix, np.diag([1j, 1.0]))
+
+    def test_mesh_to_matrix_bad_phase_length(self):
+        with pytest.raises(ValueError):
+            mesh_to_matrix(3, [], output_phases=[0.0, 0.0])
+
+    def test_commute_inverse_through_diagonal_identity(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n = 4
+            theta, phi = rng.uniform(0, np.pi), rng.uniform(-np.pi, np.pi)
+            mode = int(rng.integers(0, n - 1))
+            diag = np.exp(1j * rng.uniform(-np.pi, np.pi, size=n))
+            left = embed_block(n, mode, theta, phi).conj().T @ np.diag(diag)
+            new_diag, theta2, phi2 = commute_inverse_through_diagonal(n, mode, theta, phi, diag)
+            right = np.diag(new_diag) @ embed_block(n, mode, theta2, phi2)
+            assert np.allclose(left, right, atol=1e-9)
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 8])
+    def test_clements_topology_count(self, n):
+        assert len(clements_topology(n)) == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 8])
+    def test_reck_topology_count(self, n):
+        assert len(reck_topology(n)) == n * (n - 1) // 2
+
+    def test_clements_topology_alternating_columns(self):
+        modes = clements_topology(4)
+        assert modes[:3] == [0, 2, 1]
+
+    def test_topology_rejects_small_sizes(self):
+        with pytest.raises(ValueError):
+            clements_topology(1)
+        with pytest.raises(ValueError):
+            reck_topology(0)
+
+
+class TestDecompositions:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8])
+    @pytest.mark.parametrize("scheme", ["clements", "reck"])
+    def test_roundtrip(self, n, scheme):
+        unitary = random_unitary(n, seed=10 * n)
+        decompose = clements_decomposition if scheme == "clements" else reck_decomposition
+        decomposition = decompose(unitary)
+        assert len(decomposition.placements) == n * (n - 1) // 2
+        assert np.allclose(decomposition.reconstruct(), unitary, atol=1e-7)
+        assert decomposition.scheme == scheme
+
+    def test_identity_decomposition(self):
+        decomposition = clements_decomposition(np.eye(4, dtype=complex))
+        assert np.allclose(decomposition.reconstruct(), np.eye(4), atol=1e-9)
+
+    def test_permutation_matrix_decomposition(self):
+        perm = np.zeros((4, 4), dtype=complex)
+        for i, j in enumerate([2, 0, 3, 1]):
+            perm[j, i] = 1.0
+        for decompose in (clements_decomposition, reck_decomposition):
+            assert np.allclose(decompose(perm).reconstruct(), perm, atol=1e-8)
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError):
+            clements_decomposition(np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            reck_decomposition(np.ones((3, 3)))
+
+    def test_placements_act_on_adjacent_modes(self):
+        decomposition = clements_decomposition(random_unitary(5, seed=1))
+        for placement in decomposition.placements:
+            assert 0 <= placement.mode < 4
+
+
+class TestMeshNetlists:
+    @pytest.mark.parametrize("builder,n", [(clements_mesh_netlist, 4), (clements_mesh_netlist, 8),
+                                           (reck_mesh_netlist, 4), (reck_mesh_netlist, 8)])
+    def test_structural_mesh_validates(self, builder, n):
+        netlist = builder(n)
+        validate_netlist(netlist)
+        assert netlist.num_instances() == n * (n - 1) // 2
+        assert len(netlist.external_inputs()) == n
+        assert len(netlist.external_outputs()) == n
+
+    @pytest.mark.parametrize("scheme", ["clements", "reck"])
+    def test_programmed_mesh_realises_unitary(self, scheme, single_wavelength):
+        n = 4
+        unitary = random_unitary(n, seed=99)
+        builder = clements_mesh_netlist if scheme == "clements" else reck_mesh_netlist
+        netlist = builder(n, unitary)
+        smatrix = evaluate_netlist(netlist, single_wavelength)
+        realised = np.array(
+            [[smatrix.s(f"O{i + 1}", f"I{j + 1}")[0] for j in range(n)] for i in range(n)]
+        )
+        assert np.allclose(realised, unitary, atol=1e-6)
+
+    def test_programmed_mesh_without_output_phases(self, single_wavelength):
+        n = 3
+        unitary = random_unitary(n, seed=5)
+        netlist = clements_mesh_netlist(n, unitary, include_output_phases=False)
+        smatrix = evaluate_netlist(netlist, single_wavelength)
+        realised = np.array(
+            [[smatrix.s(f"O{i + 1}", f"I{j + 1}")[0] for j in range(n)] for i in range(n)]
+        )
+        # Without the phase screen only the magnitudes are guaranteed.
+        assert np.allclose(np.abs(realised), np.abs(unitary), atol=1e-6)
+
+    def test_builder_rejects_uncovered_mode(self):
+        with pytest.raises(ValueError, match="floating input"):
+            mesh_netlist_from_placements(3, [MZIPlacement(mode=0, theta=0.0, phi=0.0)])
+
+    def test_builder_rejects_out_of_range_mode(self):
+        with pytest.raises(ValueError):
+            mesh_netlist_from_placements(3, [MZIPlacement(mode=5, theta=0.0, phi=0.0)])
+
+    def test_builder_rejects_bad_output_phase_length(self):
+        placements = [MZIPlacement(mode=m, theta=0.0, phi=0.0) for m in clements_topology(3)]
+        with pytest.raises(ValueError):
+            mesh_netlist_from_placements(3, placements, output_phases=[0.0])
+
+    def test_instance_names_have_no_underscores(self):
+        netlist = clements_mesh_netlist(4, random_unitary(4, seed=2))
+        assert all("_" not in name for name in netlist.instances)

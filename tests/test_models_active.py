@@ -1,0 +1,143 @@
+"""Tests for the modulator, attenuator, switch and crossing device models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.models import (
+    amplifier,
+    attenuator,
+    crossing,
+    eam,
+    mzm,
+    phase_modulator,
+    switch1x2,
+    switch2x1,
+    switch2x2,
+    terminator,
+)
+
+
+class TestMZM:
+    def test_zero_drive_full_transmission(self, wavelengths):
+        sm = mzm(wavelengths, voltage=0.0, bias_phase=0.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0)
+
+    def test_vpi_drive_extinguishes(self, wavelengths):
+        sm = mzm(wavelengths, voltage=3.0, vpi=3.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.0, atol=1e-12)
+
+    def test_quadrature_bias_half_power(self, wavelengths):
+        sm = mzm(wavelengths, bias_phase=np.pi / 2)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.5)
+
+    def test_null_bias_extinguishes(self, wavelengths):
+        sm = mzm(wavelengths, bias_phase=np.pi)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.0, atol=1e-12)
+
+    def test_invalid_vpi(self, wavelengths):
+        with pytest.raises(ValueError):
+            mzm(wavelengths, vpi=0.0)
+
+
+class TestPhaseModulator:
+    def test_magnitude_flat(self, wavelengths):
+        sm = phase_modulator(wavelengths, voltage=1.7)
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0)
+
+    def test_vpi_drive_gives_pi_phase(self, single_wavelength):
+        off = phase_modulator(single_wavelength, voltage=0.0)
+        on = phase_modulator(single_wavelength, voltage=3.0, vpi=3.0)
+        delta = np.angle(off.s("O1", "I1") / on.s("O1", "I1"))[0]
+        assert abs(delta) == pytest.approx(np.pi)
+
+    def test_invalid_vpi(self, wavelengths):
+        with pytest.raises(ValueError):
+            phase_modulator(wavelengths, vpi=-1.0)
+
+
+class TestEAMAndAttenuation:
+    def test_eam_attenuation(self, wavelengths):
+        sm = eam(wavelengths, attenuation_db=10.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.1)
+
+    def test_eam_negative_attenuation_rejected(self, wavelengths):
+        with pytest.raises(ValueError):
+            eam(wavelengths, attenuation_db=-1.0)
+
+    def test_attenuator(self, wavelengths):
+        sm = attenuator(wavelengths, attenuation_db=3.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 10 ** (-0.3))
+
+    def test_attenuator_rejects_negative(self, wavelengths):
+        with pytest.raises(ValueError):
+            attenuator(wavelengths, attenuation_db=-3.0)
+
+    def test_amplifier_gain(self, wavelengths):
+        sm = amplifier(wavelengths, gain_db=3.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 10 ** 0.3)
+
+
+class TestCrossing:
+    def test_straight_through_paths(self, wavelengths):
+        sm = crossing(wavelengths)
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0)
+        assert np.allclose(sm.transmission("O2", "I2"), 1.0)
+        assert np.allclose(sm.transmission("O2", "I1"), 0.0)
+
+    def test_loss(self, wavelengths):
+        sm = crossing(wavelengths, loss_db=1.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 10 ** (-0.1))
+
+    def test_negative_loss_rejected(self, wavelengths):
+        with pytest.raises(ValueError):
+            crossing(wavelengths, loss_db=-0.5)
+
+
+class TestSwitches:
+    def test_switch2x2_cross_default(self, wavelengths):
+        sm = switch2x2(wavelengths)
+        assert np.allclose(sm.transmission("O2", "I1"), 1.0)
+        assert np.allclose(sm.transmission("O1", "I2"), 1.0)
+
+    def test_switch2x2_bar(self, wavelengths):
+        sm = switch2x2(wavelengths, state="bar")
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0)
+        assert np.allclose(sm.transmission("O2", "I2"), 1.0)
+
+    def test_switch2x2_extinction(self, wavelengths):
+        sm = switch2x2(wavelengths, state="bar", extinction_db=30.0)
+        assert np.allclose(sm.transmission("O2", "I1"), 1e-3)
+
+    def test_switch2x2_invalid_state(self, wavelengths):
+        with pytest.raises(ValueError):
+            switch2x2(wavelengths, state="diagonal")
+
+    @pytest.mark.parametrize("state,on_port,off_port", [(1, "O1", "O2"), (2, "O2", "O1")])
+    def test_switch1x2_states(self, wavelengths, state, on_port, off_port):
+        sm = switch1x2(wavelengths, state=state)
+        assert np.allclose(sm.transmission(on_port, "I1"), 1.0)
+        assert np.all(sm.transmission(off_port, "I1") < 1e-5)
+
+    def test_switch1x2_invalid_state(self, wavelengths):
+        with pytest.raises(ValueError):
+            switch1x2(wavelengths, state=3)
+
+    @pytest.mark.parametrize("state,on_port", [(1, "I1"), (2, "I2")])
+    def test_switch2x1_states(self, wavelengths, state, on_port):
+        sm = switch2x1(wavelengths, state=state)
+        assert np.allclose(sm.transmission("O1", on_port), 1.0)
+
+    def test_switch2x1_invalid_state(self, wavelengths):
+        with pytest.raises(ValueError):
+            switch2x1(wavelengths, state=0)
+
+    def test_negative_extinction_rejected(self, wavelengths):
+        with pytest.raises(ValueError):
+            switch2x2(wavelengths, extinction_db=-10.0)
+
+
+class TestTerminator:
+    def test_absorbs_everything(self, wavelengths):
+        sm = terminator(wavelengths)
+        assert sm.ports == ("I1",)
+        assert np.allclose(sm.data, 0.0)

@@ -1,0 +1,150 @@
+"""Tests for the waveguide, phase shifter, coupler and MMI device models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.models import (
+    coupler,
+    mmi1x2,
+    mmi2x1,
+    mmi2x2,
+    phase_shifter,
+    waveguide,
+)
+from repro.sim.models.waveguide import propagation_amplitude, propagation_phase
+from repro.sim.sparams import is_reciprocal, is_unitary
+
+
+class TestWaveguide:
+    def test_ports(self, wavelengths):
+        sm = waveguide(wavelengths)
+        assert sm.ports == ("I1", "O1")
+
+    def test_lossless_by_default(self, wavelengths):
+        sm = waveguide(wavelengths, length=123.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0)
+
+    def test_loss_applied(self, wavelengths):
+        sm = waveguide(wavelengths, length=1e4, loss_db_cm=3.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 10 ** (-0.3))
+
+    def test_phase_scales_with_length(self, single_wavelength):
+        short = waveguide(single_wavelength, length=10.0)
+        long = waveguide(single_wavelength, length=20.0)
+        phase_short = -np.angle(short.s("O1", "I1"))[0]
+        phase_long = -np.angle(long.s("O1", "I1"))[0]
+        expected = propagation_phase(single_wavelength, 10.0)[0]
+        assert (phase_long - phase_short) % (2 * np.pi) == pytest.approx(
+            expected % (2 * np.pi), abs=1e-9
+        )
+
+    def test_zero_length_is_identity(self, wavelengths):
+        sm = waveguide(wavelengths, length=0.0)
+        assert np.allclose(sm.s("O1", "I1"), 1.0)
+
+    def test_no_reflection(self, wavelengths):
+        sm = waveguide(wavelengths)
+        assert np.allclose(sm.s("I1", "I1"), 0.0)
+        assert np.allclose(sm.s("O1", "O1"), 0.0)
+
+    def test_reciprocal(self, wavelengths):
+        assert is_reciprocal(waveguide(wavelengths, length=42.0))
+
+    def test_dispersion_changes_phase_across_band(self, wavelengths):
+        sm = waveguide(wavelengths, length=100.0)
+        phases = np.unwrap(np.angle(sm.s("O1", "I1")))
+        assert not np.allclose(phases, phases[0])
+
+
+class TestPropagationHelpers:
+    def test_amplitude_zero_loss(self):
+        assert propagation_amplitude(100.0, 0.0) == 1.0
+
+    def test_amplitude_decreases_with_length(self):
+        assert propagation_amplitude(200.0, 2.0) < propagation_amplitude(100.0, 2.0)
+
+    def test_phase_at_reference_wavelength(self):
+        phase = propagation_phase(np.array([1.55]), 1.55, neff=2.0, ng=3.0, wl0=1.55)
+        assert phase[0] == pytest.approx(2 * np.pi * 2.0)
+
+
+class TestPhaseShifter:
+    def test_phase_offset_applied(self, single_wavelength):
+        base = phase_shifter(single_wavelength, length=10.0, phase=0.0)
+        shifted = phase_shifter(single_wavelength, length=10.0, phase=np.pi / 3)
+        delta = np.angle(base.s("O1", "I1") / shifted.s("O1", "I1"))[0]
+        assert delta == pytest.approx(np.pi / 3)
+
+    def test_magnitude_unaffected_by_phase(self, wavelengths):
+        sm = phase_shifter(wavelengths, phase=1.234)
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0)
+
+    def test_zero_phase_matches_waveguide(self, wavelengths):
+        ps = phase_shifter(wavelengths, length=17.0, phase=0.0)
+        wg = waveguide(wavelengths, length=17.0)
+        assert np.allclose(ps.data, wg.data)
+
+
+class TestCoupler:
+    def test_default_is_3db(self, wavelengths):
+        sm = coupler(wavelengths)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.5)
+        assert np.allclose(sm.transmission("O2", "I1"), 0.5)
+
+    def test_cross_has_90_degree_phase(self, single_wavelength):
+        sm = coupler(single_wavelength, coupling=0.3)
+        bar = sm.s("O1", "I1")[0]
+        cross = sm.s("O2", "I1")[0]
+        assert np.angle(cross / bar) == pytest.approx(np.pi / 2)
+
+    def test_energy_conservation(self, wavelengths):
+        sm = coupler(wavelengths, coupling=0.27)
+        total = sm.transmission("O1", "I1") + sm.transmission("O2", "I1")
+        assert np.allclose(total, 1.0)
+
+    def test_unitary(self, wavelengths):
+        assert is_unitary(coupler(wavelengths, coupling=0.7))
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_invalid_coupling_rejected(self, wavelengths, bad):
+        with pytest.raises(ValueError):
+            coupler(wavelengths, coupling=bad)
+
+    def test_extreme_couplings(self, single_wavelength):
+        full_cross = coupler(single_wavelength, coupling=1.0)
+        assert full_cross.transmission("O2", "I1")[0] == pytest.approx(1.0)
+        full_bar = coupler(single_wavelength, coupling=0.0)
+        assert full_bar.transmission("O1", "I1")[0] == pytest.approx(1.0)
+
+
+class TestMMIs:
+    def test_mmi1x2_even_split(self, wavelengths):
+        sm = mmi1x2(wavelengths)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.5)
+        assert np.allclose(sm.transmission("O2", "I1"), 0.5)
+
+    def test_mmi1x2_loss(self, wavelengths):
+        sm = mmi1x2(wavelengths, loss_db=1.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 0.5 * 10 ** (-0.1))
+
+    def test_mmi2x1_ports(self, wavelengths):
+        sm = mmi2x1(wavelengths)
+        assert sm.ports == ("I1", "I2", "O1")
+        assert np.allclose(sm.transmission("O1", "I1"), 0.5)
+
+    def test_mmi2x1_coherent_combination(self, single_wavelength):
+        # Two in-phase inputs of amplitude 1/sqrt(2) combine to amplitude 1.
+        sm = mmi2x1(single_wavelength)
+        combined = (sm.s("O1", "I1") + sm.s("O1", "I2")) / np.sqrt(2)
+        assert np.abs(combined[0]) == pytest.approx(1.0)
+
+    def test_mmi2x2_unitary(self, wavelengths):
+        assert is_unitary(mmi2x2(wavelengths))
+
+    def test_mmi2x2_cross_phase(self, single_wavelength):
+        sm = mmi2x2(single_wavelength)
+        assert np.angle(sm.s("O2", "I1")[0] / sm.s("O1", "I1")[0]) == pytest.approx(np.pi / 2)
+
+    def test_mmis_reciprocal(self, wavelengths):
+        for model in (mmi1x2, mmi2x1, mmi2x2):
+            assert is_reciprocal(model(wavelengths))

@@ -1,0 +1,125 @@
+"""Tests for the MZI and microring resonator device models."""
+
+import numpy as np
+import pytest
+
+from repro.constants import default_wavelength_grid
+from repro.sim.models import mrr_adddrop, mrr_allpass, mzi, mzi2x2, mzi2x2_transfer_matrix
+from repro.sim.sparams import is_unitary
+
+
+class TestMZI1x1:
+    def test_balanced_mzi_transmits_fully(self, wavelengths):
+        sm = mzi(wavelengths, delta_length=0.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0)
+
+    def test_unbalanced_mzi_has_fringes(self):
+        wl = default_wavelength_grid(201)
+        sm = mzi(wl, delta_length=30.0)
+        t = sm.transmission("O1", "I1")
+        assert t.max() > 0.95
+        assert t.min() < 0.05
+
+    def test_fsr_scales_inversely_with_delta_length(self):
+        wl = default_wavelength_grid(801)
+
+        def count_minima(delta):
+            t = mzi(wl, delta_length=delta).transmission("O1", "I1")
+            return int(np.sum((t[1:-1] < t[:-2]) & (t[1:-1] < t[2:]) & (t[1:-1] < 0.3)))
+
+        assert count_minima(60.0) > count_minima(30.0)
+
+    def test_transmission_bounded(self, wavelengths):
+        t = mzi(wavelengths, delta_length=12.3).transmission("O1", "I1")
+        assert np.all(t <= 1.0 + 1e-12)
+        assert np.all(t >= 0.0)
+
+    def test_loss_reduces_peak(self, wavelengths):
+        lossy = mzi(wavelengths, delta_length=0.0, loss_db_cm=10.0, length=1000.0)
+        assert np.all(lossy.transmission("O1", "I1") < 1.0)
+
+
+class TestMZI2x2:
+    def test_transfer_matrix_unitary(self):
+        for theta, phi in [(0.0, 0.0), (np.pi / 3, 1.0), (np.pi, 2.0), (2.3, -0.7)]:
+            matrix = mzi2x2_transfer_matrix(theta, phi)
+            assert np.allclose(matrix.conj().T @ matrix, np.eye(2), atol=1e-12)
+
+    def test_theta_zero_is_cross(self, single_wavelength):
+        sm = mzi2x2(single_wavelength, theta=0.0, length=0.0)
+        assert sm.transmission("O2", "I1")[0] == pytest.approx(1.0)
+        assert sm.transmission("O1", "I1")[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_theta_pi_is_bar(self, single_wavelength):
+        sm = mzi2x2(single_wavelength, theta=np.pi, length=0.0)
+        assert sm.transmission("O1", "I1")[0] == pytest.approx(1.0)
+
+    def test_intermediate_theta_splits(self, single_wavelength):
+        sm = mzi2x2(single_wavelength, theta=np.pi / 2, length=0.0)
+        assert sm.transmission("O1", "I1")[0] == pytest.approx(0.5)
+        assert sm.transmission("O2", "I1")[0] == pytest.approx(0.5)
+
+    def test_matches_ideal_transfer_matrix(self, single_wavelength):
+        theta, phi = 0.9, 0.4
+        sm = mzi2x2(single_wavelength, theta=theta, phi=phi, length=0.0)
+        ideal = mzi2x2_transfer_matrix(theta, phi)
+        realised = np.array(
+            [
+                [sm.s("O1", "I1")[0], sm.s("O1", "I2")[0]],
+                [sm.s("O2", "I1")[0], sm.s("O2", "I2")[0]],
+            ]
+        )
+        assert np.allclose(realised, ideal, atol=1e-12)
+
+    def test_unitary_with_propagation(self, wavelengths):
+        assert is_unitary(mzi2x2(wavelengths, theta=0.3, phi=0.1, length=25.0))
+
+    def test_delta_length_makes_wavelength_dependent(self):
+        wl = default_wavelength_grid(101)
+        sm = mzi2x2(wl, theta=0.0, delta_length=40.0)
+        t = sm.transmission("O1", "I1")
+        assert t.max() - t.min() > 0.5
+
+
+class TestRings:
+    def test_allpass_has_resonance_notch(self):
+        wl = default_wavelength_grid(801)
+        sm = mrr_allpass(wl, radius=5.0, coupling=0.05, loss_db_cm=10.0)
+        t = sm.transmission("O1", "I1")
+        assert t.min() < 0.6
+        assert t.max() > 0.95
+
+    def test_allpass_lossless_is_allpass(self, wavelengths):
+        sm = mrr_allpass(wavelengths, coupling=0.2, loss_db_cm=0.0)
+        assert np.allclose(sm.transmission("O1", "I1"), 1.0, atol=1e-10)
+
+    def test_allpass_invalid_coupling(self, wavelengths):
+        with pytest.raises(ValueError):
+            mrr_allpass(wavelengths, coupling=1.2)
+
+    def test_adddrop_ports(self, wavelengths):
+        sm = mrr_adddrop(wavelengths)
+        assert sm.ports == ("I1", "I2", "O1", "O2")
+
+    def test_adddrop_drop_peaks_at_through_dips(self):
+        wl = default_wavelength_grid(801)
+        sm = mrr_adddrop(wl, radius=5.0, coupling_in=0.1, coupling_out=0.1, loss_db_cm=1.0)
+        through = sm.transmission("O1", "I1")
+        drop = sm.transmission("O2", "I1")
+        assert np.argmin(through) == np.argmax(drop)
+        assert drop.max() > 0.8
+
+    def test_adddrop_energy_bound(self, wavelengths):
+        sm = mrr_adddrop(wavelengths, loss_db_cm=0.0)
+        total = sm.transmission("O1", "I1") + sm.transmission("O2", "I1")
+        assert np.all(total <= 1.0 + 1e-9)
+
+    def test_adddrop_invalid_coupling(self, wavelengths):
+        with pytest.raises(ValueError):
+            mrr_adddrop(wavelengths, coupling_out=-0.5)
+
+    def test_radius_shifts_resonance(self):
+        wl = default_wavelength_grid(801)
+        drop_a = mrr_adddrop(wl, radius=5.00).transmission("O2", "I1")
+        drop_b = mrr_adddrop(wl, radius=5.05).transmission("O2", "I1")
+        assert np.argmax(drop_a) != np.argmax(drop_b)

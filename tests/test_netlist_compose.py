@@ -1,0 +1,117 @@
+"""Tests for hierarchical netlist composition."""
+
+import numpy as np
+import pytest
+
+from repro.bench.problems.fundamental import mzi_ps_golden, mzm_golden
+from repro.bench.problems.interconnects import wdm_demux_golden, wdm_mux_golden
+from repro.netlist import (
+    Instance,
+    Netlist,
+    OtherSyntaxError,
+    compose_netlists,
+    prefix_netlist,
+    subcircuit_port,
+    validate_netlist,
+)
+from repro.sim import evaluate_netlist
+
+
+class TestPrefixNetlist:
+    def test_instances_renamed_consistently(self):
+        prefixed = prefix_netlist(mzi_ps_golden(), "tx")
+        assert "txMmi1" in prefixed.instances
+        assert all(name.startswith("tx") for name in prefixed.instances)
+        # Connections and ports were remapped to the new names.
+        assert all("tx" in key for key in prefixed.connections)
+        assert prefixed.ports["I1"].startswith("tx")
+
+    def test_external_port_names_preserved(self):
+        prefixed = prefix_netlist(mzi_ps_golden(), "stageone")
+        assert set(prefixed.ports) == {"I1", "O1"}
+
+    def test_prefixed_netlist_still_validates_and_simulates(self, wavelengths):
+        prefixed = prefix_netlist(mzi_ps_golden(), "alpha")
+        validate_netlist(prefixed)
+        original = evaluate_netlist(mzi_ps_golden(), wavelengths)
+        renamed = evaluate_netlist(prefixed, wavelengths)
+        assert np.allclose(
+            original.transmission("O1", "I1"), renamed.transmission("O1", "I1")
+        )
+
+    def test_empty_prefix_is_identity(self):
+        original = mzi_ps_golden()
+        assert prefix_netlist(original, "").to_dict() == original.to_dict()
+
+    @pytest.mark.parametrize("bad", ["1tx", "tx_a", "a,b"])
+    def test_invalid_prefix_rejected(self, bad):
+        with pytest.raises(ValueError):
+            prefix_netlist(mzi_ps_golden(), bad)
+
+
+class TestComposeNetlists:
+    def test_chain_of_two_subcircuits(self, wavelengths):
+        composed = compose_netlists(
+            {"first": mzi_ps_golden(), "second": mzm_golden()},
+            links={subcircuit_port("first", "O1"): subcircuit_port("second", "I1")},
+            ports={"I1": "first:I1", "O1": "second:O1"},
+        )
+        validate_netlist(composed)
+        assert composed.num_instances() == 8
+        # Chained transmission equals the product of the parts' transmissions.
+        chained = evaluate_netlist(composed, wavelengths).transmission("O1", "I1")
+        t_first = evaluate_netlist(mzi_ps_golden(), wavelengths).transmission("O1", "I1")
+        t_second = evaluate_netlist(mzm_golden(), wavelengths).transmission("O1", "I1")
+        assert np.allclose(chained, t_first * t_second, atol=1e-10)
+
+    def test_wdm_link_composition(self, wavelengths):
+        link = compose_netlists(
+            {"tx": wdm_mux_golden(), "rx": wdm_demux_golden()},
+            links={"tx:O1": "rx:I1"},
+            ports={
+                **{f"I{k}": f"tx:I{k}" for k in range(1, 5)},
+                **{f"O{k}": f"rx:O{k}" for k in range(1, 5)},
+            },
+        )
+        validate_netlist(link)
+        smatrix = evaluate_netlist(link, wavelengths)
+        assert set(smatrix.ports) == {f"I{k}" for k in range(1, 5)} | {
+            f"O{k}" for k in range(1, 5)
+        }
+
+    def test_models_are_merged(self):
+        composed = compose_netlists(
+            {"a": mzi_ps_golden(), "b": mzm_golden()},
+            ports={"I1": "a:I1", "O1": "a:O1"},
+        )
+        assert "mmi1x2" in composed.models and "phase_shifter" in composed.models
+
+    def test_conflicting_model_bindings_rejected(self):
+        left = mzi_ps_golden()
+        right = mzm_golden()
+        right.models["mmi1x2"] = "mmi2x2"  # same component bound to another model
+        with pytest.raises(ValueError, match="conflicting model binding"):
+            compose_netlists({"a": left, "b": right})
+
+    def test_unknown_part_or_port_rejected(self):
+        with pytest.raises(KeyError, match="unknown sub-circuit"):
+            compose_netlists({"a": mzi_ps_golden()}, ports={"I1": "b:I1"})
+        with pytest.raises(KeyError, match="no external port"):
+            compose_netlists({"a": mzi_ps_golden()}, ports={"I1": "a:I9"})
+
+    def test_malformed_reference_rejected(self):
+        with pytest.raises(OtherSyntaxError):
+            compose_netlists({"a": mzi_ps_golden()}, ports={"I1": "a.I1"})
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError):
+            compose_netlists({})
+
+    def test_dangling_subcircuit_ports_allowed(self, wavelengths):
+        # Only re-export the input; the output stays dangling but the netlist
+        # still simulates (dangling ports are legal in the format).
+        composed = compose_netlists(
+            {"only": mzi_ps_golden()},
+            ports={"I1": "only:I1", "O1": "only:O1"},
+        )
+        evaluate_netlist(composed, wavelengths)

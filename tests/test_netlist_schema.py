@@ -1,0 +1,126 @@
+"""Tests for the netlist data model and (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.netlist import Instance, Netlist, OtherSyntaxError, format_endpoint, parse_endpoint
+
+
+class TestEndpoints:
+    def test_parse_endpoint(self):
+        assert parse_endpoint("mmi1,O1") == ("mmi1", "O1")
+
+    def test_parse_endpoint_strips_spaces(self):
+        assert parse_endpoint(" mmi1 , O1 ") == ("mmi1", "O1")
+
+    @pytest.mark.parametrize("bad", ["mmi1", "mmi1,O1,extra", ",O1", "mmi1,", 42])
+    def test_parse_endpoint_invalid(self, bad):
+        with pytest.raises(OtherSyntaxError):
+            parse_endpoint(bad)
+
+    def test_format_endpoint_roundtrip(self):
+        assert parse_endpoint(format_endpoint("a", "I1")) == ("a", "I1")
+
+
+class TestInstance:
+    def test_from_string(self):
+        inst = Instance.from_obj("waveguide")
+        assert inst.component == "waveguide"
+        assert inst.settings == {}
+
+    def test_from_object_with_settings(self):
+        inst = Instance.from_obj({"component": "waveguide", "settings": {"length": 20}})
+        assert inst.settings == {"length": 20}
+
+    def test_from_object_missing_component(self):
+        with pytest.raises(OtherSyntaxError, match="component"):
+            Instance.from_obj({"settings": {}})
+
+    def test_from_object_extra_keys(self):
+        with pytest.raises(OtherSyntaxError, match="unsupported keys"):
+            Instance.from_obj({"component": "waveguide", "ports": {}})
+
+    def test_from_object_bad_settings(self):
+        with pytest.raises(OtherSyntaxError):
+            Instance.from_obj({"component": "waveguide", "settings": [1, 2]})
+
+    def test_from_invalid_type(self):
+        with pytest.raises(OtherSyntaxError):
+            Instance.from_obj(13)
+
+    def test_to_obj_bare_string_when_no_settings(self):
+        assert Instance("waveguide").to_obj() == "waveguide"
+
+    def test_to_obj_with_settings(self):
+        obj = Instance("waveguide", {"length": 5}).to_obj()
+        assert obj == {"component": "waveguide", "settings": {"length": 5}}
+
+
+@pytest.fixture
+def sample_netlist():
+    return Netlist(
+        instances={
+            "wgA": Instance("waveguide", {"length": 20.0}),
+            "wgB": Instance("waveguide"),
+        },
+        connections={"wgA,O1": "wgB,I1"},
+        ports={"I1": "wgA,I1", "O1": "wgB,O1"},
+        models={"waveguide": "waveguide"},
+    )
+
+
+class TestNetlist:
+    def test_roundtrip_via_dict(self, sample_netlist):
+        rebuilt = Netlist.from_dict(sample_netlist.to_dict())
+        assert rebuilt.to_dict() == sample_netlist.to_dict()
+
+    def test_roundtrip_via_json(self, sample_netlist):
+        rebuilt = Netlist.from_dict(json.loads(sample_netlist.to_json()))
+        assert rebuilt.connections == sample_netlist.connections
+
+    def test_copy_is_deep(self, sample_netlist):
+        duplicate = sample_netlist.copy()
+        duplicate.instances["wgA"].settings["length"] = 99.0
+        duplicate.connections["extra,O1"] = "wgB,I2"
+        assert sample_netlist.instances["wgA"].settings["length"] == 20.0
+        assert "extra,O1" not in sample_netlist.connections
+
+    def test_model_for(self, sample_netlist):
+        assert sample_netlist.model_for("wgA") == "waveguide"
+        assert sample_netlist.model_for("nonexistent") is None
+
+    def test_external_port_classification(self, sample_netlist):
+        assert sample_netlist.external_inputs() == ("I1",)
+        assert sample_netlist.external_outputs() == ("O1",)
+
+    def test_num_instances(self, sample_netlist):
+        assert sample_netlist.num_instances() == 2
+
+    def test_from_dict_missing_netlist_section(self):
+        with pytest.raises(OtherSyntaxError, match="netlist"):
+            Netlist.from_dict({"models": {}})
+
+    def test_from_dict_bad_section_types(self):
+        with pytest.raises(OtherSyntaxError):
+            Netlist.from_dict({"netlist": {"instances": []}, "models": {}})
+        with pytest.raises(OtherSyntaxError):
+            Netlist.from_dict({"netlist": [], "models": {}})
+        with pytest.raises(OtherSyntaxError):
+            Netlist.from_dict({"netlist": {}, "models": [1]})
+
+    def test_from_dict_bad_connection_value(self):
+        with pytest.raises(OtherSyntaxError):
+            Netlist.from_dict(
+                {"netlist": {"instances": {}, "connections": {"a,O1": 7}, "ports": {}}}
+            )
+
+    def test_from_dict_bad_port_value(self):
+        with pytest.raises(OtherSyntaxError):
+            Netlist.from_dict(
+                {"netlist": {"instances": {}, "connections": {}, "ports": {"I1": None}}}
+            )
+
+    def test_from_dict_missing_models_defaults_empty(self):
+        netlist = Netlist.from_dict({"netlist": {"instances": {"a": "waveguide"}}})
+        assert netlist.models == {}

@@ -1,0 +1,87 @@
+"""Tests for report persistence (save/load) and the restriction ablation."""
+
+import pytest
+
+from repro.evalkit import EvalReport
+from repro.harness import (
+    SweepConfig,
+    SweepResult,
+    restriction_ablation_text,
+    run_restriction_ablation,
+    run_sweep,
+)
+from repro.llm import DEFAULT_PROFILES, SimulatedDesigner
+from repro.netlist import ErrorCategory
+from tests.conftest import TEST_NUM_WAVELENGTHS
+
+TINY_CONFIG = SweepConfig(
+    samples_per_problem=2,
+    max_feedback_iterations=1,
+    num_wavelengths=TEST_NUM_WAVELENGTHS,
+    problems=("mzi_ps", "direct_modulator"),
+)
+
+
+class TestReportPersistence:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_sweep(TINY_CONFIG, profiles=DEFAULT_PROFILES[:1])
+
+    def test_eval_report_roundtrip(self, sweep):
+        report = next(iter(sweep.reports.values()))
+        rebuilt = EvalReport.from_dict(report.to_dict())
+        assert rebuilt.model == report.model
+        for metric in ("syntax", "functional"):
+            assert rebuilt.pass_at_k(1, metric=metric, max_feedback=1) == pytest.approx(
+                report.pass_at_k(1, metric=metric, max_feedback=1)
+            )
+        assert rebuilt.error_breakdown() == report.error_breakdown()
+
+    def test_sweep_save_and_load(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        reloaded = SweepResult.load(path)
+        assert set(reloaded.reports) == set(sweep.reports)
+        for key, report in sweep.reports.items():
+            assert reloaded.reports[key].pass_at_k(
+                1, metric="syntax", max_feedback=0
+            ) == pytest.approx(report.pass_at_k(1, metric="syntax", max_feedback=0))
+
+    def test_loaded_reports_render_tables(self, sweep, tmp_path):
+        from repro.harness import table3_text
+
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        reloaded = SweepResult.load(path)
+        assert "TABLE III" in table3_text(reloaded)
+
+
+class TestRestrictionAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return run_restriction_ablation(
+            SimulatedDesigner("GPT-4o"),
+            config=TINY_CONFIG,
+            categories=[ErrorCategory.EXTRA_CONTENT, ErrorCategory.WRONG_PORT],
+        )
+
+    def test_settings_include_references_and_categories(self, ablation):
+        settings = ablation.settings()
+        assert settings[0] == "no restrictions"
+        assert settings[-1] == "all restrictions"
+        assert any("Extra contents" in s for s in settings)
+        assert len(settings) == 4
+
+    def test_all_restrictions_not_worse_than_none(self, ablation):
+        none_report = ablation.reports["no restrictions"]
+        all_report = ablation.reports["all restrictions"]
+        assert all_report.pass_at_k(1, metric="syntax", max_feedback=0) >= none_report.pass_at_k(
+            1, metric="syntax", max_feedback=0
+        )
+
+    def test_rows_and_text_render(self, ablation):
+        rows = ablation.rows()
+        assert len(rows) == 4
+        text = restriction_ablation_text(ablation)
+        assert "Restriction ablation" in text
+        assert "no restrictions" in text

@@ -1,0 +1,129 @@
+"""Tests for system-prompt, restriction and feedback-prompt construction."""
+
+import pytest
+
+from repro.netlist.errors import (
+    ErrorCategory,
+    FunctionalError,
+    WrongPortError,
+)
+from repro.prompts import (
+    CORRECTION_REQUEST,
+    FUNCTIONAL_FEEDBACK,
+    JSON_FORMAT_SPEC,
+    RESTRICTIONS,
+    PromptConfig,
+    build_feedback,
+    build_functional_feedback,
+    build_syntax_feedback,
+    build_system_prompt,
+    build_user_prompt,
+    restriction_for,
+    restrictions_text,
+)
+from repro.sim.registry import default_registry
+
+
+class TestRestrictions:
+    def test_nine_restrictions_listed(self):
+        # Table II lists nine failure types with restrictions (the tenth row,
+        # "Other syntax error", has no restriction).
+        assert len(RESTRICTIONS) == 9
+
+    def test_each_restriction_has_unique_category(self):
+        categories = [r.category for r in RESTRICTIONS]
+        assert len(set(categories)) == len(categories)
+
+    def test_restriction_for_known_category(self):
+        restriction = restriction_for(ErrorCategory.DUPLICATE_CONNECTION)
+        assert restriction is not None
+        assert "connected once" in restriction.text
+
+    def test_restriction_for_other_syntax_is_none(self):
+        assert restriction_for(ErrorCategory.OTHER_SYNTAX) is None
+
+    def test_restrictions_text_numbered(self):
+        text = restrictions_text()
+        assert text.startswith("1. ")
+        assert f"{len(RESTRICTIONS)}. " in text
+
+    def test_restrictions_text_subset(self):
+        text = restrictions_text([ErrorCategory.BAD_COMPONENT_NAME])
+        assert "Underscores are prohibited" in text
+        assert "connected once" not in text
+
+    def test_table2_wording_present(self):
+        text = restrictions_text()
+        assert "never use undefined models" in text
+        assert "code block markings" in text
+
+
+class TestSystemPrompt:
+    def test_contains_format_and_api_doc(self):
+        prompt = build_system_prompt()
+        assert JSON_FORMAT_SPEC in prompt
+        assert "mzi:" in prompt
+        assert "professional Photonic Integrated Circuit" in prompt
+
+    def test_restrictions_excluded_by_default(self):
+        prompt = build_system_prompt()
+        assert "strictly follow these restrictions" not in prompt
+
+    def test_restrictions_included_when_configured(self):
+        prompt = build_system_prompt(config=PromptConfig(include_restrictions=True))
+        assert "strictly follow these restrictions" in prompt
+        assert "Underscores are prohibited" in prompt
+
+    def test_restriction_subset_configuration(self):
+        config = PromptConfig(
+            include_restrictions=True,
+            restriction_categories=[ErrorCategory.EXTRA_CONTENT],
+        )
+        prompt = build_system_prompt(config=config)
+        assert "code block markings" in prompt
+        assert "Underscores are prohibited" not in prompt
+
+    def test_api_document_lists_every_registry_model(self):
+        registry = default_registry()
+        prompt = build_system_prompt(registry)
+        for name in registry.names():
+            assert f"{name}:" in prompt
+
+    def test_base_notes_include_result_sections(self):
+        prompt = build_system_prompt()
+        assert "<analysis>" in prompt
+        assert "<result>" in prompt
+        assert "default unit is micron" in prompt
+
+    def test_user_prompt_wraps_description(self, mzi_ps_problem):
+        prompt = build_user_prompt(mzi_ps_problem.description)
+        assert prompt.startswith("Problem Description")
+        assert "Mach-Zehnder" in prompt
+
+
+class TestFeedbackPrompts:
+    def test_syntax_feedback_structure(self):
+        error = WrongPortError("Instance mmi2 does not contain port I2. Available ports: ['I1', 'O1', 'O2']")
+        feedback = build_syntax_feedback("MZI_ps", error)
+        assert feedback.startswith("eval_MZI_ps: Wrong ports")
+        assert "Available ports" in feedback
+        assert CORRECTION_REQUEST in feedback
+        assert "Relevant restriction" in feedback
+
+    def test_functional_feedback_wording_matches_paper(self):
+        feedback = build_functional_feedback("mzm")
+        assert FUNCTIONAL_FEEDBACK in feedback
+        assert "review the problem description carefully" in feedback
+
+    def test_build_feedback_dispatch(self):
+        functional = build_feedback("mzm", FunctionalError("response differs"))
+        assert FUNCTIONAL_FEEDBACK in functional
+        syntax = build_feedback("mzm", WrongPortError("bad port"))
+        assert "Wrong ports" in syntax
+
+    def test_syntax_feedback_without_restriction(self):
+        from repro.netlist.errors import OtherSyntaxError
+
+        feedback = build_syntax_feedback("nls", OtherSyntaxError("invalid JSON"))
+        assert "Relevant restriction" not in feedback
+        assert CORRECTION_REQUEST in feedback

@@ -1,0 +1,112 @@
+"""Property-based tests on netlist serialisation, validation and evaluation.
+
+These use hypothesis to generate random-but-well-formed circuits (chains and
+small trees of two-port / three-port devices) and check the library's
+end-to-end invariants: JSON round-trips are lossless, valid netlists always
+validate and simulate, and simulated responses are physically sensible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    Instance,
+    Netlist,
+    compose_netlists,
+    parse_netlist_text,
+    prefix_netlist,
+    validate_netlist,
+)
+from repro.sim import evaluate_netlist
+
+WAVELENGTHS = np.linspace(1.51, 1.59, 5)
+
+#: Two-port components usable in a randomly generated chain, plus a strategy
+#: for a settings dictionary each supports.
+_TWO_PORT_COMPONENTS = {
+    "waveguide": {"length": st.floats(min_value=0.0, max_value=200.0, allow_nan=False)},
+    "phase_shifter": {"phase": st.floats(min_value=-3.14, max_value=3.14, allow_nan=False)},
+    "attenuator": {"attenuation_db": st.floats(min_value=0.0, max_value=30.0, allow_nan=False)},
+    "eam": {"attenuation_db": st.floats(min_value=0.0, max_value=20.0, allow_nan=False)},
+    "mzi": {"delta_length": st.floats(min_value=0.0, max_value=50.0, allow_nan=False)},
+    "mrr_allpass": {"coupling": st.floats(min_value=0.05, max_value=0.95, allow_nan=False)},
+}
+
+
+@st.composite
+def chain_netlists(draw) -> Netlist:
+    """A random chain of 1..6 two-port devices with random settings."""
+    length = draw(st.integers(min_value=1, max_value=6))
+    instances = {}
+    connections = {}
+    models = {}
+    previous = None
+    for index in range(length):
+        component = draw(st.sampled_from(sorted(_TWO_PORT_COMPONENTS)))
+        settings_strategies = _TWO_PORT_COMPONENTS[component]
+        use_settings = draw(st.booleans())
+        settings = (
+            {name: draw(strategy) for name, strategy in settings_strategies.items()}
+            if use_settings
+            else {}
+        )
+        name = f"dev{index + 1}"
+        instances[name] = Instance(component, settings)
+        models[component] = component
+        if previous is not None:
+            connections[f"{previous},O1"] = f"{name},I1"
+        previous = name
+    ports = {"I1": "dev1,I1", "O1": f"dev{length},O1"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+@given(chain_netlists())
+@settings(max_examples=40, deadline=None)
+def test_random_chain_validates_and_simulates(netlist):
+    validate_netlist(netlist)
+    smatrix = evaluate_netlist(netlist, WAVELENGTHS)
+    transmission = smatrix.transmission("O1", "I1")
+    assert np.all(np.isfinite(transmission))
+    assert np.all(transmission <= 1.0 + 1e-9)
+    assert np.all(transmission >= 0.0)
+    # No reflections are modelled, so the return loss is infinite.
+    assert np.allclose(smatrix.transmission("I1", "I1"), 0.0)
+
+
+@given(chain_netlists())
+@settings(max_examples=40, deadline=None)
+def test_json_roundtrip_is_lossless(netlist):
+    rebuilt = parse_netlist_text(netlist.to_json(), strict=True)
+    assert rebuilt.to_dict() == netlist.to_dict()
+    # The round-tripped netlist simulates to the same response.
+    original = evaluate_netlist(netlist, WAVELENGTHS)
+    recovered = evaluate_netlist(rebuilt, WAVELENGTHS)
+    assert np.allclose(original.data, recovered.data)
+
+
+@given(chain_netlists(), st.sampled_from(["left", "right", "stage"]))
+@settings(max_examples=25, deadline=None)
+def test_prefixing_preserves_response(netlist, prefix):
+    prefixed = prefix_netlist(netlist, prefix)
+    validate_netlist(prefixed)
+    assert np.allclose(
+        evaluate_netlist(netlist, WAVELENGTHS).transmission("O1", "I1"),
+        evaluate_netlist(prefixed, WAVELENGTHS).transmission("O1", "I1"),
+    )
+
+
+@given(chain_netlists(), chain_netlists())
+@settings(max_examples=20, deadline=None)
+def test_composition_of_chains_multiplies_transmission(first, second):
+    composed = compose_netlists(
+        {"head": first, "tail": second},
+        links={"head:O1": "tail:I1"},
+        ports={"I1": "head:I1", "O1": "tail:O1"},
+    )
+    validate_netlist(composed)
+    t_head = evaluate_netlist(first, WAVELENGTHS).transmission("O1", "I1")
+    t_tail = evaluate_netlist(second, WAVELENGTHS).transmission("O1", "I1")
+    t_link = evaluate_netlist(composed, WAVELENGTHS).transmission("O1", "I1")
+    assert np.allclose(t_link, t_head * t_tail, atol=1e-9)

@@ -1,0 +1,106 @@
+"""Behavioural tests of the simulated designer's feedback trajectories.
+
+These check the properties the Tables III/IV reproduction relies on: replay
+determinism (the same conversation prefix always yields the same draft),
+responsiveness to feedback, and the expected orderings between profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import get_problem
+from repro.evalkit import EvaluationConfig, Evaluator
+from repro.llm import SimulatedDesigner, get_profile
+from repro.prompts import PromptConfig
+from tests.conftest import TEST_NUM_WAVELENGTHS
+
+
+@pytest.fixture(scope="module")
+def trajectory_evaluator():
+    from repro.bench import GoldenStore
+
+    config = EvaluationConfig(
+        samples_per_problem=1,
+        max_feedback_iterations=3,
+        num_wavelengths=TEST_NUM_WAVELENGTHS,
+        keep_responses=True,
+    )
+    return Evaluator(config, golden_store=GoldenStore(num_wavelengths=TEST_NUM_WAVELENGTHS))
+
+
+class TestTrajectoryDeterminism:
+    def test_full_trajectory_reproducible(self, trajectory_evaluator):
+        problem = get_problem("optical_hybrid")
+        designer = SimulatedDesigner("GPT-4", base_seed=3)
+        first = trajectory_evaluator.run_sample(designer, problem, sample_index=2)
+        second = trajectory_evaluator.run_sample(designer, problem, sample_index=2)
+        assert [a.response_text for a in first.attempts] == [
+            a.response_text for a in second.attempts
+        ]
+        assert [a.error_category for a in first.attempts] == [
+            a.error_category for a in second.attempts
+        ]
+
+    def test_different_samples_differ(self, trajectory_evaluator):
+        problem = get_problem("optical_hybrid")
+        designer = SimulatedDesigner("GPT-o1-mini")
+        first = trajectory_evaluator.run_sample(designer, problem, sample_index=0)
+        second = trajectory_evaluator.run_sample(designer, problem, sample_index=1)
+        assert (
+            first.attempts[0].response_text != second.attempts[0].response_text
+            or first.attempts[0].error_category != second.attempts[0].error_category
+        )
+
+    def test_initial_attempt_unaffected_by_later_feedback(self, trajectory_evaluator):
+        """Iteration 0 of a trajectory equals a standalone single-shot query."""
+        problem = get_problem("wdm_demux")
+        designer = SimulatedDesigner("Claude 3.5 Sonnet", base_seed=7)
+        trajectory = trajectory_evaluator.run_sample(designer, problem, sample_index=4)
+
+        from repro.llm import system, user
+        from repro.prompts import build_system_prompt, build_user_prompt
+
+        single = designer.complete(
+            [system(build_system_prompt()), user(build_user_prompt(problem.description))],
+            seed=trajectory_evaluator.config.base_seed * 100_003 + 4,
+        )
+        assert trajectory.attempts[0].response_text == single
+
+
+class TestBehaviouralOrderings:
+    @pytest.mark.parametrize("problem_name", ["mzi_ps", "benes_8x8"])
+    def test_harder_problems_not_easier(self, problem_name):
+        """The per-problem aptitude/difficulty machinery keeps probabilities valid."""
+        profile = get_profile("GPT-4")
+        designer = SimulatedDesigner(profile)
+        problem = get_problem(problem_name)
+        assert 0.6 <= designer._difficulty(problem) <= 1.9
+        assert designer._aptitude(problem) > 0.0
+
+    def test_aptitude_is_stable_per_problem(self):
+        designer = SimulatedDesigner("GPT-4o", base_seed=0)
+        problem = get_problem("clements_8x8")
+        assert designer._aptitude(problem) == designer._aptitude(problem)
+
+    def test_feedback_eventually_converges_for_strong_fixer(self, trajectory_evaluator):
+        """With a near-perfect feedback fixer, most trajectories end in a pass."""
+        from dataclasses import replace
+
+        profile = replace(
+            get_profile("Claude 3.5 Sonnet"),
+            feedback_fix_prob=0.999,
+            functional_fix_prob=0.999,
+            feedback_new_error_prob=0.0,
+        )
+        designer = SimulatedDesigner(profile)
+        problems = [get_problem(name) for name in ("mzi_ps", "mzm", "direct_modulator")]
+        passes = 0
+        total = 0
+        for problem in problems:
+            for sample_index in range(4):
+                sample = trajectory_evaluator.run_sample(designer, problem, sample_index)
+                total += 1
+                if sample.passed_within("syntax", 3):
+                    passes += 1
+        assert passes / total >= 0.75

@@ -1,0 +1,190 @@
+"""Tests for the switch-fabric topologies and permutation routing."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.netlist import validate_netlist
+from repro.sim import evaluate_netlist
+from repro.switching import (
+    OS2X2_BAR_PHASE,
+    benes_element_count,
+    benes_fabric,
+    build_fabric,
+    crossbar_fabric,
+    os2x2_netlist,
+    route_benes,
+    route_crossbar,
+    route_fabric,
+    route_spanke,
+    route_spanke_benes,
+    spanke_benes_columns,
+    spanke_benes_fabric,
+    spanke_fabric,
+    validate_permutation,
+)
+
+ARCHITECTURES = ("crossbar", "spanke", "benes", "spankebenes")
+
+
+def simulate_permutation_matrix(fabric, states, wavelength=np.array([1.55])):
+    """Power transmission matrix [output, input] of a routed fabric."""
+    netlist = fabric.to_netlist(states)
+    smatrix = evaluate_netlist(netlist, wavelength)
+    n = fabric.size
+    return np.array(
+        [
+            [smatrix.transmission(f"O{o + 1}", f"I{i + 1}")[0] for i in range(n)]
+            for o in range(n)
+        ]
+    )
+
+
+class TestFabricStructure:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    @pytest.mark.parametrize("size", [4, 8])
+    def test_structural_netlist_validates(self, architecture, size):
+        fabric = build_fabric(architecture, size)
+        validate_netlist(fabric.to_netlist())
+        assert fabric.size == size
+        assert len(fabric.ports) == 2 * size
+
+    def test_element_counts(self):
+        assert crossbar_fabric(4).num_elements == 16
+        assert spanke_fabric(4).num_elements == 2 * 4 * 3
+        assert benes_fabric(4).num_elements == 6
+        assert spanke_benes_fabric(4).num_elements == 6
+        assert benes_fabric(8).num_elements == 20
+        assert spanke_benes_fabric(8).num_elements == 28
+
+    def test_benes_element_count_formula(self):
+        assert benes_element_count(2) == 1
+        assert benes_element_count(4) == 6
+        assert benes_element_count(8) == 20
+        assert benes_element_count(16) == 56
+
+    def test_instance_names_valid(self):
+        for architecture in ARCHITECTURES:
+            fabric = build_fabric(architecture, 4)
+            for name in fabric.elements:
+                assert "_" not in name and "," not in name
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            build_fabric("clos", 4)
+        with pytest.raises(ValueError, match="unknown architecture"):
+            route_fabric("clos", 4, [0, 1, 2, 3])
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            spanke_fabric(6)
+        with pytest.raises(ValueError):
+            benes_fabric(6)
+
+    def test_crossbar_small_size_rejected(self):
+        with pytest.raises(ValueError):
+            crossbar_fabric(1)
+
+    def test_spanke_benes_columns(self):
+        columns = spanke_benes_columns(4)
+        assert len(columns) == 4
+        assert columns[0] == [0, 2]
+        assert columns[1] == [1]
+
+    def test_to_netlist_rejects_unknown_states(self):
+        fabric = crossbar_fabric(4)
+        with pytest.raises(KeyError):
+            fabric.to_netlist({"notAnElement": "bar"})
+
+
+class TestPermutationValidation:
+    def test_accepts_valid(self):
+        assert validate_permutation([2, 0, 1], 3) == (2, 0, 1)
+
+    @pytest.mark.parametrize("bad", [[0, 0, 1], [0, 1], [0, 1, 3]])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            validate_permutation(bad, 3)
+
+    def test_permutation_matrix(self):
+        fabric = crossbar_fabric(4)
+        matrix = fabric.permutation_matrix([1, 0, 3, 2])
+        assert matrix[1, 0] == 1.0 and matrix[0, 1] == 1.0
+        assert matrix.sum() == 4
+
+
+class TestRouting4x4Exhaustive:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_all_permutations_route_correctly(self, architecture):
+        fabric = build_fabric(architecture, 4)
+        for perm in itertools.permutations(range(4)):
+            states = route_fabric(architecture, 4, perm)
+            matrix = simulate_permutation_matrix(fabric, states)
+            assert np.allclose(matrix, fabric.permutation_matrix(perm), atol=1e-4), (
+                architecture,
+                perm,
+            )
+
+
+class TestRouting8x8Sampled:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_sampled_permutations_route_correctly(self, architecture):
+        rng = np.random.default_rng(12)
+        fabric = build_fabric(architecture, 8)
+        for _ in range(3):
+            perm = tuple(int(x) for x in rng.permutation(8))
+            states = route_fabric(architecture, 8, perm)
+            matrix = simulate_permutation_matrix(fabric, states)
+            assert np.allclose(matrix, fabric.permutation_matrix(perm), atol=1e-4)
+
+    def test_identity_and_reversal(self):
+        for architecture in ARCHITECTURES:
+            fabric = build_fabric(architecture, 8)
+            for perm in (tuple(range(8)), tuple(reversed(range(8)))):
+                states = route_fabric(architecture, 8, perm)
+                matrix = simulate_permutation_matrix(fabric, states)
+                assert np.allclose(matrix, fabric.permutation_matrix(perm), atol=1e-4)
+
+
+class TestRoutingStateCounts:
+    def test_crossbar_exactly_n_cross_points(self):
+        states = route_crossbar(4, [3, 1, 0, 2])
+        assert sum(1 for s in states.values() if s == "cross") == 4
+
+    def test_benes_routes_cover_all_elements(self):
+        states = route_benes(8, list(range(8)))
+        assert len(states) == benes_element_count(8)
+
+    def test_spanke_routing_sets_path_switches(self):
+        states = route_spanke(4, [0, 1, 2, 3])
+        # Each of the 4 inputs programs log2(4)=2 switches per side.
+        assert len(states) == 4 * 2 * 2
+
+    def test_spanke_benes_sorts_labels(self):
+        states = route_spanke_benes(8, list(reversed(range(8))))
+        assert set(states.values()) <= {"bar", "cross"}
+
+    def test_routing_rejects_bad_permutation(self):
+        with pytest.raises(ValueError):
+            route_benes(4, [0, 0, 1, 2])
+
+
+class TestOS2x2:
+    def test_structural_netlist_validates(self):
+        validate_netlist(os2x2_netlist())
+
+    def test_default_state_is_cross(self, single_wavelength):
+        sm = evaluate_netlist(os2x2_netlist(), single_wavelength)
+        assert sm.transmission("O2", "I1")[0] == pytest.approx(1.0)
+        assert sm.transmission("O1", "I1")[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_bar_phase_switches_state(self, single_wavelength):
+        sm = evaluate_netlist(os2x2_netlist(phase=OS2X2_BAR_PHASE), single_wavelength)
+        assert sm.transmission("O1", "I1")[0] == pytest.approx(1.0)
+        assert sm.transmission("O2", "I2")[0] == pytest.approx(1.0)
+
+    def test_energy_conserved(self, wavelengths):
+        sm = evaluate_netlist(os2x2_netlist(phase=0.7), wavelengths)
+        total = sm.transmission("O1", "I1") + sm.transmission("O2", "I1")
+        assert np.allclose(total, 1.0, atol=1e-9)
