@@ -1,0 +1,94 @@
+"""Benchmark: sequential vs parallel vs cached sweep throughput.
+
+The execution engine (``repro.engine``) flattens the evaluation's nested
+loops into independent work units, runs them on a thread pool, and serves
+repeated simulations from a content-addressed cache.  This benchmark times
+the same simulated-designer sweep under four engine configurations:
+
+* ``seed sequential``  -- one worker, every cache disabled (the pre-engine
+  from-scratch behaviour),
+* ``cached sequential`` -- one worker, caches enabled,
+* ``cached parallel``   -- multi-worker, caches enabled, cold start,
+* ``cached warm``       -- multi-worker rerun sharing the previous engine.
+
+Every variant must produce a byte-identical result set; the warm cached run
+is asserted to beat the seed sequential run by at least 2x.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _reporting import emit
+
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.harness import SweepConfig, run_sweep
+from repro.harness.formatting import render_table
+from repro.sim import CircuitSolver
+
+#: Reduced sweep settings (mirrors the table benchmarks' reduced defaults).
+SWEEP_KWARGS = dict(
+    samples_per_problem=3,
+    max_feedback_iterations=3,
+    num_wavelengths=21,
+)
+
+#: At least 2 so the thread-pool path is exercised even on one-core runners.
+PARALLEL_WORKERS = min(4, max(os.cpu_count() or 1, 2))
+
+
+def _timed_sweep(engine: ExecutionEngine, config: SweepConfig):
+    start = time.perf_counter()
+    result = run_sweep(config, engine=engine)
+    return result, time.perf_counter() - start
+
+
+def test_engine_scaling(benchmark):
+    """Time the sweep under the four engine configurations and compare."""
+    config = SweepConfig(**SWEEP_KWARGS)
+
+    seed_engine = ExecutionEngine(
+        EngineConfig(workers=1, cache_entries=0),
+        solver=CircuitSolver(instance_cache_entries=0),
+    )
+    sequential, t_seed = _timed_sweep(seed_engine, config)
+
+    cached_seq, t_cached_seq = _timed_sweep(ExecutionEngine(EngineConfig(workers=1)), config)
+
+    parallel_engine = ExecutionEngine(EngineConfig(workers=PARALLEL_WORKERS))
+    parallel, t_parallel = _timed_sweep(parallel_engine, config)
+
+    # Warm rerun: same engine, so the content-addressed cache is already hot.
+    warm, t_warm = benchmark.pedantic(
+        _timed_sweep, args=(parallel_engine, config), rounds=1, iterations=1
+    )
+
+    for variant in (cached_seq, parallel, warm):
+        assert variant.to_dict() == sequential.to_dict()
+
+    def row(label, seconds):
+        return [label, f"{seconds:.2f} s", f"{t_seed / seconds:.2f}x"]
+
+    stats = parallel_engine.stats()
+    emit(
+        render_table(
+            ["Engine configuration", "Sweep wall-clock", "Speedup vs seed"],
+            [
+                row("seed sequential (no caches)", t_seed),
+                row("cached sequential", t_cached_seq),
+                row(f"cached parallel ({PARALLEL_WORKERS} workers, cold)", t_parallel),
+                row(f"cached parallel ({PARALLEL_WORKERS} workers, warm)", t_warm),
+            ],
+            title="Execution-engine sweep scaling (simulated-designer suite)",
+        ),
+        f"simulation cache: {stats['simulation_cache']}  "
+        f"hit rate {stats['simulation_hit_rate']:.1%}",
+        f"instance cache:   {stats['instance_cache']}  "
+        f"hit rate {stats['instance_hit_rate']:.1%}",
+    )
+
+    assert t_seed / t_warm >= 2.0, (
+        f"cached+parallel sweep only {t_seed / t_warm:.2f}x faster than the "
+        f"seed sequential sweep ({t_warm:.2f} s vs {t_seed:.2f} s)"
+    )

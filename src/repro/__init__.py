@@ -10,6 +10,8 @@ The package is organised as:
 * :mod:`repro.prompts` -- system / feedback prompt construction,
 * :mod:`repro.llm` -- LLM client protocol and simulated designer models,
 * :mod:`repro.evalkit` -- syntax/functional evaluation, Pass@k, feedback loop,
+* :mod:`repro.engine` -- parallel, cache-backed execution engine for the
+  evaluation pipeline (content-addressed simulation cache, task scheduler),
 * :mod:`repro.harness` -- experiment sweeps reproducing the paper's tables.
 """
 

@@ -1,0 +1,28 @@
+"""Shared keying helpers for the simulator's and the engine's caches.
+
+Like :mod:`repro._cache`, this lives at the package root so that
+:mod:`repro.sim.circuit` and :mod:`repro.engine.fingerprint` key their cache
+tiers with the *same* serialisation rules without the simulator importing the
+engine package.  If either rule changes, both tiers change together.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Mapping
+
+__all__ = ["func_identity", "settings_fingerprint"]
+
+
+def func_identity(func: Callable[..., object]) -> str:
+    """Stable identity string of a model function (``module.qualname``).
+
+    Part of every cache key so a re-registered model with the same name never
+    silently serves results computed by the old implementation.
+    """
+    return f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+
+
+def settings_fingerprint(settings: Mapping[str, object]) -> str:
+    """Canonical key for an instance's settings mapping (order independent)."""
+    return json.dumps(settings, sort_keys=True, default=repr)

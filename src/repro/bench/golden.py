@@ -11,12 +11,16 @@ responses can be shipped as artefacts.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..constants import DEFAULT_NUM_WAVELENGTHS, default_wavelength_grid
+from ..engine.engine import ExecutionEngine
 from ..sim.analysis import FrequencyResponse
 from ..sim.circuit import CircuitSolver
 from ..sim.registry import ModelRegistry
@@ -34,9 +38,16 @@ class GoldenStore:
     num_wavelengths:
         Number of points of the evaluation wavelength grid (1510-1590 nm).
     registry:
-        Optional custom model registry.
+        Optional custom model registry (ignored when ``engine`` is given --
+        the engine already carries one).
     cache_dir:
         Optional directory for JSON persistence of the responses.
+    engine:
+        The :class:`~repro.engine.ExecutionEngine` golden simulations route
+        through.  Sharing one engine between the store and the evaluator
+        deduplicates golden and candidate simulations in a single
+        content-addressed cache.  Defaults to a private engine over
+        ``registry``.
     """
 
     def __init__(
@@ -44,12 +55,20 @@ class GoldenStore:
         num_wavelengths: int = DEFAULT_NUM_WAVELENGTHS,
         registry: Optional[ModelRegistry] = None,
         cache_dir: Optional[Path] = None,
+        *,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.num_wavelengths = int(num_wavelengths)
         self.wavelengths = default_wavelength_grid(self.num_wavelengths)
-        self.solver = CircuitSolver(registry=registry)
+        self.engine = engine if engine is not None else ExecutionEngine(registry=registry)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._memory: Dict[str, FrequencyResponse] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def solver(self) -> CircuitSolver:
+        """The circuit solver of the underlying engine."""
+        return self.engine.solver
 
     # ------------------------------------------------------------------
     def _cache_path(self, problem_name: str) -> Optional[Path]:
@@ -58,28 +77,52 @@ class GoldenStore:
         return self.cache_dir / f"{problem_name}.golden.{self.num_wavelengths}.json"
 
     def response_for(self, problem: Problem | str) -> FrequencyResponse:
-        """Return (computing and caching if needed) the golden response."""
+        """Return (computing and caching if needed) the golden response.
+
+        Safe to call from parallel sweep workers: the per-problem memory is
+        lock-protected, and in the worst case two threads racing on a cold
+        entry compute the same (deterministic) response twice.
+        """
         if isinstance(problem, str):
             problem = get_problem(problem)
-        if problem.name in self._memory:
-            return self._memory[problem.name]
+        with self._lock:
+            if problem.name in self._memory:
+                return self._memory[problem.name]
 
         path = self._cache_path(problem.name)
         if path is not None and path.exists():
-            with path.open("r", encoding="utf-8") as handle:
-                response = FrequencyResponse.from_dict(json.load(handle))
-            self._memory[problem.name] = response
-            return response
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    response = FrequencyResponse.from_dict(json.load(handle))
+            except (OSError, ValueError, KeyError):
+                response = None  # corrupt / truncated entry: recompute and overwrite
+            if response is not None:
+                with self._lock:
+                    self._memory[problem.name] = response
+                return response
 
-        smatrix = self.solver.evaluate(
+        smatrix = self.engine.evaluate(
             problem.golden_netlist(), self.wavelengths, port_spec=problem.port_spec
         )
         response = FrequencyResponse.from_smatrix(smatrix)
-        self._memory[problem.name] = response
+        with self._lock:
+            self._memory[problem.name] = response
         if path is not None:
+            # Atomic temp-file + rename so racing parallel workers (or a kill
+            # mid-write) can never leave a truncated JSON behind.
             path.parent.mkdir(parents=True, exist_ok=True)
-            with path.open("w", encoding="utf-8") as handle:
-                json.dump(response.to_dict(), handle)
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=path.stem, suffix=".tmp", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                    json.dump(response.to_dict(), tmp)
+                os.replace(tmp_name, path)
+            except OSError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         return response
 
     def precompute_all(self) -> Dict[str, FrequencyResponse]:

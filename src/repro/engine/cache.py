@@ -1,0 +1,136 @@
+"""The content-addressed simulation cache backing the execution engine.
+
+:class:`SimulationCache` is a store of simulated
+:class:`~repro.sim.sparams.SMatrix` results keyed on ``(canonical netlist
+hash, wavelength-grid hash, registry fingerprint, port spec)``.  The memory
+tier is a thread-safe :class:`~repro._cache.LRUCache`; optionally every entry
+is also persisted as an ``.npz`` file under ``cache_dir`` so later processes
+(and parallel workers of the same sweep) start warm.
+
+Only *successful* simulations are cached: a classified
+:class:`~repro.netlist.errors.PICBenchError` always propagates to the caller
+uncached, so error semantics are identical with and without the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from .._cache import CacheStats, LRUCache
+from ..sim.sparams import SMatrix
+
+__all__ = ["CacheStats", "LRUCache", "SimulationCache"]
+
+
+class SimulationCache:
+    """Content-addressed memoisation of circuit simulations.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-memory LRU tier; ``<= 0`` disables caching.
+    cache_dir:
+        Optional directory for ``.npz`` persistence.  Entries are written
+        atomically (temp file + rename) so concurrent sweep workers sharing a
+        directory never observe partial files.
+    """
+
+    _DISK_PREFIX = "sim-"
+
+    def __init__(
+        self,
+        max_entries: int = 2048,
+        cache_dir: Optional[Path | str] = None,
+    ) -> None:
+        self._memory: LRUCache[str, SMatrix] = LRUCache(max_entries=max_entries)
+        self._stats_lock = threading.Lock()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            # Fail fast with a clear error: a bad cache_dir discovered during
+            # a sweep would be classified as a per-sample evaluation failure.
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as exc:
+                raise ValueError(
+                    f"cache_dir {str(self.cache_dir)!r} exists and is not a directory"
+                ) from exc
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters of the memory tier (disk hits are tracked separately)."""
+        return self._memory.stats
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache can store anything at all."""
+        return self._memory.max_entries > 0 or self.cache_dir is not None
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{self._DISK_PREFIX}{key}.npz"
+
+    def get(self, key: str) -> Optional[SMatrix]:
+        """Look ``key`` up in memory first, then on disk (promoting to memory)."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path) as payload:
+                smatrix = SMatrix(
+                    wavelengths=payload["wavelengths"],
+                    ports=tuple(str(p) for p in payload["ports"]),
+                    data=payload["data"],
+                )
+        except (OSError, KeyError, ValueError):
+            return None  # corrupt / truncated entry: recompute and overwrite
+        with self._stats_lock:
+            self.stats.disk_hits += 1
+        self._memory.put(key, smatrix)
+        return smatrix
+
+    def put(self, key: str, smatrix: SMatrix) -> None:
+        """Store one simulated result in every configured tier."""
+        self._memory.put(key, smatrix)
+        path = self._disk_path(key)
+        if path is None:
+            return
+        # Mid-run disk trouble (directory removed, disk full) must not fail
+        # the simulation itself: degrade to memory-only caching.
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=path.stem, suffix=".tmp", dir=str(path.parent)
+            )
+            with os.fdopen(handle, "wb") as tmp:
+                np.savez(
+                    tmp,
+                    wavelengths=np.asarray(smatrix.wavelengths, dtype=float),
+                    ports=np.asarray(smatrix.ports, dtype=str),
+                    data=np.asarray(smatrix.data, dtype=complex),
+                )
+            os.replace(tmp_name, path)
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (disk entries, if any, remain valid)."""
+        self._memory.clear()

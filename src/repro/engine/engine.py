@@ -1,0 +1,184 @@
+"""The execution engine: cache-backed simulation plus parallel scheduling.
+
+:class:`ExecutionEngine` is the single seam the evaluation stack runs
+through.  It owns
+
+* one :class:`~repro.sim.circuit.CircuitSolver` (and therefore one model
+  registry),
+* one content-addressed :class:`~repro.engine.cache.SimulationCache`, and
+* one :class:`~repro.engine.scheduler.TaskScheduler`.
+
+``GoldenStore`` routes golden-design simulations through
+:meth:`ExecutionEngine.evaluate`, ``Evaluator`` routes every candidate-draft
+simulation through it, and ``run_sweep`` flattens its nested loops onto
+:meth:`ExecutionEngine.map` -- so one engine instance deduplicates structurally
+identical simulations across problems, samples, models and restriction
+settings, sequential or parallel alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
+
+import numpy as np
+
+from ..constants import default_wavelength_grid
+from ..netlist.schema import Netlist
+from ..netlist.validation import PortSpec
+from ..sim.circuit import CircuitSolver
+from ..sim.registry import ModelRegistry
+from ..sim.sparams import SMatrix
+from .cache import SimulationCache
+from .fingerprint import grid_fingerprint, netlist_fingerprint, registry_fingerprint, stable_hash
+from .scheduler import TaskScheduler
+
+__all__ = ["EngineConfig", "ExecutionEngine", "default_engine"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of an :class:`ExecutionEngine`.
+
+    Attributes
+    ----------
+    workers:
+        Size of the scheduler's thread pool; ``1`` (the default) runs every
+        task inline, ``0`` or negative means one worker per CPU core.
+    cache_entries:
+        Capacity of the in-memory simulation cache; ``0`` disables it.
+    cache_dir:
+        Optional directory for persistent ``.npz`` simulation artefacts.
+    """
+
+    workers: int = 1
+    cache_entries: int = 2048
+    cache_dir: Optional[Path | str] = None
+
+
+class ExecutionEngine:
+    """Deterministic, parallel, cache-backed execution of simulations."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        registry: Optional[ModelRegistry] = None,
+        solver: Optional[CircuitSolver] = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.solver = solver if solver is not None else CircuitSolver(registry=registry)
+        self.cache = SimulationCache(
+            max_entries=self.config.cache_entries, cache_dir=self.config.cache_dir
+        )
+        self.scheduler = TaskScheduler(workers=self.config.workers)
+        self._registry_fp = registry_fingerprint(self.solver.registry)
+        self._registry_fp_version = self.solver.registry.version
+
+    def _registry_fingerprint(self) -> str:
+        """The registry fingerprint, memoised on the registry's mutation counter.
+
+        Re-registering a model under an existing name changes the fingerprint,
+        so cached results computed with the old model are never served.
+        """
+        version = self.solver.registry.version
+        if version != self._registry_fp_version:
+            self._registry_fp = registry_fingerprint(self.solver.registry)
+            self._registry_fp_version = version
+        return self._registry_fp
+
+    @property
+    def registry(self) -> ModelRegistry:
+        """The model registry every simulation of this engine resolves against."""
+        return self.solver.registry
+
+    @property
+    def workers(self) -> int:
+        """Effective worker count of the scheduler."""
+        return self.scheduler.workers
+
+    # ------------------------------------------------------------------
+    # Cache-backed simulation
+    # ------------------------------------------------------------------
+    def simulation_key(
+        self,
+        netlist: Netlist,
+        wavelengths: np.ndarray,
+        port_spec: Optional[PortSpec] = None,
+    ) -> str:
+        """Content address of one simulation under this engine's registry."""
+        spec_part = (
+            "none" if port_spec is None else f"{port_spec.num_inputs}x{port_spec.num_outputs}"
+        )
+        return stable_hash(
+            netlist_fingerprint(netlist),
+            grid_fingerprint(wavelengths),
+            self._registry_fingerprint(),
+            spec_part,
+        )
+
+    def evaluate(
+        self,
+        netlist: Netlist,
+        wavelengths: Optional[np.ndarray] = None,
+        *,
+        port_spec: Optional[PortSpec] = None,
+    ) -> SMatrix:
+        """Simulate ``netlist``, serving repeats from the content cache.
+
+        Semantics match :meth:`CircuitSolver.evaluate` exactly: only
+        successful results are cached, so validation and model errors raise
+        the same classified :class:`~repro.netlist.errors.PICBenchError`
+        every time.
+        """
+        wavelengths = (
+            default_wavelength_grid()
+            if wavelengths is None
+            else np.atleast_1d(np.asarray(wavelengths, dtype=float))
+        )
+        if not self.cache.enabled:
+            return self.solver.evaluate(netlist, wavelengths, port_spec=port_spec)
+        key = self.simulation_key(netlist, wavelengths, port_spec)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        smatrix = self.solver.evaluate(netlist, wavelengths, port_spec=port_spec)
+        self.cache.put(key, smatrix)
+        return smatrix
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Run independent work units on the engine's pool, preserving order."""
+        return self.scheduler.map(fn, items)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the engine's cache behaviour (for logs and benchmarks)."""
+        solver_stats = self.solver.instance_cache_stats()
+        return {
+            "workers": self.workers,
+            "simulation_cache": self.cache.stats.as_dict(),
+            "simulation_hit_rate": self.cache.stats.hit_rate,
+            "instance_cache": solver_stats.as_dict(),
+            "instance_hit_rate": solver_stats.hit_rate,
+        }
+
+
+def default_engine(
+    *,
+    workers: int = 1,
+    cache_dir: Optional[Path | str] = None,
+    registry: Optional[ModelRegistry] = None,
+) -> ExecutionEngine:
+    """Convenience constructor mirroring the CLI's ``--workers``/``--cache-dir``."""
+    return ExecutionEngine(
+        EngineConfig(workers=workers, cache_dir=cache_dir), registry=registry
+    )

@@ -26,6 +26,8 @@ from ..constants import (
     DEFAULT_NUM_WAVELENGTHS,
     DEFAULT_SAMPLES_PER_PROBLEM,
 )
+from ..engine.engine import ExecutionEngine
+from ..engine.fingerprint import sample_seed
 from ..llm.base import LLMClient, assistant, system, user
 from ..llm.response import split_response
 from ..netlist.errors import FunctionalError, PICBenchError
@@ -92,13 +94,27 @@ class Evaluator:
         *,
         registry: Optional[ModelRegistry] = None,
         golden_store: Optional[GoldenStore] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.config = config if config is not None else EvaluationConfig()
         self.registry = registry if registry is not None else default_registry()
+        if engine is None:
+            # Reuse the golden store's engine so golden and candidate
+            # simulations share one content-addressed cache.
+            engine = (
+                golden_store.engine
+                if golden_store is not None
+                else ExecutionEngine(registry=self.registry)
+            )
+        self.engine = engine
         self.golden_store = (
             golden_store
             if golden_store is not None
-            else GoldenStore(num_wavelengths=self.config.num_wavelengths, registry=registry)
+            else GoldenStore(
+                num_wavelengths=self.config.num_wavelengths,
+                registry=self.registry,
+                engine=self.engine,
+            )
         )
         if self.golden_store.num_wavelengths != self.config.num_wavelengths:
             raise ValueError(
@@ -115,7 +131,7 @@ class Evaluator:
             response = split_response(response_text)
             netlist = parse_netlist_text(response.result, strict=True)
             validate_netlist(netlist, self.registry, problem.port_spec)
-            smatrix = self.golden_store.solver.evaluate(
+            smatrix = self.engine.evaluate(
                 netlist, self.golden_store.wavelengths, port_spec=problem.port_spec
             )
         except Exception as error:  # noqa: BLE001 - classified below
@@ -154,7 +170,11 @@ class Evaluator:
             user(build_user_prompt(problem.description)),
         ]
         sample = SampleResult(problem=problem.name, sample_index=sample_index)
-        seed = self.config.base_seed * 100_003 + sample_index
+        # Mixing the problem name into the seed keeps every (problem, sample)
+        # trajectory statistically independent; the old derivation
+        # (base_seed * 100_003 + sample_index) replayed one seed sequence
+        # across all problems.
+        seed = sample_seed(self.config.base_seed, problem.name, sample_index)
 
         for iteration in range(self.config.max_feedback_iterations + 1):
             response_text = client.complete(messages, seed=seed)
@@ -185,11 +205,13 @@ class Evaluator:
         *,
         prompt_config: Optional[PromptConfig] = None,
     ) -> List[SampleResult]:
-        """Run all samples of one problem."""
-        return [
-            self.run_sample(client, problem, sample_index, prompt_config=prompt_config)
-            for sample_index in range(self.config.samples_per_problem)
-        ]
+        """Run all samples of one problem (on the engine's worker pool)."""
+        return self.engine.map(
+            lambda sample_index: self.run_sample(
+                client, problem, sample_index, prompt_config=prompt_config
+            ),
+            range(self.config.samples_per_problem),
+        )
 
     def run_suite(
         self,
@@ -198,7 +220,13 @@ class Evaluator:
         *,
         prompt_config: Optional[PromptConfig] = None,
     ) -> EvalReport:
-        """Evaluate a client over the full suite (or a subset of problems)."""
+        """Evaluate a client over the full suite (or a subset of problems).
+
+        The nested problem/sample loops are flattened into independent work
+        units and executed on the engine's scheduler; results are folded back
+        in ``(problem, sample)`` order, so any worker count produces the same
+        report as the sequential loop.
+        """
         problems = list(problems) if problems is not None else list(all_problems())
         report = EvalReport(
             model=getattr(client, "name", type(client).__name__),
@@ -210,7 +238,15 @@ class Evaluator:
             samples_per_problem=self.config.samples_per_problem,
             max_feedback_iterations=self.config.max_feedback_iterations,
         )
-        for problem in problems:
-            for sample in self.run_problem(client, problem, prompt_config=prompt_config):
-                report.add(sample)
+        units = [
+            (problem, sample_index)
+            for problem in problems
+            for sample_index in range(self.config.samples_per_problem)
+        ]
+        samples = self.engine.map(
+            lambda unit: self.run_sample(client, unit[0], unit[1], prompt_config=prompt_config),
+            units,
+        )
+        for sample in samples:
+            report.add(sample)
         return report

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bench.golden import GoldenStore
+from ..engine.engine import ExecutionEngine
 from ..evalkit.evaluator import Evaluator
 from ..evalkit.outcome import EvalReport
 from ..llm.base import LLMClient
@@ -82,7 +83,8 @@ def run_restriction_ablation(
         if categories is not None
         else [restriction.category for restriction in RESTRICTIONS]
     )
-    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths)
+    engine = ExecutionEngine(config.engine_config())
+    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths, engine=engine)
     problems = config.select_problems()
     result = RestrictionAblationResult(model=getattr(client, "name", "client"), config=config)
 

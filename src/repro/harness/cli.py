@@ -80,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the sweep to these problem names (default: all 24)",
     )
     parser.add_argument("--output", type=str, default=None, help="write sweep results to this JSON file")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads of the execution engine (1 = sequential, 0 = one per core); "
+        "reports are identical for any worker count",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="directory for persistent simulation-cache artefacts (.npz); "
+        "reused across runs to skip repeated simulations",
+    )
     return parser
 
 
@@ -90,6 +104,8 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         num_wavelengths=args.wavelengths,
         base_seed=args.seed,
         problems=tuple(args.problems) if args.problems else None,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..bench.golden import GoldenStore
 from ..bench.problem import Problem
 from ..bench.suite import all_problems
+from ..engine.engine import EngineConfig, ExecutionEngine
 from ..evalkit.evaluator import EvaluationConfig, Evaluator
 from ..evalkit.outcome import EvalReport
 from ..llm.base import LLMClient
@@ -35,13 +36,27 @@ PASS_AT: Tuple[int, ...] = (1, 5)
 
 @dataclass(frozen=True)
 class SweepConfig:
-    """Configuration of a full table sweep."""
+    """Configuration of a full table sweep.
+
+    ``workers`` and ``cache_dir`` configure the execution engine: the sweep's
+    nested loops are flattened into independent ``(client, restrictions,
+    problem, sample)`` work units and run on a thread pool of ``workers``
+    threads (``1`` = sequential, ``0`` = one per core), with simulations
+    served from a content-addressed cache optionally persisted under
+    ``cache_dir``.  Reports are byte-identical for any worker count.
+    """
 
     samples_per_problem: int = 5
     max_feedback_iterations: int = 3
     num_wavelengths: int = 41
     base_seed: int = 0
     problems: Optional[Tuple[str, ...]] = None
+    workers: int = 1
+    cache_dir: Optional[str] = None
+
+    def engine_config(self) -> EngineConfig:
+        """Build the corresponding :class:`EngineConfig`."""
+        return EngineConfig(workers=self.workers, cache_dir=self.cache_dir)
 
     def evaluation_config(self, *, include_restrictions: bool) -> EvaluationConfig:
         """Build the corresponding :class:`EvaluationConfig`."""
@@ -124,11 +139,14 @@ def run_model(
     include_restrictions: bool,
     config: Optional[SweepConfig] = None,
     golden_store: Optional[GoldenStore] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> EvalReport:
     """Evaluate one client over the suite under one prompt configuration."""
     config = config if config is not None else SweepConfig()
+    if engine is None and golden_store is None:
+        engine = ExecutionEngine(config.engine_config())
     evaluation_config = config.evaluation_config(include_restrictions=include_restrictions)
-    evaluator = Evaluator(evaluation_config, golden_store=golden_store)
+    evaluator = Evaluator(evaluation_config, golden_store=golden_store, engine=engine)
     prompt_config = PromptConfig(include_restrictions=include_restrictions)
     return evaluator.run_suite(client, config.select_problems(), prompt_config=prompt_config)
 
@@ -139,25 +157,77 @@ def run_sweep(
     profiles: Optional[Sequence[DesignerProfile]] = None,
     restriction_settings: Sequence[bool] = (False, True),
     clients: Optional[Sequence[LLMClient]] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SweepResult:
     """Run the full Tables III / IV sweep.
 
     By default the five simulated designer profiles are used; pass ``clients``
-    to evaluate real LLM API clients instead.
+    to evaluate real LLM API clients instead (clients must be thread-safe
+    when ``config.workers > 1``; the bundled simulated designers are).
+
+    The four nested loops of the paper's evaluation -- model, restriction
+    setting, problem, sample -- are flattened into independent work units and
+    executed on the engine's worker pool.  Each unit's generation seed is
+    derived from ``(base_seed, problem, sample)`` alone, and results are
+    folded back in loop order, so the returned reports are byte-identical for
+    any worker count.
     """
     config = config if config is not None else SweepConfig()
     if clients is None:
         profiles = list(profiles) if profiles is not None else list(DEFAULT_PROFILES)
         clients = [SimulatedDesigner(profile, base_seed=config.base_seed) for profile in profiles]
-    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths)
+    clients = list(clients)
+    if engine is None:
+        engine = ExecutionEngine(config.engine_config())
+    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths, engine=engine)
+    problems = config.select_problems()
+    restriction_settings = tuple(restriction_settings)
+
+    evaluators = {
+        include_restrictions: Evaluator(
+            config.evaluation_config(include_restrictions=include_restrictions),
+            golden_store=golden_store,
+            engine=engine,
+        )
+        for include_restrictions in restriction_settings
+    }
+    prompt_configs = {
+        include_restrictions: PromptConfig(include_restrictions=include_restrictions)
+        for include_restrictions in restriction_settings
+    }
+
+    # One work unit per (restrictions, client, problem, sample) trajectory,
+    # in the exact order the sequential loops would visit them.
+    units = [
+        (include_restrictions, client, problem, sample_index)
+        for include_restrictions in restriction_settings
+        for client in clients
+        for problem in problems
+        for sample_index in range(config.samples_per_problem)
+    ]
+
+    def run_unit(unit):
+        include_restrictions, client, problem, sample_index = unit
+        return evaluators[include_restrictions].run_sample(
+            client,
+            problem,
+            sample_index,
+            prompt_config=prompt_configs[include_restrictions],
+        )
+
+    samples = engine.map(run_unit, units)
+
     result = SweepResult(config=config)
-    for include_restrictions in restriction_settings:
-        for client in clients:
-            report = run_model(
-                client,
-                include_restrictions=include_restrictions,
-                config=config,
-                golden_store=golden_store,
+    for (include_restrictions, client, _, _), sample in zip(units, samples):
+        model = getattr(client, "name", type(client).__name__)
+        report = result.reports.get((model, include_restrictions))
+        if report is None:
+            report = EvalReport(
+                model=model,
+                with_restrictions=include_restrictions,
+                samples_per_problem=config.samples_per_problem,
+                max_feedback_iterations=config.max_feedback_iterations,
             )
-            result.reports[(report.model, include_restrictions)] = report
+            result.reports[(model, include_restrictions)] = report
+        report.add(sample)
     return result

@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .._cache import CacheStats, LRUCache
+from .._fingerprint import func_identity, settings_fingerprint
 from ..constants import default_wavelength_grid
 from ..netlist.errors import OtherSyntaxError, WrongPortError
 from ..netlist.schema import Netlist, format_endpoint, parse_endpoint
@@ -65,6 +67,12 @@ class CircuitSolver:
     validate:
         When true (default), the netlist is validated before evaluation so
         that failures raise classified :class:`PICBenchError` subclasses.
+    instance_cache_entries:
+        Capacity of the per-device sub-cache: device model evaluations are
+        memoised on ``(model ref, model identity, frozen settings, grid)``,
+        so the many structurally repeated instances of mesh and switch-fabric
+        netlists (and repeated ``evaluate`` calls on the same grid) evaluate
+        each distinct device exactly once.  ``0`` disables the sub-cache.
     """
 
     def __init__(
@@ -72,9 +80,17 @@ class CircuitSolver:
         registry: Optional[ModelRegistry] = None,
         *,
         validate: bool = True,
+        instance_cache_entries: int = 512,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.validate = validate
+        self._instance_cache: LRUCache[Tuple[str, str, str, bytes], SMatrix] = LRUCache(
+            max_entries=instance_cache_entries
+        )
+
+    def instance_cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the per-device evaluation sub-cache."""
+        return self._instance_cache.stats
 
     # ------------------------------------------------------------------
     # Public API
@@ -122,16 +138,31 @@ class CircuitSolver:
         self, netlist: Netlist, wavelengths: np.ndarray
     ) -> Dict[str, SMatrix]:
         matrices: Dict[str, SMatrix] = {}
+        grid_bytes = np.ascontiguousarray(wavelengths).tobytes()
         for name, inst in netlist.instances.items():
             ref = netlist.models.get(inst.component, inst.component)
             info = self.registry.get(ref)
+            key = (
+                ref,
+                # The function identity guards against a re-registered model
+                # with the same name silently serving stale results.
+                func_identity(info.func),
+                settings_fingerprint(inst.settings),
+                grid_bytes,
+            )
+            cached = self._instance_cache.get(key)
+            if cached is not None:
+                matrices[name] = cached
+                continue
             try:
-                matrices[name] = info.evaluate(wavelengths, **inst.settings)
+                smatrix = info.evaluate(wavelengths, **inst.settings)
             except (TypeError, ValueError) as exc:
                 raise OtherSyntaxError(
                     f"instance {name!r} (model {ref!r}) rejected its settings "
                     f"{inst.settings!r}: {exc}"
                 ) from exc
+            self._instance_cache.put(key, smatrix)
+            matrices[name] = smatrix
         return matrices
 
     @staticmethod

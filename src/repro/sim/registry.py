@@ -87,12 +87,23 @@ class ModelRegistry:
 
     def __init__(self, infos: Optional[Iterable[ModelInfo]] = None) -> None:
         self._infos: Dict[str, ModelInfo] = {}
+        self._version = 0
         for info in infos or ():
             self.register(info)
 
     def register(self, info: ModelInfo) -> None:
         """Add (or replace) a model in the registry."""
         self._infos[info.name] = info
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every :meth:`register` call.
+
+        Content caches keyed on the registry use it to notice that a model
+        was added or replaced and refresh their fingerprint.
+        """
+        return self._version
 
     def __contains__(self, name: object) -> bool:
         return name in self._infos

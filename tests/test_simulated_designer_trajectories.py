@@ -58,12 +58,13 @@ class TestTrajectoryDeterminism:
         designer = SimulatedDesigner("Claude 3.5 Sonnet", base_seed=7)
         trajectory = trajectory_evaluator.run_sample(designer, problem, sample_index=4)
 
+        from repro.engine import sample_seed
         from repro.llm import system, user
         from repro.prompts import build_system_prompt, build_user_prompt
 
         single = designer.complete(
             [system(build_system_prompt()), user(build_user_prompt(problem.description))],
-            seed=trajectory_evaluator.config.base_seed * 100_003 + 4,
+            seed=sample_seed(trajectory_evaluator.config.base_seed, problem.name, 4),
         )
         assert trajectory.attempts[0].response_text == single
 
@@ -98,9 +99,9 @@ class TestBehaviouralOrderings:
         passes = 0
         total = 0
         for problem in problems:
-            for sample_index in range(4):
+            for sample_index in range(8):
                 sample = trajectory_evaluator.run_sample(designer, problem, sample_index)
                 total += 1
                 if sample.passed_within("syntax", 3):
                     passes += 1
-        assert passes / total >= 0.75
+        assert passes / total >= 0.7
