@@ -1,10 +1,26 @@
-"""The PICBench problem suite: 24 PIC design problems with golden solutions."""
+"""The PICBench problem suite: problem packs with golden solutions.
+
+The paper's 24 problems live in the default ``core`` pack; additional packs
+(built-in or third-party) register through :mod:`repro.bench.packs` and are
+enumerated with the same ``all_problems`` / ``get_problem`` API.
+"""
 
 from .golden import GoldenStore, golden_response
+from .packs import (
+    CORE_PACK_NAME,
+    ProblemPack,
+    get_pack,
+    iter_packs,
+    pack_names,
+    pack_summaries,
+    register_pack,
+    unregister_pack,
+)
 from .problem import Category, Problem
 from .suite import (
     EXPECTED_PROBLEM_COUNT,
     all_problems,
+    find_problem_by_description,
     get_problem,
     problem_names,
     problems_by_category,
@@ -14,6 +30,8 @@ from .suite import (
 __all__ = [
     "Category",
     "Problem",
+    "ProblemPack",
+    "CORE_PACK_NAME",
     "GoldenStore",
     "golden_response",
     "EXPECTED_PROBLEM_COUNT",
@@ -22,4 +40,11 @@ __all__ = [
     "problem_names",
     "problems_by_category",
     "suite_summary",
+    "register_pack",
+    "unregister_pack",
+    "get_pack",
+    "pack_names",
+    "iter_packs",
+    "pack_summaries",
+    "find_problem_by_description",
 ]

@@ -21,9 +21,11 @@ import numpy as np
 
 from ..constants import DEFAULT_NUM_WAVELENGTHS, default_wavelength_grid
 from ..engine.engine import ExecutionEngine
+from ..engine.fingerprint import netlist_fingerprint
 from ..sim.analysis import FrequencyResponse
 from ..sim.circuit import CircuitSolver
 from ..sim.registry import ModelRegistry
+from .packs import CORE_PACK_NAME, PackParams
 from .problem import Problem
 from .suite import all_problems, get_problem
 
@@ -48,6 +50,13 @@ class GoldenStore:
         deduplicates golden and candidate simulations in a single
         content-addressed cache.  Defaults to a private engine over
         ``registry``.
+    pack:
+        Problem pack used to resolve string problem names and by
+        :meth:`precompute_all`; also namespaces the in-memory and on-disk
+        cache keys, so one store (or one shared ``cache_dir``) can serve
+        several packs without collisions.
+    pack_params:
+        Optional generation parameters of ``pack`` (parametric packs).
     """
 
     def __init__(
@@ -57,11 +66,16 @@ class GoldenStore:
         cache_dir: Optional[Path] = None,
         *,
         engine: Optional[ExecutionEngine] = None,
+        pack: str = CORE_PACK_NAME,
+        pack_params: Optional[PackParams] = None,
     ) -> None:
+        """Initialise the store (see the class docstring for the parameters)."""
         self.num_wavelengths = int(num_wavelengths)
         self.wavelengths = default_wavelength_grid(self.num_wavelengths)
         self.engine = engine if engine is not None else ExecutionEngine(registry=registry)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.pack = pack
+        self.pack_params = pack_params
         self._memory: Dict[str, FrequencyResponse] = {}
         self._lock = threading.Lock()
 
@@ -71,25 +85,38 @@ class GoldenStore:
         return self.engine.solver
 
     # ------------------------------------------------------------------
-    def _cache_path(self, problem_name: str) -> Optional[Path]:
+    def _golden_key(self, problem: Problem) -> str:
+        """Cache key of one golden response: pack, name and golden fingerprint.
+
+        Including the golden netlist's content fingerprint means parametric
+        rebuilds of a pack (same problem name, different golden design) can
+        never hit a stale entry -- neither in memory nor on disk.
+        """
+        fingerprint = netlist_fingerprint(problem.golden_netlist())[:12]
+        return f"{problem.pack}.{problem.name}.golden.{self.num_wavelengths}.{fingerprint}"
+
+    def _cache_path(self, golden_key: str) -> Optional[Path]:
+        """On-disk persistence path of one golden response (or ``None``)."""
         if self.cache_dir is None:
             return None
-        return self.cache_dir / f"{problem_name}.golden.{self.num_wavelengths}.json"
+        return self.cache_dir / f"{golden_key}.json"
 
     def response_for(self, problem: Problem | str) -> FrequencyResponse:
         """Return (computing and caching if needed) the golden response.
 
-        Safe to call from parallel sweep workers: the per-problem memory is
-        lock-protected, and in the worst case two threads racing on a cold
-        entry compute the same (deterministic) response twice.
+        String names are resolved against the store's pack.  Safe to call
+        from parallel sweep workers: the per-problem memory is lock-protected,
+        and in the worst case two threads racing on a cold entry compute the
+        same (deterministic) response twice.
         """
         if isinstance(problem, str):
-            problem = get_problem(problem)
+            problem = get_problem(problem, self.pack, self.pack_params)
+        memory_key = self._golden_key(problem)
         with self._lock:
-            if problem.name in self._memory:
-                return self._memory[problem.name]
+            if memory_key in self._memory:
+                return self._memory[memory_key]
 
-        path = self._cache_path(problem.name)
+        path = self._cache_path(memory_key)
         if path is not None and path.exists():
             try:
                 with path.open("r", encoding="utf-8") as handle:
@@ -98,7 +125,7 @@ class GoldenStore:
                 response = None  # corrupt / truncated entry: recompute and overwrite
             if response is not None:
                 with self._lock:
-                    self._memory[problem.name] = response
+                    self._memory[memory_key] = response
                 return response
 
         smatrix = self.engine.evaluate(
@@ -106,7 +133,7 @@ class GoldenStore:
         )
         response = FrequencyResponse.from_smatrix(smatrix)
         with self._lock:
-            self._memory[problem.name] = response
+            self._memory[memory_key] = response
         if path is not None:
             # Atomic temp-file + rename so racing parallel workers (or a kill
             # mid-write) can never leave a truncated JSON behind.
@@ -126,19 +153,32 @@ class GoldenStore:
         return response
 
     def precompute_all(self) -> Dict[str, FrequencyResponse]:
-        """Compute the golden responses of every problem in the suite."""
-        return {problem.name: self.response_for(problem) for problem in all_problems()}
+        """Compute the golden responses of every problem in the store's pack."""
+        return {
+            problem.name: self.response_for(problem)
+            for problem in all_problems(self.pack, self.pack_params)
+        }
 
 
-_DEFAULT_STORES: Dict[int, GoldenStore] = {}
+_DEFAULT_STORES: Dict[Tuple[int, str], GoldenStore] = {}
+_DEFAULT_STORES_LOCK = threading.Lock()
 
 
 def golden_response(
-    problem: Problem | str, num_wavelengths: int = DEFAULT_NUM_WAVELENGTHS
+    problem: Problem | str,
+    num_wavelengths: int = DEFAULT_NUM_WAVELENGTHS,
+    pack: str = CORE_PACK_NAME,
 ) -> FrequencyResponse:
-    """Module-level convenience wrapper around a shared :class:`GoldenStore`."""
-    store = _DEFAULT_STORES.get(num_wavelengths)
-    if store is None:
-        store = GoldenStore(num_wavelengths=num_wavelengths)
-        _DEFAULT_STORES[num_wavelengths] = store
+    """Module-level convenience wrapper around shared :class:`GoldenStore` instances.
+
+    One store is kept per ``(num_wavelengths, pack)`` pair; string problem
+    names resolve against ``pack`` (default-parameter build).
+    """
+    if isinstance(problem, Problem):
+        pack = problem.pack
+    with _DEFAULT_STORES_LOCK:
+        store = _DEFAULT_STORES.get((num_wavelengths, pack))
+        if store is None:
+            store = GoldenStore(num_wavelengths=num_wavelengths, pack=pack)
+            _DEFAULT_STORES[(num_wavelengths, pack)] = store
     return store.response_for(problem)

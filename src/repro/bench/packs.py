@@ -1,0 +1,296 @@
+"""The problem-pack registry: pluggable, parametric benchmark suites.
+
+The paper ships a fixed 24-problem benchmark (Table I).  This module turns
+that closed table into an open subsystem: a :class:`ProblemPack` bundles a
+named family of problems with category metadata and a parametric
+``build_problems(params)`` factory, and a process-wide registry makes packs
+discoverable by name (``repro.harness`` exposes them via ``--pack`` /
+``--list-packs``).
+
+Two packs are registered on import:
+
+``core``
+    The paper's 24 problems, byte-for-byte identical to the original table
+    (names, order, prompts).  Every default code path still resolves to it.
+``wdm-links``
+    A parametric optical-interconnect pack: N-channel WDM multiplexers,
+    demultiplexers and full mux-bus-demux ring-filter links generated over a
+    list of channel counts and a ring-radius spacing
+    (:mod:`repro.bench.problems.wdm_links`).
+
+Third-party packs register themselves with :func:`register_pack`, typically
+from the module that defines their golden designs -- see
+``docs/AUTHORING_PROBLEMS.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .problem import Category, Problem
+
+__all__ = [
+    "CORE_PACK_NAME",
+    "PackParams",
+    "ProblemPack",
+    "register_pack",
+    "unregister_pack",
+    "get_pack",
+    "pack_names",
+    "iter_packs",
+    "pack_summaries",
+    "iter_known_problems",
+]
+
+#: Name of the built-in pack holding the paper's 24 problems.
+CORE_PACK_NAME = "core"
+
+#: Parameter mapping handed to a pack's problem builder.
+PackParams = Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class ProblemPack:
+    """One named, parametric family of benchmark problems.
+
+    Attributes
+    ----------
+    name:
+        Unique registry key (e.g. ``"core"``, ``"wdm-links"``).  Used to
+        namespace golden-store artefacts and to select the pack on the CLI.
+    title:
+        Human-readable display name.
+    description:
+        One-paragraph summary of what the pack's problems cover; also the
+        source of the pack note appended to the system prompt for non-core
+        packs (:meth:`prompt_note`).
+    categories:
+        Category labels of the pack, in display order.  Problems may only use
+        these categories; ``problems_by_category`` groups by them.
+    builder:
+        ``builder(params) -> Sequence[Problem]`` factory.  ``params`` is the
+        pack's :attr:`default_params` merged with any caller overrides.
+    default_params:
+        Default generation parameters (e.g. channel counts for the WDM pack).
+        The empty mapping means the pack is not parametric.
+    expected_count:
+        Optional invariant on the number of problems the *default* build must
+        produce (the core pack pins the paper's 24).
+    """
+
+    name: str
+    title: str
+    description: str
+    categories: Tuple[str, ...]
+    builder: Callable[[PackParams], Sequence[Problem]] = field(repr=False)
+    default_params: Mapping[str, object] = field(default_factory=dict)
+    expected_count: Optional[int] = None
+
+    def merged_params(self, params: Optional[PackParams] = None) -> Dict[str, object]:
+        """Merge caller overrides into the default parameters.
+
+        Unknown parameter names raise ``KeyError`` so a typo in a sweep
+        configuration fails loudly instead of silently running the defaults.
+        """
+        merged = dict(self.default_params)
+        if params:
+            unknown = set(params) - set(merged)
+            if unknown:
+                raise KeyError(
+                    f"pack {self.name!r} does not accept parameter(s) "
+                    f"{sorted(unknown)}; valid parameters: {sorted(merged) or 'none'}"
+                )
+            merged.update(params)
+        return merged
+
+    def build_problems(self, params: Optional[PackParams] = None) -> Tuple[Problem, ...]:
+        """Build the pack's problems for ``params`` (defaults when ``None``).
+
+        Every returned problem is stamped with the pack's name, problem names
+        are checked for uniqueness, categories are checked against the pack's
+        declared category list, and -- for a default-parameter build -- the
+        :attr:`expected_count` invariant is enforced.
+        """
+        merged = self.merged_params(params)
+        problems = tuple(
+            problem if problem.pack == self.name else replace(problem, pack=self.name)
+            for problem in self.builder(merged)
+        )
+        names = [problem.name for problem in problems]
+        if len(set(names)) != len(names):
+            raise RuntimeError(f"duplicate problem names in pack {self.name!r}: {names}")
+        for problem in problems:
+            if problem.category not in self.categories:
+                raise RuntimeError(
+                    f"problem {problem.name!r} uses category {problem.category!r} "
+                    f"which pack {self.name!r} does not declare; declared: "
+                    f"{list(self.categories)}"
+                )
+        is_default_build = merged == dict(self.default_params)
+        if (
+            is_default_build
+            and self.expected_count is not None
+            and len(problems) != self.expected_count
+        ):
+            raise RuntimeError(
+                f"pack {self.name!r} must contain {self.expected_count} problems "
+                f"by default, found {len(problems)}"
+            )
+        return problems
+
+    def prompt_note(self) -> str:
+        """The pack section appended to the system prompt for non-core packs."""
+        return (
+            f"The design task belongs to the {self.title!r} benchmark pack: "
+            f"{self.description}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ProblemPack] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+# Callbacks invoked with a pack name whenever that pack is (re-)registered or
+# unregistered; the suite module hooks its built-suite cache in here so stale
+# enumerations can never outlive a registry change.
+_INVALIDATION_HOOKS: List[Callable[[str], None]] = []
+
+
+def _register_invalidation_hook(hook: Callable[[str], None]) -> None:
+    """Register a callback notified when a pack's registration changes."""
+    _INVALIDATION_HOOKS.append(hook)
+
+
+def _notify_invalidation(name: str) -> None:
+    """Run every invalidation hook for ``name``."""
+    for hook in _INVALIDATION_HOOKS:
+        hook(name)
+
+
+def register_pack(pack: ProblemPack, *, replace_existing: bool = False) -> ProblemPack:
+    """Register ``pack`` under its name, returning it for chaining.
+
+    Registering a second pack under an existing name raises ``ValueError``
+    unless ``replace_existing`` is set (useful in tests and notebooks); a
+    replacement also drops any cached enumeration of the old pack.
+    """
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.get(pack.name)
+        if existing is not None and not replace_existing:
+            raise ValueError(
+                f"a problem pack named {pack.name!r} is already registered; "
+                "pass replace_existing=True to overwrite it"
+            )
+        _REGISTRY[pack.name] = pack
+    _notify_invalidation(pack.name)
+    return pack
+
+
+def unregister_pack(name: str) -> None:
+    """Remove a pack from the registry (the built-in packs are protected)."""
+    if name in (CORE_PACK_NAME, "wdm-links"):
+        raise ValueError(f"the built-in pack {name!r} cannot be unregistered")
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
+    _notify_invalidation(name)
+
+
+def get_pack(name: str | ProblemPack) -> ProblemPack:
+    """Look a pack up by name, raising ``KeyError`` with the available names."""
+    if isinstance(name, ProblemPack):
+        return name
+    with _REGISTRY_LOCK:
+        pack = _REGISTRY.get(name)
+    if pack is None:
+        raise KeyError(
+            f"unknown problem pack {name!r}; available packs: {pack_names()}"
+        )
+    return pack
+
+
+def pack_names() -> List[str]:
+    """Names of every registered pack, the core pack first."""
+    with _REGISTRY_LOCK:
+        names = list(_REGISTRY)
+    names.sort(key=lambda name: (name != CORE_PACK_NAME, name))
+    return names
+
+
+def iter_packs() -> List[ProblemPack]:
+    """Every registered pack, in :func:`pack_names` order."""
+    return [get_pack(name) for name in pack_names()]
+
+
+def pack_summaries() -> List[Dict[str, object]]:
+    """Lightweight per-pack summaries (used by the ``--list-packs`` CLI)."""
+    summaries: List[Dict[str, object]] = []
+    for pack in iter_packs():
+        problems = pack.build_problems()
+        summaries.append(
+            {
+                "name": pack.name,
+                "title": pack.title,
+                "num_problems": len(problems),
+                "categories": list(pack.categories),
+                "parametric": bool(pack.default_params),
+                "description": pack.description,
+            }
+        )
+    return summaries
+
+
+def iter_known_problems() -> List[Problem]:
+    """Default-parameter problems of every registered pack, core first.
+
+    Note this only covers default builds; use
+    :func:`repro.bench.suite.find_problem_by_description` to also search
+    suites built with parameter overrides.
+    """
+    problems: List[Problem] = []
+    for pack in iter_packs():
+        problems.extend(pack.build_problems())
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Built-in packs
+# ----------------------------------------------------------------------
+def _build_core_problems(params: PackParams) -> List[Problem]:
+    """Build the paper's 24 problems in Table I order (the ``core`` pack)."""
+    from .problems import fundamental, interconnects, optical_computing, switches
+
+    problems: List[Problem] = []
+    problems.extend(optical_computing.build_problems())
+    problems.extend(interconnects.build_problems())
+    problems.extend(switches.build_problems())
+    problems.extend(fundamental.build_problems())
+    return problems
+
+
+def _register_builtin_packs() -> None:
+    """Register the built-in ``core`` and ``wdm-links`` packs (idempotent)."""
+    from .problems import wdm_links
+
+    register_pack(
+        ProblemPack(
+            name=CORE_PACK_NAME,
+            title="PICBench core",
+            description=(
+                "The paper's 24 photonic-integrated-circuit design problems "
+                "of Table I, spanning optical computing meshes, optical "
+                "interconnects, optical switch fabrics and fundamental devices."
+            ),
+            categories=Category.ALL,
+            builder=_build_core_problems,
+            expected_count=24,
+        ),
+        replace_existing=True,
+    )
+    register_pack(wdm_links.make_pack(), replace_existing=True)
+
+
+_register_builtin_packs()

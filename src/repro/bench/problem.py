@@ -56,6 +56,10 @@ class Problem:
         Zero-argument callable building the golden netlist.
     port_spec:
         Expected number of external input / output ports.
+    pack:
+        Name of the problem pack the problem belongs to.  The paper's 24
+        problems live in the ``"core"`` pack; parametric packs stamp their own
+        name when building (see :mod:`repro.bench.packs`).
     """
 
     name: str
@@ -65,6 +69,7 @@ class Problem:
     description: str
     golden_factory: Callable[[], Netlist] = field(repr=False)
     port_spec: PortSpec
+    pack: str = "core"
 
     def golden_netlist(self) -> Netlist:
         """Build (a fresh copy of) the expert-written golden netlist."""

@@ -1,5 +1,10 @@
-"""Golden designs and descriptions of the 24 PICBench problems, by category."""
+"""Golden designs and descriptions of the benchmark problems, by pack.
 
-from . import fundamental, interconnects, optical_computing, switches
+The four category modules (``fundamental``, ``interconnects``,
+``optical_computing``, ``switches``) hold the paper's 24 core problems;
+``wdm_links`` holds the parametric N-channel WDM interconnect pack.
+"""
 
-__all__ = ["fundamental", "interconnects", "optical_computing", "switches"]
+from . import fundamental, interconnects, optical_computing, switches, wdm_links
+
+__all__ = ["fundamental", "interconnects", "optical_computing", "switches", "wdm_links"]

@@ -91,6 +91,7 @@ def umatrix_block_golden() -> Netlist:
 
 
 def _mesh_description(scheme: str, size: int) -> str:
+    """Natural-language task statement of one programmable-mesh problem."""
     columns = "rectangular" if scheme == "Clements" else "triangular"
     count = size * (size - 1) // 2
     return f"""\

@@ -58,6 +58,7 @@ _FABRIC_DETAILS = {
 
 
 def _fabric_description(architecture: str, n: int) -> str:
+    """Natural-language task statement of one N x N switch-fabric problem."""
     title, body = _FABRIC_DETAILS[architecture]
     body = body.format(n=n, half=n // 2)
     return f"""\
@@ -69,7 +70,10 @@ Ports: {n} inputs (I1..I{n}) and {n} outputs (O1..O{n})."""
 
 
 def _fabric_factory(architecture: str, n: int) -> Callable[[], Netlist]:
+    """Bind one (architecture, size) pair into a zero-argument golden factory."""
+
     def factory() -> Netlist:
+        """Build the golden switch-fabric netlist."""
         return build_fabric(architecture, n).to_netlist()
 
     return factory

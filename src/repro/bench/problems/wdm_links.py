@@ -1,0 +1,270 @@
+"""The ``wdm-links`` parametric problem pack: N-channel WDM interconnects.
+
+The core suite fixes WDM multiplexing at four channels (Table I).  This pack
+generates mux / demux / full-link problems over a configurable list of channel
+counts and a ring-radius spacing, in the spirit of fibre-link example suites
+(OptiCommPy-style WDM transmission scenarios): per channel count ``N`` it
+emits
+
+* ``wdm_mux_{N}ch``   -- an N-channel add/drop microring multiplexer,
+* ``wdm_demux_{N}ch`` -- the matching N-channel demultiplexer,
+* ``wdm_link_{N}ch``  -- a full ring-filter link (mux -> bus waveguide ->
+  demux) composed from the two, with N inputs and N outputs.
+
+Pack parameters (see :data:`DEFAULT_PARAMS`):
+
+``channels``
+    Sequence of channel counts to generate problems for.
+``base_radius`` / ``spacing``
+    Radius of channel 1's microring (microns) and the radius increment
+    between adjacent channels; together they stagger the channel resonances.
+``bus_length``
+    Length (microns) of the bus waveguide between mux and demux in the link
+    problems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ...netlist.compose import compose_netlists
+from ...netlist.schema import Instance, Netlist
+from ...netlist.validation import PortSpec
+from ..problem import Problem
+
+__all__ = [
+    "CATEGORY_MULTIPLEXING",
+    "CATEGORY_LINKS",
+    "DEFAULT_PARAMS",
+    "channel_radii",
+    "wdm_mux_n_golden",
+    "wdm_demux_n_golden",
+    "wdm_link_golden",
+    "build_problems",
+    "make_pack",
+]
+
+#: Category labels of the pack (grouping for Table I-style listings).
+CATEGORY_MULTIPLEXING = "WDM Multiplexing"
+CATEGORY_LINKS = "WDM Links"
+
+#: Default generation parameters of the pack.
+DEFAULT_PARAMS: Dict[str, object] = {
+    "channels": (2, 4, 8),
+    "base_radius": 5.0,
+    "spacing": 0.05,
+    "bus_length": 500.0,
+}
+
+
+def channel_radii(
+    num_channels: int, base_radius: float = 5.0, spacing: float = 0.05
+) -> Tuple[float, ...]:
+    """Microring radii (microns) of an N-channel WDM bank.
+
+    Channel ``k`` uses ``base_radius + (k - 1) * spacing``; the changing
+    round-trip length staggers the ring resonances across the band, giving
+    each channel its own drop wavelength.
+    """
+    if num_channels < 1:
+        raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    return tuple(
+        round(base_radius + index * spacing, 6) for index in range(num_channels)
+    )
+
+
+def wdm_mux_n_golden(radii: Sequence[float]) -> Netlist:
+    """Golden design of an N-channel WDM multiplexer.
+
+    Channel ``k`` enters the add port of its own add/drop microring; the
+    through ports are chained into a common bus whose final through port is
+    the multiplexed output (the N-channel generalisation of the core pack's
+    ``wdm_mux`` golden design).
+    """
+    instances: Dict[str, Instance] = {}
+    connections: Dict[str, str] = {}
+    ports: Dict[str, str] = {}
+    previous_through = None
+    for index, radius in enumerate(radii, start=1):
+        name = f"ring{index}"
+        instances[name] = Instance("mrr_adddrop", {"radius": float(radius)})
+        ports[f"I{index}"] = f"{name},I2"  # channel enters at the add port
+        if previous_through is not None:
+            connections[previous_through] = f"{name},I1"
+        previous_through = f"{name},O1"
+    ports["O1"] = previous_through  # type: ignore[assignment]
+    models = {"mrr_adddrop": "mrr_adddrop"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def wdm_demux_n_golden(radii: Sequence[float]) -> Netlist:
+    """Golden design of an N-channel WDM demultiplexer.
+
+    The input bus passes N add/drop microrings in sequence; ring ``k`` drops
+    its resonant channel onto output ``k``.
+    """
+    instances: Dict[str, Instance] = {}
+    connections: Dict[str, str] = {}
+    ports: Dict[str, str] = {}
+    previous_through = None
+    for index, radius in enumerate(radii, start=1):
+        name = f"ring{index}"
+        instances[name] = Instance("mrr_adddrop", {"radius": float(radius)})
+        if previous_through is None:
+            ports["I1"] = f"{name},I1"
+        else:
+            connections[previous_through] = f"{name},I1"
+        ports[f"O{index}"] = f"{name},O2"  # dropped channel
+        previous_through = f"{name},O1"
+    models = {"mrr_adddrop": "mrr_adddrop"}
+    return Netlist(instances=instances, connections=connections, ports=ports, models=models)
+
+
+def wdm_link_golden(radii: Sequence[float], bus_length: float = 500.0) -> Netlist:
+    """Golden design of a full N-channel WDM ring-filter link.
+
+    The N-channel multiplexer feeds a bus waveguide of ``bus_length`` microns
+    which feeds the matching demultiplexer, so channel ``k`` entering input
+    ``Ik`` reappears on output ``Ok``.
+    """
+    num_channels = len(radii)
+    bus = Netlist(
+        instances={"wg": Instance("waveguide", {"length": float(bus_length)})},
+        ports={"I1": "wg,I1", "O1": "wg,O1"},
+        models={"waveguide": "waveguide"},
+    )
+    return compose_netlists(
+        {"tx": wdm_mux_n_golden(radii), "bus": bus, "rx": wdm_demux_n_golden(radii)},
+        links={"tx:O1": "bus:I1", "bus:O1": "rx:I1"},
+        ports={
+            **{f"I{index}": f"tx:I{index}" for index in range(1, num_channels + 1)},
+            **{f"O{index}": f"rx:O{index}" for index in range(1, num_channels + 1)},
+        },
+    )
+
+
+def _radii_text(radii: Sequence[float]) -> str:
+    """Comma-separated radius list used inside the problem descriptions."""
+    return ", ".join(f"{radius:.2f}" for radius in radii)
+
+
+def _mux_description(radii: Sequence[float]) -> str:
+    """Natural-language task statement of the N-channel multiplexer."""
+    n = len(radii)
+    return (
+        f"Create a {n}-channel WDM multiplexer with {n} inputs and one output. "
+        f"Use {n} built-in add/drop microring resonators (mrr_adddrop) with radii "
+        f"of {_radii_text(radii)} microns, one per channel in this order. "
+        "Channel k enters the add port (I2) of ring k; the through ports of the "
+        "rings are chained to form a common bus waveguide, and the through port "
+        "of the last ring is the multiplexed output. Use default values for "
+        "every unspecified parameter.\n"
+        f"Ports: {n} inputs (I1..I{n}), 1 output (O1)."
+    )
+
+
+def _demux_description(radii: Sequence[float]) -> str:
+    """Natural-language task statement of the N-channel demultiplexer."""
+    n = len(radii)
+    return (
+        f"Create a {n}-channel WDM demultiplexer with one input and {n} outputs. "
+        f"Use {n} built-in add/drop microring resonators (mrr_adddrop) with radii "
+        f"of {_radii_text(radii)} microns, one per channel in this order. "
+        "The input enters the bus port (I1) of the first ring; the through port "
+        "of each ring feeds the bus port of the next ring, and the drop port "
+        "(O2) of ring k provides output k. Use default values for every "
+        "unspecified parameter.\n"
+        f"Ports: 1 input (I1), {n} outputs (O1..O{n})."
+    )
+
+
+def _link_description(radii: Sequence[float], bus_length: float) -> str:
+    """Natural-language task statement of the N-channel ring-filter link."""
+    n = len(radii)
+    return (
+        f"Create a complete {n}-channel WDM ring-filter link with {n} inputs and "
+        f"{n} outputs. The transmitter side is a {n}-channel multiplexer built "
+        f"from add/drop microring resonators (mrr_adddrop) with radii of "
+        f"{_radii_text(radii)} microns whose through ports are chained into a "
+        "common bus; its multiplexed output feeds a built-in waveguide of "
+        f"{bus_length:.0f} microns length, which feeds the receiver side: the "
+        "matching demultiplexer with the same ring radii, where the drop port of "
+        "ring k provides output k. Use default values for every unspecified "
+        "parameter.\n"
+        f"Ports: {n} inputs (I1..I{n}), {n} outputs (O1..O{n})."
+    )
+
+
+def build_problems(params: Dict[str, object]) -> List[Problem]:
+    """Build the pack's problems for one parameter mapping.
+
+    For every channel count ``N`` in ``params['channels']`` the pack emits a
+    multiplexer, a demultiplexer and a full-link problem, in that order.
+    """
+    channels = tuple(int(n) for n in params["channels"])  # type: ignore[index]
+    base_radius = float(params["base_radius"])  # type: ignore[arg-type]
+    spacing = float(params["spacing"])  # type: ignore[arg-type]
+    bus_length = float(params["bus_length"])  # type: ignore[arg-type]
+    if not channels:
+        raise ValueError("the wdm-links pack needs at least one channel count")
+
+    problems: List[Problem] = []
+    for num_channels in channels:
+        radii = channel_radii(num_channels, base_radius, spacing)
+        problems.append(
+            Problem(
+                name=f"wdm_mux_{num_channels}ch",
+                title=f"WDM mux {num_channels}ch",
+                category=CATEGORY_MULTIPLEXING,
+                summary=f"A {num_channels}-channel WDM multiplexer",
+                description=_mux_description(radii),
+                golden_factory=lambda radii=radii: wdm_mux_n_golden(radii),
+                port_spec=PortSpec(num_inputs=num_channels, num_outputs=1),
+            )
+        )
+        problems.append(
+            Problem(
+                name=f"wdm_demux_{num_channels}ch",
+                title=f"WDM demux {num_channels}ch",
+                category=CATEGORY_MULTIPLEXING,
+                summary=f"A {num_channels}-channel WDM demultiplexer",
+                description=_demux_description(radii),
+                golden_factory=lambda radii=radii: wdm_demux_n_golden(radii),
+                port_spec=PortSpec(num_inputs=1, num_outputs=num_channels),
+            )
+        )
+        problems.append(
+            Problem(
+                name=f"wdm_link_{num_channels}ch",
+                title=f"WDM link {num_channels}ch",
+                category=CATEGORY_LINKS,
+                summary=f"A {num_channels}-channel WDM ring-filter link",
+                description=_link_description(radii, bus_length),
+                golden_factory=lambda radii=radii, bus_length=bus_length: wdm_link_golden(
+                    radii, bus_length
+                ),
+                port_spec=PortSpec(num_inputs=num_channels, num_outputs=num_channels),
+            )
+        )
+    return problems
+
+
+def make_pack():
+    """Build (but do not register) the ``wdm-links`` :class:`ProblemPack`."""
+    from ..packs import ProblemPack
+
+    return ProblemPack(
+        name="wdm-links",
+        title="WDM links",
+        description=(
+            "Parametric N-channel WDM interconnect problems: add/drop "
+            "microring multiplexers, demultiplexers and full mux-bus-demux "
+            "ring-filter links generated over configurable channel counts "
+            "and ring-radius spacing."
+        ),
+        categories=(CATEGORY_MULTIPLEXING, CATEGORY_LINKS),
+        builder=build_problems,
+        default_params=DEFAULT_PARAMS,
+    )

@@ -2,12 +2,13 @@
 
 from .classify import as_picbench_error, classify_exception
 from .evaluator import AttemptOutcome, EvaluationConfig, Evaluator
-from .outcome import AttemptRecord, EvalReport, SampleResult
+from .outcome import AttemptRecord, EvalReport, SampleResult, pass_at_k_by_pack
 from .passk import mean_pass_at_k, pass_at_k
 
 __all__ = [
     "pass_at_k",
     "mean_pass_at_k",
+    "pass_at_k_by_pack",
     "classify_exception",
     "as_picbench_error",
     "AttemptRecord",

@@ -228,6 +228,7 @@ class Evaluator:
         report as the sequential loop.
         """
         problems = list(problems) if problems is not None else list(all_problems())
+        packs = {problem.pack for problem in problems}
         report = EvalReport(
             model=getattr(client, "name", type(client).__name__),
             with_restrictions=(
@@ -237,6 +238,7 @@ class Evaluator:
             ),
             samples_per_problem=self.config.samples_per_problem,
             max_feedback_iterations=self.config.max_feedback_iterations,
+            pack=packs.pop() if len(packs) == 1 else "mixed",
         )
         units = [
             (problem, sample_index)

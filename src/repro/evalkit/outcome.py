@@ -20,7 +20,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..netlist.errors import ErrorCategory
 from .passk import mean_pass_at_k
 
-__all__ = ["AttemptRecord", "SampleResult", "EvalReport"]
+__all__ = ["AttemptRecord", "SampleResult", "EvalReport", "pass_at_k_by_pack"]
+
+
+def _mean_pass_percent(counts: Sequence[Tuple[int, int]], k: int) -> float:
+    """Mean per-problem Pass@k estimate in percent, clamping ``k`` to ``n``.
+
+    Shared by :meth:`EvalReport.pass_at_k` and :func:`pass_at_k_by_pack` so
+    the clamping and percentage conventions cannot drift apart.  Raises
+    ``ValueError`` when no problem has samples.
+    """
+    values = [100.0 * mean_pass_at_k([(n, c)], min(k, n)) for n, c in counts if n > 0]
+    if not values:
+        raise ValueError("no evaluated samples to aggregate")
+    return float(sum(values) / len(values))
 
 
 @dataclass
@@ -72,13 +85,19 @@ class SampleResult:
 
 @dataclass
 class EvalReport:
-    """All evaluation results for one model under one prompt configuration."""
+    """All evaluation results for one model under one prompt configuration.
+
+    ``pack`` records which problem pack produced the results, so reports from
+    different packs can live side by side (and be aggregated per pack) in one
+    sweep artefact.
+    """
 
     model: str
     with_restrictions: bool
     samples_per_problem: int
     max_feedback_iterations: int
     results: Dict[str, List[SampleResult]] = field(default_factory=dict)
+    pack: str = "core"
 
     def add(self, sample: SampleResult) -> None:
         """Record one finished sample trajectory."""
@@ -104,12 +123,10 @@ class EvalReport:
         estimator remains well defined.
         """
         counts = self.problem_counts(metric, max_feedback)
-        values = [
-            100.0 * mean_pass_at_k([(n, c)], min(k, n)) for n, c in counts if n > 0
-        ]
-        if not values:
-            raise ValueError("the report contains no evaluated samples")
-        return float(sum(values) / len(values))
+        try:
+            return _mean_pass_percent(counts, k)
+        except ValueError:
+            raise ValueError("the report contains no evaluated samples") from None
 
     def error_breakdown(self) -> Dict[ErrorCategory, int]:
         """Histogram of error categories across every failed attempt."""
@@ -127,6 +144,7 @@ class EvalReport:
             "with_restrictions": self.with_restrictions,
             "samples_per_problem": self.samples_per_problem,
             "max_feedback_iterations": self.max_feedback_iterations,
+            "pack": self.pack,
             "results": {
                 problem: [
                     {
@@ -159,6 +177,7 @@ class EvalReport:
             with_restrictions=bool(payload["with_restrictions"]),
             samples_per_problem=int(payload["samples_per_problem"]),
             max_feedback_iterations=int(payload["max_feedback_iterations"]),
+            pack=str(payload.get("pack", "core")),
         )
         results = payload.get("results", {})
         for problem, samples in dict(results).items():  # type: ignore[union-attr]
@@ -181,3 +200,31 @@ class EvalReport:
                     )
                 report.add(sample)
         return report
+
+
+def pass_at_k_by_pack(
+    reports: Sequence[EvalReport],
+    k: int,
+    *,
+    metric: str = "syntax",
+    max_feedback: int = 0,
+) -> Dict[str, float]:
+    """Mean Pass@k (percent) aggregated per problem pack across ``reports``.
+
+    Every report contributes its per-problem ``(n, c)`` counts to the bucket
+    of its :attr:`EvalReport.pack`; the estimator is then averaged over all
+    problems of that pack, mirroring :meth:`EvalReport.pass_at_k` but across
+    models and restriction settings.
+    """
+    counts_by_pack: Dict[str, List[Tuple[int, int]]] = {}
+    for report in reports:
+        counts_by_pack.setdefault(report.pack, []).extend(
+            report.problem_counts(metric, max_feedback)
+        )
+    aggregated: Dict[str, float] = {}
+    for pack, counts in counts_by_pack.items():
+        try:
+            aggregated[pack] = _mean_pass_percent(counts, k)
+        except ValueError:
+            raise ValueError(f"no evaluated samples for pack {pack!r}") from None
+    return aggregated

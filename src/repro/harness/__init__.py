@@ -11,6 +11,8 @@ from .runner import FEEDBACK_COLUMNS, PASS_AT, SweepConfig, SweepResult, run_mod
 from .tables import (
     error_breakdown_rows,
     error_breakdown_text,
+    packs_rows,
+    packs_text,
     table1_rows,
     table1_text,
     table2_rows,
@@ -43,6 +45,8 @@ __all__ = [
     "table4_text",
     "error_breakdown_rows",
     "error_breakdown_text",
+    "packs_rows",
+    "packs_text",
     "figure2_text",
     "figure3_text",
     "figure4_text",

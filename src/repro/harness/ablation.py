@@ -84,7 +84,12 @@ def run_restriction_ablation(
         else [restriction.category for restriction in RESTRICTIONS]
     )
     engine = ExecutionEngine(config.engine_config())
-    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths, engine=engine)
+    golden_store = GoldenStore(
+        num_wavelengths=config.num_wavelengths,
+        engine=engine,
+        pack=config.pack,
+        pack_params=config.pack_params,
+    )
     problems = config.select_problems()
     result = RestrictionAblationResult(model=getattr(client, "name", "client"), config=config)
 

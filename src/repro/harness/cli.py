@@ -15,19 +15,27 @@ Run the evaluation sweeps (Tables III and IV)::
     python -m repro.harness table3 --samples 5 --wavelengths 41
     python -m repro.harness table4 --samples 5 --wavelengths 41
     python -m repro.harness sweep --output results.json
+
+Work with problem packs::
+
+    python -m repro.harness --list-packs
+    python -m repro.harness table1 --pack wdm-links
+    python -m repro.harness sweep --pack wdm-links --pack-param "channels=[2, 4]"
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .ablation import restriction_ablation_text, run_restriction_ablation
 from .figures import figure2_text, figure3_text, figure4_text
 from .runner import SweepConfig, run_sweep
 from .tables import (
     error_breakdown_text,
+    packs_text,
     table1_text,
     table2_text,
     table3_text,
@@ -45,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
+        nargs="?",
         choices=[
             "table1",
             "table2",
@@ -57,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig3",
             "fig4",
         ],
-        help="which artefact to regenerate",
+        help="which artefact to regenerate (optional with --list-packs)",
     )
     parser.add_argument(
         "--model",
@@ -77,9 +86,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--problems",
         nargs="*",
         default=None,
-        help="restrict the sweep to these problem names (default: all 24)",
+        help="restrict the sweep to these problem names (default: the whole pack)",
     )
     parser.add_argument("--output", type=str, default=None, help="write sweep results to this JSON file")
+    parser.add_argument(
+        "--pack",
+        type=str,
+        default="core",
+        help="problem pack to enumerate (see --list-packs; default: the paper's 24-problem core suite)",
+    )
+    parser.add_argument(
+        "--pack-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="override one generation parameter of a parametric pack "
+        "(repeatable; VALUE is parsed as JSON, e.g. channels='[2, 4]')",
+    )
+    parser.add_argument(
+        "--list-packs",
+        action="store_true",
+        help="list the registered problem packs and exit",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -97,7 +125,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_pack_params(raw: Optional[Sequence[str]]) -> Optional[Dict[str, object]]:
+    """Parse repeated ``--pack-param KEY=VALUE`` flags into a mapping.
+
+    Values are parsed as JSON when possible (``channels=[2, 4]``,
+    ``spacing=0.1``) and fall back to the raw string otherwise.
+    """
+    if not raw:
+        return None
+    params: Dict[str, object] = {}
+    for item in raw:
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--pack-param must look like KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
 def _sweep_config(args: argparse.Namespace) -> SweepConfig:
+    """Translate parsed CLI arguments into a :class:`SweepConfig`."""
     return SweepConfig(
         samples_per_problem=args.samples,
         max_feedback_iterations=args.feedback,
@@ -106,15 +155,24 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         problems=tuple(args.problems) if args.problems else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        pack=args.pack,
+        pack_params=_parse_pack_params(args.pack_param),
     )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.harness``."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_packs:
+        print(packs_text())
+        return 0
+    if args.target is None:
+        parser.error("a target is required (or pass --list-packs)")
 
     if args.target == "table1":
-        print(table1_text())
+        print(table1_text(args.pack, _parse_pack_params(args.pack_param)))
         return 0
     if args.target == "table2":
         print(table2_text())

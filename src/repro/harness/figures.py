@@ -27,10 +27,14 @@ __all__ = ["figure2_text", "figure3_text", "FeedbackTraceStep", "figure4_trace",
 import numpy as np
 
 
-def figure2_text() -> str:
-    """The example problem description of Fig. 2 (the MZI ps problem)."""
-    problem = get_problem("mzi_ps")
-    return f"Problem Description\n{problem.description}"
+def figure2_text(problem: str = "mzi_ps", pack: str = "core") -> str:
+    """The example problem description of Fig. 2 (default: the MZI ps problem).
+
+    Pass a different ``problem`` / ``pack`` pair to render the task statement
+    of any registered problem the same way.
+    """
+    problem_obj = get_problem(problem, pack)
+    return f"Problem Description\n{problem_obj.description}"
 
 
 def figure3_text(*, include_restrictions: bool = True) -> str:

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bench.golden import GoldenStore
+from ..bench.packs import CORE_PACK_NAME, PackParams, get_pack
 from ..bench.problem import Problem
 from ..bench.suite import all_problems
 from ..engine.engine import EngineConfig, ExecutionEngine
@@ -38,6 +39,10 @@ PASS_AT: Tuple[int, ...] = (1, 5)
 class SweepConfig:
     """Configuration of a full table sweep.
 
+    ``pack`` selects the problem pack the sweep enumerates (default: the
+    paper's ``core`` suite) and ``pack_params`` overrides the pack's
+    generation parameters (parametric packs such as ``wdm-links``).
+
     ``workers`` and ``cache_dir`` configure the execution engine: the sweep's
     nested loops are flattened into independent ``(client, restrictions,
     problem, sample)`` work units and run on a thread pool of ``workers``
@@ -53,6 +58,8 @@ class SweepConfig:
     problems: Optional[Tuple[str, ...]] = None
     workers: int = 1
     cache_dir: Optional[str] = None
+    pack: str = CORE_PACK_NAME
+    pack_params: Optional[PackParams] = None
 
     def engine_config(self) -> EngineConfig:
         """Build the corresponding :class:`EngineConfig`."""
@@ -69,8 +76,12 @@ class SweepConfig:
         )
 
     def select_problems(self) -> List[Problem]:
-        """Resolve the problem subset (default: the full 24-problem suite)."""
-        problems = list(all_problems())
+        """Resolve the problem subset of the configured pack.
+
+        Defaults to every problem of ``pack`` (for ``core``, the full
+        24-problem suite); ``problems`` narrows the selection by name.
+        """
+        problems = list(all_problems(self.pack, self.pack_params))
         if self.problems is None:
             return problems
         wanted = set(self.problems)
@@ -79,6 +90,14 @@ class SweepConfig:
         if missing:
             raise KeyError(f"unknown problems requested: {sorted(missing)}")
         return selected
+
+    def prompt_config(self, *, include_restrictions: bool) -> PromptConfig:
+        """Build the prompt configuration, with the pack note for non-core packs."""
+        pack = get_pack(self.pack)
+        return PromptConfig(
+            include_restrictions=include_restrictions,
+            pack_note=pack.prompt_note() if pack.name != CORE_PACK_NAME else None,
+        )
 
 
 @dataclass
@@ -98,6 +117,14 @@ class SweepResult:
         for model, _ in self.reports:
             if model not in seen:
                 seen.append(model)
+        return seen
+
+    def packs(self) -> List[str]:
+        """Problem packs present in the sweep's reports, in insertion order."""
+        seen: List[str] = []
+        for report in self.reports.values():
+            if report.pack not in seen:
+                seen.append(report.pack)
         return seen
 
     def to_dict(self) -> Dict[str, object]:
@@ -145,9 +172,16 @@ def run_model(
     config = config if config is not None else SweepConfig()
     if engine is None and golden_store is None:
         engine = ExecutionEngine(config.engine_config())
+    if golden_store is None:
+        golden_store = GoldenStore(
+            num_wavelengths=config.num_wavelengths,
+            engine=engine,
+            pack=config.pack,
+            pack_params=config.pack_params,
+        )
     evaluation_config = config.evaluation_config(include_restrictions=include_restrictions)
     evaluator = Evaluator(evaluation_config, golden_store=golden_store, engine=engine)
-    prompt_config = PromptConfig(include_restrictions=include_restrictions)
+    prompt_config = config.prompt_config(include_restrictions=include_restrictions)
     return evaluator.run_suite(client, config.select_problems(), prompt_config=prompt_config)
 
 
@@ -179,7 +213,12 @@ def run_sweep(
     clients = list(clients)
     if engine is None:
         engine = ExecutionEngine(config.engine_config())
-    golden_store = GoldenStore(num_wavelengths=config.num_wavelengths, engine=engine)
+    golden_store = GoldenStore(
+        num_wavelengths=config.num_wavelengths,
+        engine=engine,
+        pack=config.pack,
+        pack_params=config.pack_params,
+    )
     problems = config.select_problems()
     restriction_settings = tuple(restriction_settings)
 
@@ -192,7 +231,7 @@ def run_sweep(
         for include_restrictions in restriction_settings
     }
     prompt_configs = {
-        include_restrictions: PromptConfig(include_restrictions=include_restrictions)
+        include_restrictions: config.prompt_config(include_restrictions=include_restrictions)
         for include_restrictions in restriction_settings
     }
 
@@ -207,6 +246,7 @@ def run_sweep(
     ]
 
     def run_unit(unit):
+        """Run one (restrictions, client, problem, sample) trajectory."""
         include_restrictions, client, problem, sample_index = unit
         return evaluators[include_restrictions].run_sample(
             client,
@@ -227,6 +267,7 @@ def run_sweep(
                 with_restrictions=include_restrictions,
                 samples_per_problem=config.samples_per_problem,
                 max_feedback_iterations=config.max_feedback_iterations,
+                pack=config.pack,
             )
             result.reports[(model, include_restrictions)] = report
         report.add(sample)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..bench.packs import CORE_PACK_NAME, PackParams, pack_summaries
 from ..bench.suite import problems_by_category, suite_summary
 from ..netlist.errors import ErrorCategory
 from ..prompts.restrictions import RESTRICTIONS
@@ -29,17 +30,21 @@ __all__ = [
     "table4_text",
     "error_breakdown_rows",
     "error_breakdown_text",
+    "packs_rows",
+    "packs_text",
 ]
 
 
 # ----------------------------------------------------------------------
-# Table I -- benchmark description
+# Table I -- benchmark description (per pack)
 # ----------------------------------------------------------------------
-def table1_rows() -> List[Tuple[str, str, str, int]]:
-    """Rows of Table I: (category, design, description, golden instance count)."""
+def table1_rows(
+    pack: str = CORE_PACK_NAME, params: Optional[PackParams] = None
+) -> List[Tuple[str, str, str, int]]:
+    """Rows of Table I for one pack: (category, design, description, golden instances)."""
     rows: List[Tuple[str, str, str, int]] = []
-    summary_by_name = {entry["name"]: entry for entry in suite_summary()}
-    for category, problems in problems_by_category().items():
+    summary_by_name = {entry["name"]: entry for entry in suite_summary(pack, params)}
+    for category, problems in problems_by_category(pack, params).items():
         for problem in problems:
             entry = summary_by_name[problem.name]
             rows.append(
@@ -48,12 +53,41 @@ def table1_rows() -> List[Tuple[str, str, str, int]]:
     return rows
 
 
-def table1_text() -> str:
-    """Render Table I (benchmark description)."""
+def table1_text(pack: str = CORE_PACK_NAME, params: Optional[PackParams] = None) -> str:
+    """Render Table I (benchmark description) for one problem pack."""
+    title = "TABLE I: Benchmark Description"
+    if pack != CORE_PACK_NAME:
+        title += f" (pack: {pack})"
     return render_table(
         ["Category", "Design", "Description", "Golden instances"],
-        table1_rows(),
-        title="TABLE I: Benchmark Description",
+        table1_rows(pack, params),
+        title=title,
+    )
+
+
+# ----------------------------------------------------------------------
+# Problem-pack listing (the --list-packs CLI)
+# ----------------------------------------------------------------------
+def packs_rows() -> List[List[str]]:
+    """Rows of the pack listing: name, title, problem count, categories, parametric."""
+    return [
+        [
+            str(entry["name"]),
+            str(entry["title"]),
+            str(entry["num_problems"]),
+            ", ".join(entry["categories"]),  # type: ignore[arg-type]
+            "yes" if entry["parametric"] else "no",
+        ]
+        for entry in pack_summaries()
+    ]
+
+
+def packs_text() -> str:
+    """Render the registered problem packs as a table."""
+    return render_table(
+        ["Pack", "Title", "Problems", "Categories", "Parametric"],
+        packs_rows(),
+        title="Registered problem packs",
     )
 
 
@@ -82,6 +116,7 @@ def table2_text() -> str:
 def _passk_rows(
     sweep: SweepResult, *, with_restrictions: bool
 ) -> List[List[str]]:
+    """One table row per model: Pass@k percentages over the feedback columns."""
     rows: List[List[str]] = []
     for model in sweep.models():
         key = (model, with_restrictions)
@@ -89,6 +124,8 @@ def _passk_rows(
             continue
         report = sweep.reports[key]
         label = f"{model} + restrictions" if with_restrictions else model
+        if report.pack != CORE_PACK_NAME:
+            label = f"{label} [{report.pack}]"
         row: List[str] = [label]
         for k in PASS_AT:
             for max_feedback in FEEDBACK_COLUMNS:
@@ -105,12 +142,21 @@ def _passk_rows(
 
 
 def _passk_headers() -> List[str]:
+    """Header row of the Pass@k tables (Tables III / IV)."""
     headers = ["LLM"]
     for k in PASS_AT:
         for max_feedback in FEEDBACK_COLUMNS:
             headers.append(f"P@{k} {max_feedback}EF Syntax")
             headers.append(f"P@{k} {max_feedback}EF Func.")
     return headers
+
+
+def _pack_suffix(sweep: SweepResult) -> str:
+    """Title suffix naming the sweep's pack(s) when any is not the core pack."""
+    packs = sweep.packs()
+    if packs and set(packs) != {CORE_PACK_NAME}:
+        return f" (pack: {', '.join(packs)})"
+    return ""
 
 
 def table3_rows(sweep: SweepResult) -> List[List[str]]:
@@ -123,7 +169,8 @@ def table3_text(sweep: SweepResult) -> str:
     return render_table(
         _passk_headers(),
         table3_rows(sweep),
-        title="TABLE III: Syntax and Functionality evaluation (without restrictions)",
+        title="TABLE III: Syntax and Functionality evaluation (without restrictions)"
+        + _pack_suffix(sweep),
     )
 
 
@@ -137,7 +184,8 @@ def table4_text(sweep: SweepResult) -> str:
     return render_table(
         _passk_headers(),
         table4_rows(sweep),
-        title="TABLE IV: Syntax and Functionality evaluation (with restrictions)",
+        title="TABLE IV: Syntax and Functionality evaluation (with restrictions)"
+        + _pack_suffix(sweep),
     )
 
 

@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..bench.problem import Problem
-from ..bench.suite import all_problems
+from ..bench.suite import find_problem_by_description
 from ..netlist.errors import ErrorCategory
 from ..netlist.schema import Netlist
 from ..prompts.feedback import FUNCTIONAL_FEEDBACK
@@ -86,16 +86,24 @@ class SimulatedDesigner:
     # ------------------------------------------------------------------
     @staticmethod
     def _find_problem(messages: Conversation) -> Problem:
+        """Recognise which registered problem the conversation is about.
+
+        The first user message embeds the problem description; it is matched
+        against every suite built so far (including parameter-overridden
+        builds) and every registered pack's default problems, so the
+        simulated designers work with any pack known to the registry.
+        """
         user_messages = [m for m in messages if m.role == "user"]
         if not user_messages:
             raise ValueError("the conversation contains no user message")
         first = user_messages[0].content
-        for problem in all_problems():
-            if problem.description.strip() and problem.description.strip() in first:
-                return problem
+        problem = find_problem_by_description(first)
+        if problem is not None:
+            return problem
         raise ValueError(
             "the problem description in the conversation does not match any "
-            "benchmark problem; SimulatedDesigner only knows the PICBench suite"
+            "benchmark problem of a registered pack; SimulatedDesigner only "
+            "knows registered problem packs"
         )
 
     @staticmethod

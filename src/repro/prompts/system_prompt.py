@@ -60,10 +60,16 @@ class PromptConfig:
     restriction_categories:
         Optional subset of restriction categories to include (used by the
         restriction ablation); ``None`` means all.
+    pack_note:
+        Optional problem-pack context sentence appended after the base notes
+        (derived from :meth:`repro.bench.ProblemPack.prompt_note`).  ``None``
+        -- the default, and what the core pack uses -- reproduces the paper's
+        prompt byte for byte.
     """
 
     include_restrictions: bool = False
     restriction_categories: Optional[Sequence[ErrorCategory]] = None
+    pack_note: Optional[str] = None
 
 
 def build_system_prompt(
@@ -90,6 +96,8 @@ def build_system_prompt(
         "",
         BASE_NOTES,
     ]
+    if config.pack_note:
+        sections.extend(["", "<<<Benchmark pack>>>", config.pack_note])
     if config.include_restrictions:
         sections.extend(
             [

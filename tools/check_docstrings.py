@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Docstring-coverage checker (an offline ``interrogate`` substitute).
+
+Walks the given files/directories, counts docstring-carrying definitions
+(modules, classes, functions and methods -- nested definitions included) via
+the ``ast`` module, and fails when total coverage is below ``--fail-under``.
+
+Used by the CI docs job::
+
+    python tools/check_docstrings.py --fail-under 90 src/repro/bench src/repro/harness
+
+Exit status: 0 when coverage >= threshold, 1 otherwise, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+
+def iter_python_files(targets: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {target}")
+    return files
+
+
+def inspect_file(path: Path) -> Tuple[int, int, List[str]]:
+    """Count (documented, total) definitions in one file.
+
+    Returns ``(documented, total, missing)`` where ``missing`` lists the
+    qualified names of definitions without a docstring.  Synthetic wrappers
+    (``lambda``) and overload stubs are not definitions in the AST sense, so
+    only modules, classes and (async) functions are counted.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    documented = 0
+    total = 0
+    missing: List[str] = []
+
+    def visit(node: ast.AST, qualname: str) -> None:
+        nonlocal documented, total
+        countable = isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        if countable:
+            total += 1
+            if ast.get_docstring(node) is not None:
+                documented += 1
+            else:
+                missing.append(qualname or "<module>")
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_name = f"{qualname}.{child.name}" if qualname else child.name
+                visit(child, child_name)
+
+    visit(tree, "")
+    return documented, total, missing
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="+", help="files or directories to check")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        help="minimum acceptable coverage percentage (default: 90)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list every undocumented definition"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        files = iter_python_files(args.targets)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not files:
+        print("error: no Python files found", file=sys.stderr)
+        return 2
+
+    grand_documented = 0
+    grand_total = 0
+    for path in files:
+        documented, total, missing = inspect_file(path)
+        grand_documented += documented
+        grand_total += total
+        coverage = 100.0 * documented / total if total else 100.0
+        print(f"{coverage:6.1f}%  {documented:>3}/{total:<3}  {path}")
+        if args.verbose:
+            for name in missing:
+                print(f"         missing: {path}:{name}")
+
+    overall = 100.0 * grand_documented / grand_total if grand_total else 100.0
+    verdict = "PASSED" if overall >= args.fail_under else "FAILED"
+    print(
+        f"\ntotal docstring coverage: {overall:.1f}% "
+        f"({grand_documented}/{grand_total} definitions), "
+        f"required {args.fail_under:.1f}% -- {verdict}"
+    )
+    return 0 if overall >= args.fail_under else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
