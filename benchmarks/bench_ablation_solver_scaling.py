@@ -1,9 +1,12 @@
-"""Ablation: circuit-solver cost versus design size.
+"""Ablation: circuit-solver cost versus design size and backend.
 
 The paper's evaluation hinges on simulating every candidate netlist; this
-ablation times the solver on the benchmark's smallest and largest designs
-(from the 4-instance MZI up to the 112-instance 8x8 Spanke fabric) so the
-cost of the syntax/functionality check is visible.
+ablation times both solver backends on the benchmark's smallest and largest
+designs (from the 4-instance MZI up to the 112-instance 8x8 Spanke fabric)
+so the cost of the syntax/functionality check -- and the payoff of the
+structure-aware ``cascade`` backend over the dense ``O(W * P^3)`` solve --
+is visible.  ``tools/bench_to_json.py`` runs the same comparison standalone
+and records the trajectory in ``BENCH_solver.json``.
 """
 
 from __future__ import annotations
@@ -17,6 +20,8 @@ from repro.sim import CircuitSolver
 WAVELENGTHS = default_wavelength_grid(41)
 SOLVER = CircuitSolver()
 
+BACKENDS = ["dense", "cascade"]
+
 SCALING_PROBLEMS = [
     "mzi_ps",
     "optical_hybrid",
@@ -28,20 +33,27 @@ SCALING_PROBLEMS = [
 ]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("problem_name", SCALING_PROBLEMS)
-def test_solver_scaling(benchmark, problem_name):
-    """Time one full-band simulation of a golden design."""
+def test_solver_scaling(benchmark, problem_name, backend):
+    """Time one full-band simulation of a golden design per backend."""
     problem = get_problem(problem_name)
     netlist = problem.golden_netlist()
 
-    result = benchmark(SOLVER.evaluate, netlist, WAVELENGTHS)
+    result = benchmark(SOLVER.evaluate, netlist, WAVELENGTHS, backend=backend)
     assert result.num_wavelengths == WAVELENGTHS.size
 
 
-def test_solver_wavelength_scaling(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_solver_wavelength_scaling(benchmark, backend):
     """Time the largest fabric on the full 161-point evaluation grid."""
     netlist = get_problem("benes_8x8").golden_netlist()
     grid = default_wavelength_grid()
+    # Warm the per-device instance cache on this grid so both backends are
+    # timed on pure composition cost (the cache key includes the grid).
+    SOLVER.evaluate(netlist, grid, backend=backend)
 
-    result = benchmark.pedantic(SOLVER.evaluate, args=(netlist, grid), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        SOLVER.evaluate, args=(netlist, grid), kwargs={"backend": backend}, rounds=1, iterations=1
+    )
     assert result.num_wavelengths == grid.size

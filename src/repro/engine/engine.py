@@ -53,11 +53,18 @@ class EngineConfig:
         Capacity of the in-memory simulation cache; ``0`` disables it.
     cache_dir:
         Optional directory for persistent ``.npz`` simulation artefacts.
+    solver_backend:
+        Circuit-solver backend (``auto``/``dense``/``cascade``, see
+        :data:`repro.sim.circuit.SOLVER_BACKENDS`).  A pure performance knob:
+        every backend computes the same S-matrices, so simulation cache keys
+        deliberately exclude it and cached artefacts are shared across
+        backends.
     """
 
     workers: int = 1
     cache_entries: int = 2048
     cache_dir: Optional[Path | str] = None
+    solver_backend: str = "auto"
 
 
 class ExecutionEngine:
@@ -71,7 +78,11 @@ class ExecutionEngine:
         solver: Optional[CircuitSolver] = None,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
-        self.solver = solver if solver is not None else CircuitSolver(registry=registry)
+        self.solver = (
+            solver
+            if solver is not None
+            else CircuitSolver(registry=registry, backend=self.config.solver_backend)
+        )
         self.cache = SimulationCache(
             max_entries=self.config.cache_entries, cache_dir=self.config.cache_dir
         )
@@ -110,7 +121,12 @@ class ExecutionEngine:
         wavelengths: np.ndarray,
         port_spec: Optional[PortSpec] = None,
     ) -> str:
-        """Content address of one simulation under this engine's registry."""
+        """Content address of one simulation under this engine's registry.
+
+        The solver backend is deliberately NOT part of the key: backends are
+        numerically equivalent, so engines configured with different backends
+        must share cache entries (and golden artefacts stay backend-invariant).
+        """
         spec_part = (
             "none" if port_spec is None else f"{port_spec.num_inputs}x{port_spec.num_outputs}"
         )
@@ -177,8 +193,10 @@ def default_engine(
     workers: int = 1,
     cache_dir: Optional[Path | str] = None,
     registry: Optional[ModelRegistry] = None,
+    solver_backend: str = "auto",
 ) -> ExecutionEngine:
-    """Convenience constructor mirroring the CLI's ``--workers``/``--cache-dir``."""
+    """Convenience constructor mirroring the CLI's engine flags."""
     return ExecutionEngine(
-        EngineConfig(workers=workers, cache_dir=cache_dir), registry=registry
+        EngineConfig(workers=workers, cache_dir=cache_dir, solver_backend=solver_backend),
+        registry=registry,
     )

@@ -5,7 +5,10 @@ the canonical netlist, the wavelength grid and the model registry that
 produced it are identical.  Every helper here therefore hashes the canonical
 serialised form of its input (sorted-key JSON, raw float64 bytes) rather than
 object identities, so fingerprints are stable across processes and runs and
-can be used as on-disk cache file names.
+can be used as on-disk cache file names.  Execution details that do not
+change the mathematics -- the solver backend (``dense``/``cascade``), worker
+count, cache configuration -- are deliberately excluded, so results and
+golden artefacts are shared across engine configurations.
 
 The same SHA-256 mixing also derives the per-sample generation seeds: a seed
 is a pure function of ``(base_seed, problem name, sample index)``, which makes

@@ -49,6 +49,10 @@ class SweepConfig:
     threads (``1`` = sequential, ``0`` = one per core), with simulations
     served from a content-addressed cache optionally persisted under
     ``cache_dir``.  Reports are byte-identical for any worker count.
+
+    ``solver_backend`` selects the circuit-solver backend
+    (``auto``/``dense``/``cascade``); backends are numerically equivalent,
+    so it changes sweep runtime but never the reported numbers.
     """
 
     samples_per_problem: int = 5
@@ -60,10 +64,15 @@ class SweepConfig:
     cache_dir: Optional[str] = None
     pack: str = CORE_PACK_NAME
     pack_params: Optional[PackParams] = None
+    solver_backend: str = "auto"
 
     def engine_config(self) -> EngineConfig:
         """Build the corresponding :class:`EngineConfig`."""
-        return EngineConfig(workers=self.workers, cache_dir=self.cache_dir)
+        return EngineConfig(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            solver_backend=self.solver_backend,
+        )
 
     def evaluation_config(self, *, include_restrictions: bool) -> EvaluationConfig:
         """Build the corresponding :class:`EvaluationConfig`."""

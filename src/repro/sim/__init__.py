@@ -10,7 +10,8 @@ The public surface mirrors what the benchmark needs from SAX:
 """
 
 from .analysis import ComparisonResult, FrequencyResponse, compare_responses
-from .circuit import CircuitSolver, evaluate_netlist
+from .cascade import CascadePlan
+from .circuit import SOLVER_BACKENDS, CircuitSolver, default_solver, evaluate_netlist
 from .registry import ModelInfo, ModelRegistry, UnknownModelError, default_registry
 from .sparams import SMatrix, is_reciprocal, is_unitary, power_transmission, sdict_to_smatrix
 
@@ -24,7 +25,10 @@ __all__ = [
     "ModelRegistry",
     "UnknownModelError",
     "default_registry",
+    "SOLVER_BACKENDS",
+    "CascadePlan",
     "CircuitSolver",
+    "default_solver",
     "evaluate_netlist",
     "FrequencyResponse",
     "ComparisonResult",

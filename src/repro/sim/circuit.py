@@ -3,22 +3,41 @@
 Given a validated netlist, the solver:
 
 1. evaluates every instance's device model over the wavelength grid,
-2. assembles the block-diagonal scattering matrix ``S`` of all instance ports,
-3. builds the connection matrix ``C`` (a symmetric permutation-like matrix
-   that routes the outgoing wave of one port into the incoming wave of the
-   port it is connected to), and the external-injection matrix ``E`` that maps
-   the circuit's external ports onto instance ports,
-4. solves the interior-scattering equation for the composed response:
+2. flattens all instance ports into one index and records which port each
+   port is wired to (the connection structure ``C``) and which instance port
+   backs each external port (the injection structure ``E``),
+3. computes the composed response
 
    ``S_circuit = E.T @ (I - S @ C)^{-1} @ S @ E``
 
-The linear solve is batched over wavelengths with ``numpy.linalg.solve``.
-This is mathematically equivalent to the sub-network-growth evaluation SAX
-performs and handles arbitrary topologies, including rings (feedback loops).
+   where ``S`` is the block-diagonal matrix of all instance S-matrices.
+
+Two backends evaluate that expression:
+
+``dense``
+    Assembles the full ``(W, P, P)`` system and batch-solves it with
+    ``numpy.linalg.solve`` -- ``O(W * P^3)``.  Because ``C`` and ``E`` are
+    permutation-like, the system and right-hand side are built by column
+    gathers instead of matmuls, so no ``P x P`` identity or ``S @ C``
+    temporary is ever materialised.
+``cascade``
+    The structure-aware backend (:mod:`repro.sim.cascade`): condenses the
+    port-level signal-flow graph into strongly-connected components and
+    evaluates the acyclic condensation in topological order, solving a small
+    local dense system only for genuine feedback clusters (rings).
+    Feed-forward meshes and switch fabrics never touch a global solve.
+``auto``
+    Picks ``dense`` for small circuits (where one vectorised solve beats the
+    cascade's per-component bookkeeping) and ``cascade`` otherwise.
+
+Both backends evaluate the same linear system and agree to well below 1e-9;
+backend choice is a performance knob, never a semantic one (engine cache
+keys deliberately exclude it).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -30,10 +49,28 @@ from ..constants import default_wavelength_grid
 from ..netlist.errors import OtherSyntaxError, WrongPortError
 from ..netlist.schema import Netlist, format_endpoint, parse_endpoint
 from ..netlist.validation import PortSpec, validate_netlist
+from .cascade import CascadePlan, build_cascade_plan, cascade_solve, structural_masks
 from .registry import ModelRegistry, default_registry
 from .sparams import SMatrix
 
-__all__ = ["CircuitSolver", "evaluate_netlist"]
+__all__ = ["SOLVER_BACKENDS", "CircuitSolver", "default_solver", "evaluate_netlist"]
+
+#: Recognised solver backend names.
+SOLVER_BACKENDS: Tuple[str, ...] = ("auto", "dense", "cascade")
+
+#: ``auto`` uses the dense backend up to this many flattened instance ports
+#: (measured crossover: one vectorised global solve beats the cascade's
+#: per-component bookkeeping only for the very smallest circuits).
+_AUTO_DENSE_MAX_PORTS = 12
+
+
+def _check_backend(backend: str) -> str:
+    """Validate a backend name, returning it unchanged."""
+    if backend not in SOLVER_BACKENDS:
+        raise ValueError(
+            f"unknown solver backend {backend!r}; choose one of {list(SOLVER_BACKENDS)}"
+        )
+    return backend
 
 
 @dataclass
@@ -56,6 +93,39 @@ class _PortIndex:
         return len(self.endpoints)
 
 
+@dataclass
+class _Assembly:
+    """Structural view of one netlist over the flattened port index.
+
+    ``matrices``/``spans``/``owner`` describe the block-diagonal ``S``
+    (per-instance data, contiguous port ranges, port-to-instance map);
+    ``sources`` describes ``C`` as, per column ``j``, the ports ``k`` with
+    ``C[k, j] = 1`` (at most one for any netlist that passes validation);
+    ``external_names``/``injection_ports`` describe ``E``.
+    """
+
+    matrices: List[np.ndarray]
+    spans: List[Tuple[int, int]]
+    owner: np.ndarray
+    sources: Dict[int, List[int]]
+    external_names: List[str]
+    injection_ports: np.ndarray
+
+    @property
+    def num_ports(self) -> int:
+        return int(self.owner.size)
+
+    def partner_array(self) -> Optional[np.ndarray]:
+        """Per-port partner index (``-1`` = dangling), or ``None`` when any
+        port has several partners (only possible on unvalidated netlists)."""
+        partner = np.full(self.num_ports, -1, dtype=int)
+        for column, ports in self.sources.items():
+            if len(ports) != 1:
+                return None
+            partner[column] = ports[0]
+        return partner
+
+
 class CircuitSolver:
     """Evaluates netlists into circuit-level S-matrices.
 
@@ -73,6 +143,10 @@ class CircuitSolver:
         so the many structurally repeated instances of mesh and switch-fabric
         netlists (and repeated ``evaluate`` calls on the same grid) evaluate
         each distinct device exactly once.  ``0`` disables the sub-cache.
+    backend:
+        Default solver backend (one of :data:`SOLVER_BACKENDS`); individual
+        :meth:`evaluate` calls may override it.  All backends produce the
+        same result; see the module docstring.
     """
 
     def __init__(
@@ -81,9 +155,11 @@ class CircuitSolver:
         *,
         validate: bool = True,
         instance_cache_entries: int = 512,
+        backend: str = "auto",
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.validate = validate
+        self.backend = _check_backend(backend)
         self._instance_cache: LRUCache[Tuple[str, str, str, bytes], SMatrix] = LRUCache(
             max_entries=instance_cache_entries
         )
@@ -101,9 +177,11 @@ class CircuitSolver:
         wavelengths: Optional[np.ndarray] = None,
         *,
         port_spec: Optional[PortSpec] = None,
+        backend: Optional[str] = None,
     ) -> SMatrix:
         """Simulate ``netlist`` and return the external S-matrix.
 
+        ``backend`` overrides the solver's default backend for this call.
         Raises a classified :class:`PICBenchError` subclass when the netlist
         is invalid, or :class:`OtherSyntaxError` when a device model rejects
         its settings.
@@ -111,29 +189,93 @@ class CircuitSolver:
         wavelengths = (
             default_wavelength_grid() if wavelengths is None else np.atleast_1d(np.asarray(wavelengths, dtype=float))
         )
+        chosen = _check_backend(backend if backend is not None else self.backend)
         if self.validate:
             validate_netlist(netlist, self.registry, port_spec)
 
-        instance_matrices = self._evaluate_instances(netlist, wavelengths)
-        instance_ports = {name: sm.ports for name, sm in instance_matrices.items()}
-        port_index = _PortIndex.build(instance_ports)
+        assembly = self._assemble(netlist, wavelengths)
+        partner = assembly.partner_array() if chosen != "dense" else None
+        if chosen == "auto":
+            chosen = (
+                "dense"
+                if partner is None or assembly.num_ports <= _AUTO_DENSE_MAX_PORTS
+                else "cascade"
+            )
+        if chosen == "cascade" and partner is None:
+            # A port wired to several partners cannot occur on a validated
+            # netlist; fall back to the general dense formulation.
+            chosen = "dense"
 
-        block = self._block_diagonal(instance_matrices, port_index, wavelengths.size)
-        connection = self._connection_matrix(netlist, port_index)
-        external_names, injection = self._external_matrix(netlist, port_index)
+        if chosen == "cascade":
+            external = cascade_solve(
+                assembly.matrices,
+                assembly.spans,
+                assembly.owner,
+                partner,
+                assembly.injection_ports,
+                wavelengths.size,
+            )
+        else:
+            external = self._dense_solve(assembly, wavelengths.size)
+        return SMatrix(wavelengths, tuple(assembly.external_names), external)
 
-        num_ports = len(port_index)
-        identity = np.eye(num_ports)
-        # (I - S C) b = S E x  =>  b = solve(I - S C, S E)
-        system = identity[None, :, :] - block @ connection[None, :, :]
-        rhs = block @ injection[None, :, :]
-        interior = np.linalg.solve(system, rhs)
-        external = np.einsum("pe,wpf->wef", injection, interior)
-        return SMatrix(wavelengths, tuple(external_names), external)
+    def cascade_plan(
+        self,
+        netlist: Netlist,
+        wavelengths: Optional[np.ndarray] = None,
+        *,
+        port_spec: Optional[PortSpec] = None,
+    ) -> CascadePlan:
+        """Return the cascade backend's evaluation plan for ``netlist``.
+
+        Exposes the condensation structure (topological component order,
+        feedback clusters) for introspection, tests and benchmarks.
+        """
+        wavelengths = (
+            default_wavelength_grid() if wavelengths is None else np.atleast_1d(np.asarray(wavelengths, dtype=float))
+        )
+        if self.validate:
+            validate_netlist(netlist, self.registry, port_spec)
+        assembly = self._assemble(netlist, wavelengths)
+        partner = assembly.partner_array()
+        if partner is None:
+            raise ValueError(
+                "cascade plan undefined: a port is connected to several partners"
+            )
+        masks = structural_masks(assembly.matrices)
+        return build_cascade_plan(masks, assembly.spans, assembly.owner, partner)
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
+    def _assemble(self, netlist: Netlist, wavelengths: np.ndarray) -> _Assembly:
+        """Evaluate instances and build the structural view of the netlist."""
+        instance_matrices = self._evaluate_instances(netlist, wavelengths)
+        instance_ports = {name: sm.ports for name, sm in instance_matrices.items()}
+        port_index = _PortIndex.build(instance_ports)
+
+        matrices: List[np.ndarray] = []
+        spans: List[Tuple[int, int]] = []
+        owner = np.empty(len(port_index), dtype=int)
+        start = 0
+        for instance_number, sm in enumerate(instance_matrices.values()):
+            size = sm.num_ports
+            matrices.append(sm.data)
+            spans.append((start, size))
+            owner[start : start + size] = instance_number
+            start += size
+
+        sources = self._connection_sources(netlist, port_index)
+        external_names, injection_ports = self._injection_ports(netlist, port_index)
+        return _Assembly(
+            matrices=matrices,
+            spans=spans,
+            owner=owner,
+            sources=sources,
+            external_names=external_names,
+            injection_ports=injection_ports,
+        )
+
     def _evaluate_instances(
         self, netlist: Netlist, wavelengths: np.ndarray
     ) -> Dict[str, SMatrix]:
@@ -165,22 +307,35 @@ class CircuitSolver:
             matrices[name] = smatrix
         return matrices
 
-    @staticmethod
-    def _block_diagonal(
-        matrices: Dict[str, SMatrix], port_index: _PortIndex, num_wavelengths: int
-    ) -> np.ndarray:
-        num_ports = len(port_index)
+    def _dense_solve(self, assembly: _Assembly, num_wavelengths: int) -> np.ndarray:
+        """Batched global solve of ``(I - S C) b = S E`` (the dense backend)."""
+        num_ports = assembly.num_ports
         block = np.zeros((num_wavelengths, num_ports, num_ports), dtype=complex)
-        for name, sm in matrices.items():
-            offsets = [port_index.index[(name, p)] for p in sm.ports]
-            idx = np.asarray(offsets, dtype=int)
-            block[:, idx[:, None], idx[None, :]] = sm.data
-        return block
+        for data, (start, size) in zip(assembly.matrices, assembly.spans):
+            block[:, start : start + size, start : start + size] = data
+
+        # system = I - S @ C, built without the matmul: C is permutation-like,
+        # so column j of S @ C is column partner(j) of S (zero when dangling).
+        system = np.zeros_like(block)
+        for column, ports in assembly.sources.items():
+            for source in ports:
+                system[:, :, column] += block[:, :, source]
+        np.negative(system, out=system)
+        diagonal = np.arange(num_ports)
+        system[:, diagonal, diagonal] += 1.0
+
+        # rhs = S @ E: E's columns are one-hot on the injected instance ports.
+        rhs = block[:, :, assembly.injection_ports]
+        interior = np.linalg.solve(system, rhs)
+        # external = E.T @ interior: a row gather for the same reason.
+        return interior[:, assembly.injection_ports, :]
 
     @staticmethod
-    def _connection_matrix(netlist: Netlist, port_index: _PortIndex) -> np.ndarray:
-        num_ports = len(port_index)
-        connection = np.zeros((num_ports, num_ports), dtype=float)
+    def _connection_sources(
+        netlist: Netlist, port_index: _PortIndex
+    ) -> Dict[int, List[int]]:
+        """Connection structure: per column ``j``, ports ``k`` with ``C[k, j] = 1``."""
+        pairs = set()
         for key, value in netlist.connections.items():
             a = parse_endpoint(key)
             b = parse_endpoint(value)
@@ -192,25 +347,50 @@ class CircuitSolver:
                     )
             ia = port_index.index[a]
             ib = port_index.index[b]
-            connection[ia, ib] = 1.0
-            connection[ib, ia] = 1.0
-        return connection
+            pairs.add((ia, ib))
+            pairs.add((ib, ia))
+        sources: Dict[int, List[int]] = {}
+        for source, column in sorted(pairs):
+            sources.setdefault(column, []).append(source)
+        return sources
 
     @staticmethod
-    def _external_matrix(
+    def _injection_ports(
         netlist: Netlist, port_index: _PortIndex
     ) -> Tuple[List[str], np.ndarray]:
+        """External port names and the flattened instance port behind each."""
         external_names = list(netlist.ports)
-        injection = np.zeros((len(port_index), len(external_names)), dtype=float)
-        for col, ext_name in enumerate(external_names):
+        injection_ports = np.empty(len(external_names), dtype=int)
+        for column, ext_name in enumerate(external_names):
             endpoint = parse_endpoint(netlist.ports[ext_name])
             if endpoint not in port_index.index:
                 raise WrongPortError(
                     f"external port {ext_name!r} maps to "
                     f"{format_endpoint(*endpoint)!r} which is not an instance port"
                 )
-            injection[port_index.index[endpoint], col] = 1.0
-        return external_names, injection
+            injection_ports[column] = port_index.index[endpoint]
+        return external_names, injection_ports
+
+
+# ----------------------------------------------------------------------
+# Module-level default solver
+# ----------------------------------------------------------------------
+_DEFAULT_SOLVER: Optional[CircuitSolver] = None
+_DEFAULT_SOLVER_LOCK = threading.Lock()
+
+
+def default_solver() -> CircuitSolver:
+    """The process-wide default :class:`CircuitSolver` (default registry).
+
+    Shared by every :func:`evaluate_netlist` call that does not pass its own
+    registry, so repeated convenience-API calls hit one warm per-device
+    instance cache instead of rebuilding an empty solver each time.
+    """
+    global _DEFAULT_SOLVER
+    with _DEFAULT_SOLVER_LOCK:
+        if _DEFAULT_SOLVER is None:
+            _DEFAULT_SOLVER = CircuitSolver()
+        return _DEFAULT_SOLVER
 
 
 def evaluate_netlist(
@@ -219,7 +399,13 @@ def evaluate_netlist(
     *,
     registry: Optional[ModelRegistry] = None,
     port_spec: Optional[PortSpec] = None,
+    backend: Optional[str] = None,
 ) -> SMatrix:
-    """Convenience wrapper: evaluate ``netlist`` with a default solver."""
-    solver = CircuitSolver(registry=registry)
-    return solver.evaluate(netlist, wavelengths, port_spec=port_spec)
+    """Convenience wrapper: evaluate ``netlist`` with the default solver.
+
+    Calls without a custom ``registry`` share the module-level
+    :func:`default_solver` (and its instance cache); passing a registry
+    builds a dedicated solver for that call.
+    """
+    solver = default_solver() if registry is None else CircuitSolver(registry=registry)
+    return solver.evaluate(netlist, wavelengths, port_spec=port_spec, backend=backend)

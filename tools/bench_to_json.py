@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Time the circuit-solver backends and write a JSON benchmark trajectory.
+
+Runs the solver-scaling problems (the same set as
+``benchmarks/bench_ablation_solver_scaling.py``) through both the ``dense``
+and the ``cascade`` backend, records best-of-N wall times, the measured
+speedup, the cascade plan's feedback structure and the max absolute
+dense/cascade deviation, and writes everything to a JSON file
+(``BENCH_solver.json`` at the repository root by default) so the perf
+trajectory is versioned alongside the code.
+
+Examples
+--------
+Full committed run (161-point grid, the paper's evaluation band)::
+
+    python tools/bench_to_json.py
+
+CI perf smoke (small grid, subset, non-zero exit if cascade regresses)::
+
+    python tools/bench_to_json.py --wavelengths 41 --repeats 1 \\
+        --problems mzi_ps benes_8x8 spanke_8x8 \\
+        --output /tmp/bench_solver.json --assert-speedup spanke_8x8=1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402  (after the path insert, like the other tools)
+
+from repro.bench import get_problem  # noqa: E402
+from repro.constants import default_wavelength_grid  # noqa: E402
+from repro.sim import CircuitSolver  # noqa: E402
+
+#: Problems timed by default (mirrors benchmarks/bench_ablation_solver_scaling.py).
+DEFAULT_PROBLEMS = (
+    "mzi_ps",
+    "optical_hybrid",
+    "clements_4x4",
+    "clements_8x8",
+    "benes_8x8",
+    "crossbar_8x8",
+    "spanke_8x8",
+)
+
+BACKENDS = ("dense", "cascade")
+
+
+def _time_backend(
+    solver: CircuitSolver, netlist, wavelengths, backend: str, repeats: int
+) -> Dict[str, object]:
+    """Best-of-``repeats`` wall time of one backend on one netlist."""
+    runs: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solver.evaluate(netlist, wavelengths, backend=backend)
+        runs.append(time.perf_counter() - start)
+    return {"best_s": min(runs), "mean_s": sum(runs) / len(runs), "runs_s": runs}
+
+
+def run_benchmark(
+    problems: Sequence[str], num_wavelengths: int, repeats: int
+) -> Dict[str, object]:
+    """Time every backend on every problem and assemble the JSON payload."""
+    wavelengths = default_wavelength_grid(num_wavelengths)
+    solver = CircuitSolver()
+    results: List[Dict[str, object]] = []
+    for name in problems:
+        netlist = get_problem(name).golden_netlist()
+        plan = solver.cascade_plan(netlist, wavelengths)
+        # Warm the per-device instance cache so both backends are timed on
+        # pure composition cost, not on device-model evaluation.
+        reference = solver.evaluate(netlist, wavelengths, backend="dense")
+        cascade_result = solver.evaluate(netlist, wavelengths, backend="cascade")
+        max_abs_diff = float(np.max(np.abs(reference.data - cascade_result.data)))
+
+        timings = {
+            backend: _time_backend(solver, netlist, wavelengths, backend, repeats)
+            for backend in BACKENDS
+        }
+        speedup = timings["dense"]["best_s"] / timings["cascade"]["best_s"]
+        entry = {
+            "problem": name,
+            "num_instances": netlist.num_instances(),
+            "num_ports": plan.num_ports,
+            "num_feedback_clusters": len(plan.feedback),
+            "largest_feedback_cluster": plan.largest_feedback_cluster,
+            "max_abs_diff": max_abs_diff,
+            "backends": timings,
+            "speedup_cascade_over_dense": speedup,
+        }
+        results.append(entry)
+        print(
+            f"{name}: dense={timings['dense']['best_s']:.4f}s "
+            f"cascade={timings['cascade']['best_s']:.4f}s "
+            f"speedup={speedup:.1f}x diff={max_abs_diff:.1e}",
+            file=sys.stderr,
+        )
+    return {
+        "benchmark": "solver-backends",
+        "generated_by": "tools/bench_to_json.py",
+        "config": {
+            "num_wavelengths": num_wavelengths,
+            "repeats": repeats,
+            "timing": "best of repeats, per-device instance cache warm",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def _parse_assertions(raw: Optional[Sequence[str]]) -> Dict[str, float]:
+    """Parse repeated ``--assert-speedup PROBLEM=FACTOR`` flags."""
+    assertions: Dict[str, float] = {}
+    for item in raw or ():
+        name, separator, factor = item.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"--assert-speedup must look like PROBLEM=FACTOR, got {item!r}")
+        try:
+            assertions[name] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"--assert-speedup factor must be a number, got {factor!r} in {item!r}"
+            ) from None
+    return assertions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python tools/bench_to_json.py``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_solver.json",
+        help="JSON file to write (default: BENCH_solver.json at the repo root)",
+    )
+    parser.add_argument(
+        "--problems",
+        nargs="*",
+        default=list(DEFAULT_PROBLEMS),
+        help="problem names to time (default: the solver-scaling set)",
+    )
+    parser.add_argument(
+        "--wavelengths",
+        type=int,
+        default=161,
+        help="wavelength-grid points (default: the 161-point evaluation grid)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per backend (best-of)"
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        action="append",
+        default=None,
+        metavar="PROBLEM=FACTOR",
+        help="exit non-zero unless cascade is at least FACTOR times faster "
+        "than dense on PROBLEM (repeatable; 1.0 = 'no slower')",
+    )
+    args = parser.parse_args(argv)
+    # Validate flags that would otherwise only fail after minutes of timing.
+    assertions = _parse_assertions(args.assert_speedup)
+    if args.repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+
+    payload = run_benchmark(args.problems, args.wavelengths, args.repeats)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    failures = []
+    by_problem = {entry["problem"]: entry for entry in payload["results"]}
+    for name, factor in assertions.items():
+        entry = by_problem.get(name)
+        if entry is None:
+            failures.append(f"{name}: not benchmarked")
+            continue
+        speedup = entry["speedup_cascade_over_dense"]
+        if speedup < factor:
+            failures.append(f"{name}: cascade speedup {speedup:.2f}x < required {factor:.2f}x")
+    if failures:
+        print("speedup assertions FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
