@@ -1,12 +1,15 @@
-"""Ablation: circuit-solver cost versus design size and backend.
+"""Ablation: circuit-solver cost versus design size, backend and plan state.
 
 The paper's evaluation hinges on simulating every candidate netlist; this
 ablation times both solver backends on the benchmark's smallest and largest
-designs (from the 4-instance MZI up to the 112-instance 8x8 Spanke fabric)
-so the cost of the syntax/functionality check -- and the payoff of the
-structure-aware ``cascade`` backend over the dense ``O(W * P^3)`` solve --
-is visible.  ``tools/bench_to_json.py`` runs the same comparison standalone
-and records the trajectory in ``BENCH_solver.json``.
+designs (from the 4-instance MZI up to the 112-instance 8x8 Spanke fabric),
+under both a **cold** compiled-plan cache (every evaluation redoes assembly,
+condensation and schedule construction -- the PR 3 architecture) and a
+**warm** one (the repeated-evaluation hot path: structurally identical
+netlists skip straight to the level-batched executor).  A separate benchmark
+isolates the compile step itself, so the compile-versus-execute split is
+visible.  ``tools/bench_to_json.py`` runs the same comparison standalone and
+records the trajectory in ``BENCH_solver.json``.
 """
 
 from __future__ import annotations
@@ -22,6 +25,10 @@ SOLVER = CircuitSolver()
 
 BACKENDS = ["dense", "cascade"]
 
+#: Plan-cache states: ``warm`` serves the compiled plan from the cache (the
+#: repeated-evaluation hot path), ``cold`` clears it before every run.
+PLAN_STATES = ["warm", "cold"]
+
 SCALING_PROBLEMS = [
     "mzi_ps",
     "optical_hybrid",
@@ -32,16 +39,53 @@ SCALING_PROBLEMS = [
     "spanke_8x8",
 ]
 
+#: Problems used for the compile-cost benchmark (the largest fabrics, where
+#: the compile/execute split matters most).
+COMPILE_PROBLEMS = ["clements_8x8", "spanke_8x8"]
 
+
+@pytest.mark.parametrize("plan", PLAN_STATES)
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("problem_name", SCALING_PROBLEMS)
-def test_solver_scaling(benchmark, problem_name, backend):
-    """Time one full-band simulation of a golden design per backend."""
+def test_solver_scaling(benchmark, problem_name, backend, plan):
+    """Time one full-band simulation per backend and plan-cache state."""
     problem = get_problem(problem_name)
     netlist = problem.golden_netlist()
+    # Warm the per-device instance cache (and, for the warm case, the plan
+    # cache) so timings isolate composition cost.
+    SOLVER.evaluate(netlist, WAVELENGTHS, backend=backend)
 
-    result = benchmark(SOLVER.evaluate, netlist, WAVELENGTHS, backend=backend)
+    if plan == "cold":
+
+        def run():
+            SOLVER.clear_plan_cache()
+            return SOLVER.evaluate(netlist, WAVELENGTHS, backend=backend)
+
+    else:
+
+        def run():
+            return SOLVER.evaluate(netlist, WAVELENGTHS, backend=backend)
+
+    result = benchmark(run)
     assert result.num_wavelengths == WAVELENGTHS.size
+    benchmark.extra_info["plan_cache"] = SOLVER.plan_cache_stats().as_dict()
+
+
+@pytest.mark.parametrize("problem_name", COMPILE_PROBLEMS)
+def test_plan_compile_cost(benchmark, problem_name):
+    """Time one cold compile: assembly + condensation + level schedules."""
+    netlist = get_problem(problem_name).golden_netlist()
+    SOLVER.evaluate(netlist, WAVELENGTHS)  # instance cache warm
+
+    def run():
+        SOLVER.clear_plan_cache()
+        return SOLVER.compile(netlist, WAVELENGTHS)
+
+    compiled = benchmark(run)
+    assert compiled.num_ports > 0
+    benchmark.extra_info["num_ports"] = compiled.num_ports
+    benchmark.extra_info["num_levels"] = compiled.num_levels
+    benchmark.extra_info["column_groups"] = compiled.num_column_groups
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

@@ -77,6 +77,15 @@ class LRUCache(Generic[K, V]):
             self.stats.hits += 1
             return self._data[key]
 
+    def peek(self, key: K) -> Optional[V]:
+        """Like :meth:`get` but without touching stats or recency.
+
+        For planning decisions ("would this hit?") that precede the real
+        lookup, so hit/miss counters keep meaning one probe per consumer.
+        """
+        with self._lock:
+            return self._data.get(key)
+
     def put(self, key: K, value: V) -> None:
         """Insert ``value``, evicting the least recently used entry if full."""
         if self.max_entries <= 0:

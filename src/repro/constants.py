@@ -56,6 +56,19 @@ def default_wavelength_grid(num: int = DEFAULT_NUM_WAVELENGTHS) -> np.ndarray:
     return np.linspace(DEFAULT_WL_MIN_UM, DEFAULT_WL_MAX_UM, num)
 
 
+def normalize_wavelengths(wavelengths: np.ndarray | float | None = None) -> np.ndarray:
+    """Canonicalise a wavelength-grid argument.
+
+    ``None`` resolves to :func:`default_wavelength_grid`; anything else is
+    coerced to a 1-D float64 array.  Every public entry point that accepts an
+    optional grid (solver, compiled plans, engine) shares this one definition
+    so the cache tiers all key on the same canonical representation.
+    """
+    if wavelengths is None:
+        return default_wavelength_grid()
+    return np.atleast_1d(np.asarray(wavelengths, dtype=float))
+
+
 def wavelength_to_frequency_thz(wavelength_um: np.ndarray | float) -> np.ndarray | float:
     """Convert a wavelength in microns to an optical frequency in THz."""
     return SPEED_OF_LIGHT_UM_THZ / np.asarray(wavelength_um, dtype=float)

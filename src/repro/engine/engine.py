@@ -24,7 +24,7 @@ from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
 import numpy as np
 
-from ..constants import default_wavelength_grid
+from ..constants import normalize_wavelengths
 from ..netlist.schema import Netlist
 from ..netlist.validation import PortSpec
 from ..sim.circuit import CircuitSolver
@@ -59,12 +59,24 @@ class EngineConfig:
         every backend computes the same S-matrices, so simulation cache keys
         deliberately exclude it and cached artefacts are shared across
         backends.
+    plan_cache_entries:
+        Capacity of the solver's compiled-plan cache (topology-keyed; see
+        :class:`repro.sim.plan.CompiledCircuit`).  ``0`` recompiles the
+        structure work on every evaluation.  Like the backend, plans are
+        invisible to simulation cache keys.
+    wavelength_chunk:
+        Optional bound on how many wavelength points the solver executes at
+        once, capping the peak ``(W, P, E)`` workspace on large grids;
+        ``None`` solves the whole grid in one batch.  Results are identical
+        for any chunk size.
     """
 
     workers: int = 1
     cache_entries: int = 2048
     cache_dir: Optional[Path | str] = None
     solver_backend: str = "auto"
+    plan_cache_entries: int = 128
+    wavelength_chunk: Optional[int] = None
 
 
 class ExecutionEngine:
@@ -81,7 +93,12 @@ class ExecutionEngine:
         self.solver = (
             solver
             if solver is not None
-            else CircuitSolver(registry=registry, backend=self.config.solver_backend)
+            else CircuitSolver(
+                registry=registry,
+                backend=self.config.solver_backend,
+                plan_cache_entries=self.config.plan_cache_entries,
+                max_wavelength_chunk=self.config.wavelength_chunk,
+            )
         )
         self.cache = SimulationCache(
             max_entries=self.config.cache_entries, cache_dir=self.config.cache_dir
@@ -151,11 +168,7 @@ class ExecutionEngine:
         the same classified :class:`~repro.netlist.errors.PICBenchError`
         every time.
         """
-        wavelengths = (
-            default_wavelength_grid()
-            if wavelengths is None
-            else np.atleast_1d(np.asarray(wavelengths, dtype=float))
-        )
+        wavelengths = normalize_wavelengths(wavelengths)
         if not self.cache.enabled:
             return self.solver.evaluate(netlist, wavelengths, port_spec=port_spec)
         key = self.simulation_key(netlist, wavelengths, port_spec)
@@ -179,12 +192,15 @@ class ExecutionEngine:
     def stats(self) -> Dict[str, object]:
         """Snapshot of the engine's cache behaviour (for logs and benchmarks)."""
         solver_stats = self.solver.instance_cache_stats()
+        plan_stats = self.solver.plan_cache_stats()
         return {
             "workers": self.workers,
             "simulation_cache": self.cache.stats.as_dict(),
             "simulation_hit_rate": self.cache.stats.hit_rate,
             "instance_cache": solver_stats.as_dict(),
             "instance_hit_rate": solver_stats.hit_rate,
+            "plan_cache": plan_stats.as_dict(),
+            "plan_hit_rate": plan_stats.hit_rate,
         }
 
 
@@ -194,9 +210,17 @@ def default_engine(
     cache_dir: Optional[Path | str] = None,
     registry: Optional[ModelRegistry] = None,
     solver_backend: str = "auto",
+    plan_cache_entries: int = 128,
+    wavelength_chunk: Optional[int] = None,
 ) -> ExecutionEngine:
     """Convenience constructor mirroring the CLI's engine flags."""
     return ExecutionEngine(
-        EngineConfig(workers=workers, cache_dir=cache_dir, solver_backend=solver_backend),
+        EngineConfig(
+            workers=workers,
+            cache_dir=cache_dir,
+            solver_backend=solver_backend,
+            plan_cache_entries=plan_cache_entries,
+            wavelength_chunk=wavelength_chunk,
+        ),
         registry=registry,
     )

@@ -134,6 +134,23 @@ def build_parser() -> argparse.ArgumentParser:
         "all-ports solve, 'auto' picks per circuit; all backends produce "
         "identical results",
     )
+    parser.add_argument(
+        "--plan-cache-entries",
+        type=int,
+        default=128,
+        help="capacity of the solver's topology-keyed compiled-plan cache; "
+        "structurally identical netlists (samples that only mutate settings) "
+        "pay for assembly and condensation once; 0 recompiles every call",
+    )
+    parser.add_argument(
+        "--wavelength-chunk",
+        type=int,
+        default=None,
+        metavar="POINTS",
+        help="solve at most this many wavelength points per batch, bounding "
+        "the solver's peak workspace on large grids (default: whole grid at "
+        "once); results are identical for any chunk size",
+    )
     return parser
 
 
@@ -170,6 +187,8 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         pack=args.pack,
         pack_params=_parse_pack_params(args.pack_param),
         solver_backend=args.solver_backend,
+        plan_cache_entries=args.plan_cache_entries,
+        wavelength_chunk=args.wavelength_chunk,
     )
 
 

@@ -52,7 +52,12 @@ class SweepConfig:
 
     ``solver_backend`` selects the circuit-solver backend
     (``auto``/``dense``/``cascade``); backends are numerically equivalent,
-    so it changes sweep runtime but never the reported numbers.
+    so it changes sweep runtime but never the reported numbers.  The same
+    holds for ``plan_cache_entries`` (capacity of the solver's
+    topology-keyed compiled-plan cache -- structurally identical candidate
+    netlists across samples and workers compile once) and
+    ``wavelength_chunk`` (bounds the solver's peak per-evaluation workspace
+    on large grids).
     """
 
     samples_per_problem: int = 5
@@ -65,6 +70,8 @@ class SweepConfig:
     pack: str = CORE_PACK_NAME
     pack_params: Optional[PackParams] = None
     solver_backend: str = "auto"
+    plan_cache_entries: int = 128
+    wavelength_chunk: Optional[int] = None
 
     def engine_config(self) -> EngineConfig:
         """Build the corresponding :class:`EngineConfig`."""
@@ -72,6 +79,8 @@ class SweepConfig:
             workers=self.workers,
             cache_dir=self.cache_dir,
             solver_backend=self.solver_backend,
+            plan_cache_entries=self.plan_cache_entries,
+            wavelength_chunk=self.wavelength_chunk,
         )
 
     def evaluation_config(self, *, include_restrictions: bool) -> EvaluationConfig:

@@ -12,6 +12,7 @@ The public surface mirrors what the benchmark needs from SAX:
 from .analysis import ComparisonResult, FrequencyResponse, compare_responses
 from .cascade import CascadePlan
 from .circuit import SOLVER_BACKENDS, CircuitSolver, default_solver, evaluate_netlist
+from .plan import CompiledCircuit, compile_netlist
 from .registry import ModelInfo, ModelRegistry, UnknownModelError, default_registry
 from .sparams import SMatrix, is_reciprocal, is_unitary, power_transmission, sdict_to_smatrix
 
@@ -27,6 +28,8 @@ __all__ = [
     "default_registry",
     "SOLVER_BACKENDS",
     "CascadePlan",
+    "CompiledCircuit",
+    "compile_netlist",
     "CircuitSolver",
     "default_solver",
     "evaluate_netlist",

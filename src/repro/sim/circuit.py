@@ -2,17 +2,22 @@
 
 Given a validated netlist, the solver:
 
-1. evaluates every instance's device model over the wavelength grid,
-2. flattens all instance ports into one index and records which port each
-   port is wired to (the connection structure ``C``) and which instance port
-   backs each external port (the injection structure ``E``),
-3. computes the composed response
+1. evaluates every instance's device model over the wavelength grid (served
+   from a per-device LRU sub-cache),
+2. fetches -- or compiles and caches -- the netlist's
+   :class:`~repro.sim.plan.CompiledCircuit`: the flattened port index,
+   connection structure, SCC condensation and level-batched execution
+   schedule, keyed by a topology fingerprint so structurally identical
+   netlists (the common case: pass@k samples mutate settings far more often
+   than topology) compile exactly once,
+3. executes the compiled plan against the concrete instance S-matrices,
+   computing the composed response
 
    ``S_circuit = E.T @ (I - S @ C)^{-1} @ S @ E``
 
    where ``S`` is the block-diagonal matrix of all instance S-matrices.
 
-Two backends evaluate that expression:
+Two executors evaluate that expression (:mod:`repro.sim.plan`):
 
 ``dense``
     Assembles the full ``(W, P, P)`` system and batch-solves it with
@@ -21,22 +26,27 @@ Two backends evaluate that expression:
     gathers instead of matmuls, so no ``P x P`` identity or ``S @ C``
     temporary is ever materialised.
 ``cascade``
-    The structure-aware backend (:mod:`repro.sim.cascade`): condenses the
-    port-level signal-flow graph into strongly-connected components and
-    evaluates the acyclic condensation in topological order, solving a small
-    local dense system only for genuine feedback clusters (rings).
-    Feed-forward meshes and switch fabrics never touch a global solve.
+    The structure-aware executor: evaluates the acyclic condensation of the
+    port-level signal-flow graph in topological *levels* -- each level is one
+    fancy-indexed multiply-add plus a segment sum over all of the level's
+    edges -- solving a small local dense system only for genuine feedback
+    clusters (rings).  Feed-forward meshes and switch fabrics never touch a
+    global solve.  (:mod:`repro.sim.cascade` keeps the original per-port
+    reference implementation the test suite checks the executor against.)
 ``auto``
     Picks ``dense`` for small circuits (where one vectorised solve beats the
     cascade's per-component bookkeeping) and ``cascade`` otherwise.
 
-Both backends evaluate the same linear system and agree to well below 1e-9;
+Both executors evaluate the same linear system and agree to well below 1e-9;
 backend choice is a performance knob, never a semantic one (engine cache
-keys deliberately exclude it).
+keys deliberately exclude it, and the plan cache is shared by both).
+``max_wavelength_chunk`` bounds the peak size of the ``(W, P, E)`` execution
+workspace by splitting the solve over the wavelength axis.
 """
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -45,12 +55,20 @@ import numpy as np
 
 from .._cache import CacheStats, LRUCache
 from .._fingerprint import func_identity, settings_fingerprint
-from ..constants import default_wavelength_grid
-from ..netlist.errors import OtherSyntaxError, WrongPortError
-from ..netlist.schema import Netlist, format_endpoint, parse_endpoint
+from ..constants import normalize_wavelengths
+from ..netlist.errors import OtherSyntaxError
+from ..netlist.schema import Instance, Netlist
 from ..netlist.validation import PortSpec, validate_netlist
-from .cascade import CascadePlan, build_cascade_plan, cascade_solve, structural_masks
-from .registry import ModelRegistry, default_registry
+from .cascade import CascadePlan, structural_masks
+from .plan import (
+    CompiledCircuit,
+    build_stacks,
+    compile_netlist,
+    execute_cascade,
+    execute_dense,
+    topology_fingerprint,
+)
+from .registry import ModelRegistry, UnknownModelError, default_registry
 from .sparams import SMatrix
 
 __all__ = ["SOLVER_BACKENDS", "CircuitSolver", "default_solver", "evaluate_netlist"]
@@ -63,6 +81,11 @@ SOLVER_BACKENDS: Tuple[str, ...] = ("auto", "dense", "cascade")
 #: per-component bookkeeping only for the very smallest circuits).
 _AUTO_DENSE_MAX_PORTS = 12
 
+#: Bound on the per-instance memo dictionaries (function identities and
+#: settings fingerprints); exceeding it clears the memo, it never grows past
+#: this size.
+_MEMO_MAX_ENTRIES = 8192
+
 
 def _check_backend(backend: str) -> str:
     """Validate a backend name, returning it unchanged."""
@@ -73,57 +96,32 @@ def _check_backend(backend: str) -> str:
     return backend
 
 
-@dataclass
-class _PortIndex:
-    """Bookkeeping for the flattened list of all instance ports."""
-
-    endpoints: List[Tuple[str, str]]
-    index: Dict[Tuple[str, str], int]
-
-    @classmethod
-    def build(cls, instance_ports: Dict[str, Tuple[str, ...]]) -> "_PortIndex":
-        endpoints: List[Tuple[str, str]] = []
-        for name, ports in instance_ports.items():
-            for port in ports:
-                endpoints.append((name, port))
-        index = {ep: i for i, ep in enumerate(endpoints)}
-        return cls(endpoints=endpoints, index=index)
-
-    def __len__(self) -> int:
-        return len(self.endpoints)
+def _check_chunk(max_wavelength_chunk: Optional[int]) -> Optional[int]:
+    """Validate the wavelength-chunk knob (``None`` = no chunking)."""
+    if max_wavelength_chunk is None:
+        return None
+    chunk = int(max_wavelength_chunk)
+    if chunk < 1:
+        raise ValueError(
+            f"max_wavelength_chunk must be a positive integer or None, got {max_wavelength_chunk!r}"
+        )
+    return chunk
 
 
-@dataclass
-class _Assembly:
-    """Structural view of one netlist over the flattened port index.
+@dataclass(frozen=True)
+class _InstanceRecord:
+    """One cached device evaluation: the S-matrix plus derived structure.
 
-    ``matrices``/``spans``/``owner`` describe the block-diagonal ``S``
-    (per-instance data, contiguous port ranges, port-to-instance map);
-    ``sources`` describes ``C`` as, per column ``j``, the ports ``k`` with
-    ``C[k, j] = 1`` (at most one for any netlist that passes validation);
-    ``external_names``/``injection_ports`` describe ``E``.
+    The structural mask (and its raw bytes, part of the topology
+    fingerprint) and the exact-symmetry flag (gates the reciprocity-cover
+    executor) are computed once per distinct device evaluation rather than
+    on every ``evaluate`` call.
     """
 
-    matrices: List[np.ndarray]
-    spans: List[Tuple[int, int]]
-    owner: np.ndarray
-    sources: Dict[int, List[int]]
-    external_names: List[str]
-    injection_ports: np.ndarray
-
-    @property
-    def num_ports(self) -> int:
-        return int(self.owner.size)
-
-    def partner_array(self) -> Optional[np.ndarray]:
-        """Per-port partner index (``-1`` = dangling), or ``None`` when any
-        port has several partners (only possible on unvalidated netlists)."""
-        partner = np.full(self.num_ports, -1, dtype=int)
-        for column, ports in self.sources.items():
-            if len(ports) != 1:
-                return None
-            partner[column] = ports[0]
-        return partner
+    smatrix: SMatrix
+    mask: np.ndarray
+    mask_bytes: bytes
+    symmetric: bool
 
 
 class CircuitSolver:
@@ -147,6 +145,20 @@ class CircuitSolver:
         Default solver backend (one of :data:`SOLVER_BACKENDS`); individual
         :meth:`evaluate` calls may override it.  All backends produce the
         same result; see the module docstring.
+    plan_cache_entries:
+        Capacity of the compiled-plan cache, keyed by
+        :func:`~repro.sim.plan.topology_fingerprint` (instance models +
+        structural masks + connections + external ports, invalidated by
+        ``func_identity`` like the instance cache).  Repeated evaluations of
+        structurally identical netlists skip assembly, condensation and
+        schedule construction entirely.  ``0`` disables the cache (every
+        call recompiles -- the cold path).
+    max_wavelength_chunk:
+        When set, execution splits the wavelength axis into chunks of at
+        most this many points, bounding the peak ``(W, P, E)`` / ``(W, P,
+        P)`` workspace on large grids.  ``None`` (default) solves the whole
+        grid at once.  Purely a memory/performance knob: results are
+        identical.
     """
 
     def __init__(
@@ -156,17 +168,55 @@ class CircuitSolver:
         validate: bool = True,
         instance_cache_entries: int = 512,
         backend: str = "auto",
+        plan_cache_entries: int = 128,
+        max_wavelength_chunk: Optional[int] = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.validate = validate
         self.backend = _check_backend(backend)
-        self._instance_cache: LRUCache[Tuple[str, str, str, bytes], SMatrix] = LRUCache(
-            max_entries=instance_cache_entries
+        self.max_wavelength_chunk = _check_chunk(max_wavelength_chunk)
+        self._instance_cache: LRUCache[Tuple[str, str, str, bytes], _InstanceRecord] = (
+            LRUCache(max_entries=instance_cache_entries)
         )
+        self._plan_cache: LRUCache[str, CompiledCircuit] = LRUCache(
+            max_entries=plan_cache_entries
+        )
+        # Structural-validation verdicts: a (fingerprint, port spec) pair
+        # that validated once never needs re-validation -- the fingerprint
+        # covers everything validate_netlist inspects (validation is
+        # settings-independent).
+        self._validated: LRUCache[Tuple[str, Optional[Tuple[int, int]]], bool] = (
+            LRUCache(max_entries=max(4 * plan_cache_entries, 64))
+        )
+        # Per-instance key memos (see _instance_key): function identities
+        # keyed by (ref, registry version), settings fingerprints keyed by
+        # Instance object id with an equality guard.
+        self._func_id_memo: Dict[Tuple[str, int], str] = {}
+        self._settings_memo: Dict[int, Tuple[Dict[str, object], str]] = {}
+        # Stacked instance matrices per (plan, concrete instance arrays).
+        # Deliberately small: it only pays off for repeated evaluation of
+        # content-identical netlists (instance-cache hits return the same
+        # arrays), while settings-mutating sweeps produce fresh arrays per
+        # call -- a large memo would just pin dead copies (see _stacks_for).
+        self._stack_memo: LRUCache[
+            Tuple[str, Tuple[int, ...]], Tuple[List[np.ndarray], List[np.ndarray]]
+        ] = LRUCache(max_entries=8)
 
     def instance_cache_stats(self) -> CacheStats:
         """Hit/miss counters of the per-device evaluation sub-cache."""
         return self._instance_cache.stats
+
+    def plan_cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the compiled-plan cache."""
+        return self._plan_cache.stats
+
+    def clear_plan_cache(self) -> None:
+        """Drop every compiled plan, cached validation verdict and stacked
+        matrices (stats are kept); used by benchmarks to time the cold
+        structure path."""
+        self._plan_cache.clear()
+        self._validated.clear()
+        self._stack_memo.clear()
 
     # ------------------------------------------------------------------
     # Public API
@@ -186,38 +236,39 @@ class CircuitSolver:
         is invalid, or :class:`OtherSyntaxError` when a device model rejects
         its settings.
         """
-        wavelengths = (
-            default_wavelength_grid() if wavelengths is None else np.atleast_1d(np.asarray(wavelengths, dtype=float))
-        )
+        wavelengths = normalize_wavelengths(wavelengths)
         chosen = _check_backend(backend if backend is not None else self.backend)
-        if self.validate:
-            validate_netlist(netlist, self.registry, port_spec)
-
-        assembly = self._assemble(netlist, wavelengths)
-        partner = assembly.partner_array() if chosen != "dense" else None
+        compiled, matrices, symmetric = self._compiled(netlist, wavelengths, port_spec)
         if chosen == "auto":
             chosen = (
                 "dense"
-                if partner is None or assembly.num_ports <= _AUTO_DENSE_MAX_PORTS
+                if not compiled.supports_cascade
+                or compiled.num_ports <= _AUTO_DENSE_MAX_PORTS
                 else "cascade"
             )
-        if chosen == "cascade" and partner is None:
+        if chosen == "cascade" and not compiled.supports_cascade:
             # A port wired to several partners cannot occur on a validated
             # netlist; fall back to the general dense formulation.
             chosen = "dense"
+        data = self._execute(compiled, matrices, wavelengths.size, chosen, symmetric)
+        return SMatrix(wavelengths, compiled.external_names, data)
 
-        if chosen == "cascade":
-            external = cascade_solve(
-                assembly.matrices,
-                assembly.spans,
-                assembly.owner,
-                partner,
-                assembly.injection_ports,
-                wavelengths.size,
-            )
-        else:
-            external = self._dense_solve(assembly, wavelengths.size)
-        return SMatrix(wavelengths, tuple(assembly.external_names), external)
+    def compile(
+        self,
+        netlist: Netlist,
+        wavelengths: Optional[np.ndarray] = None,
+        *,
+        port_spec: Optional[PortSpec] = None,
+    ) -> CompiledCircuit:
+        """Compile ``netlist`` (or fetch its cached plan) without executing.
+
+        Exposes the compiled structure -- port index, condensation, level
+        schedule -- for introspection, tests and benchmarks; :meth:`evaluate`
+        reuses the exact same cached artifact.
+        """
+        wavelengths = normalize_wavelengths(wavelengths)
+        compiled, _, _ = self._compiled(netlist, wavelengths, port_spec)
+        return compiled
 
     def cascade_plan(
         self,
@@ -228,148 +279,244 @@ class CircuitSolver:
     ) -> CascadePlan:
         """Return the cascade backend's evaluation plan for ``netlist``.
 
-        Exposes the condensation structure (topological component order,
-        feedback clusters) for introspection, tests and benchmarks.
+        A thin view over :meth:`compile`: exposes the condensation structure
+        (topological component order, feedback clusters) of the shared
+        :class:`~repro.sim.plan.CompiledCircuit`, so a subsequent
+        :meth:`evaluate` on the same topology is a plan-cache hit.
         """
-        wavelengths = (
-            default_wavelength_grid() if wavelengths is None else np.atleast_1d(np.asarray(wavelengths, dtype=float))
-        )
-        if self.validate:
-            validate_netlist(netlist, self.registry, port_spec)
-        assembly = self._assemble(netlist, wavelengths)
-        partner = assembly.partner_array()
-        if partner is None:
+        compiled = self.compile(netlist, wavelengths, port_spec=port_spec)
+        if compiled.plan is None:
             raise ValueError(
                 "cascade plan undefined: a port is connected to several partners"
             )
-        masks = structural_masks(assembly.matrices)
-        return build_cascade_plan(masks, assembly.spans, assembly.owner, partner)
+        return compiled.plan
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    def _assemble(self, netlist: Netlist, wavelengths: np.ndarray) -> _Assembly:
-        """Evaluate instances and build the structural view of the netlist."""
-        instance_matrices = self._evaluate_instances(netlist, wavelengths)
-        instance_ports = {name: sm.ports for name, sm in instance_matrices.items()}
-        port_index = _PortIndex.build(instance_ports)
+    def _execute(
+        self,
+        compiled: CompiledCircuit,
+        matrices: List[np.ndarray],
+        num_wavelengths: int,
+        chosen: str,
+        symmetric: bool,
+    ) -> np.ndarray:
+        """Run the chosen executor, bounding the wavelength axis if configured."""
+        chunk = self.max_wavelength_chunk
+        if chosen == "cascade":
+            # The cascade executor blocks the wavelength axis internally
+            # (cache-residency); the knob only caps its block size.
+            return execute_cascade(
+                compiled,
+                matrices,
+                num_wavelengths,
+                max_block=chunk,
+                symmetric=symmetric,
+                stacks=self._stacks_for(compiled, matrices),
+            )
+        if chunk is None or num_wavelengths <= chunk:
+            return execute_dense(compiled, matrices, num_wavelengths)
+        num_external = compiled.num_external
+        out = np.empty((num_wavelengths, num_external, num_external), dtype=complex)
+        for lo in range(0, num_wavelengths, chunk):
+            hi = min(lo + chunk, num_wavelengths)
+            out[lo:hi] = execute_dense(
+                compiled, [data[lo:hi] for data in matrices], hi - lo
+            )
+        return out
 
-        matrices: List[np.ndarray] = []
-        spans: List[Tuple[int, int]] = []
-        owner = np.empty(len(port_index), dtype=int)
-        start = 0
-        for instance_number, sm in enumerate(instance_matrices.values()):
-            size = sm.num_ports
-            matrices.append(sm.data)
-            spans.append((start, size))
-            owner[start : start + size] = instance_number
-            start += size
+    def _stacks_for(
+        self, compiled: CompiledCircuit, matrices: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Memo of :func:`~repro.sim.plan.build_stacks` per concrete inputs.
 
-        sources = self._connection_sources(netlist, port_index)
-        external_names, injection_ports = self._injection_ports(netlist, port_index)
-        return _Assembly(
-            matrices=matrices,
-            spans=spans,
-            owner=owner,
-            sources=sources,
-            external_names=external_names,
-            injection_ports=injection_ports,
+        Keyed by ``(plan fingerprint, instance array identities)``; each
+        entry holds strong references to the arrays it was built from, so a
+        live entry's ids can never be recycled by other arrays -- an
+        instance-cache eviction simply misses and rebuilds.
+        """
+        key = (compiled.fingerprint, tuple(map(id, matrices)))
+        entry = self._stack_memo.get(key)
+        if entry is not None:
+            return entry[1]
+        stacks = build_stacks(compiled, matrices)
+        self._stack_memo.put(key, (list(matrices), stacks))
+        return stacks
+
+    def _compiled(
+        self,
+        netlist: Netlist,
+        wavelengths: np.ndarray,
+        port_spec: Optional[PortSpec] = None,
+    ) -> Tuple[CompiledCircuit, List[np.ndarray], bool]:
+        """Resolve the netlist's compiled plan and its instance matrix data.
+
+        Evaluates (or fetches) every instance's S-matrix, fingerprints the
+        topology, and serves the structure work from the plan cache; a miss
+        compiles and caches.  The returned matrices are in the compiled
+        plan's ``instance_names`` order -- by construction also the netlist's
+        instance iteration order, which the fingerprint pins.  The final
+        flag reports whether every instance matrix is exactly symmetric
+        (reciprocal), which gates the cover executor.
+
+        Validation is orchestrated here so the fully warm path can skip it:
+        the fingerprint covers everything structural validation inspects, so
+        a netlist whose ``(fingerprint, port_spec)`` validated once never
+        re-validates.  Any instance-cache miss falls back to validate-first
+        order, preserving the error-classification precedence (structural
+        errors before model-settings errors) on netlists not seen before.
+        """
+        grid_bytes = np.ascontiguousarray(wavelengths).tobytes()
+        validate_needed = self.validate
+        spec_key = (
+            (port_spec.num_inputs, port_spec.num_outputs)
+            if port_spec is not None
+            else None
         )
 
-    def _evaluate_instances(
-        self, netlist: Netlist, wavelengths: np.ndarray
-    ) -> Dict[str, SMatrix]:
-        matrices: Dict[str, SMatrix] = {}
-        grid_bytes = np.ascontiguousarray(wavelengths).tobytes()
-        for name, inst in netlist.instances.items():
-            ref = netlist.models.get(inst.component, inst.component)
-            info = self.registry.get(ref)
-            key = (
-                ref,
-                # The function identity guards against a re-registered model
-                # with the same name silently serving stale results.
-                func_identity(info.func),
-                settings_fingerprint(inst.settings),
-                grid_bytes,
+        # Pass 1: resolve per-instance keys and peek at the instance cache
+        # (stats-neutral -- the real lookups happen in pass 2).
+        entries: List[Tuple[str, Instance, str, str, Tuple[str, str, str, bytes]]] = []
+        all_hit = True
+        try:
+            for name, inst in netlist.instances.items():
+                ref, func_id = self._instance_key(netlist, inst)
+                key = (ref, func_id, self._settings_fp(inst), grid_bytes)
+                if self._instance_cache.peek(key) is None:
+                    all_hit = False
+                entries.append((name, inst, ref, func_id, key))
+        except (UnknownModelError, TypeError):
+            if validate_needed:
+                # Raise the classified error (UndefinedModelError for an
+                # unknown ref, InstancesModelsConfusedError for a non-string
+                # models value that is not even hashable) instead of the raw
+                # KeyError/TypeError.
+                validate_netlist(netlist, self.registry, port_spec)
+            raise
+
+        validated = False
+        if validate_needed and not all_hit:
+            # Unknown content: validate before evaluating device models so
+            # structural errors outrank settings errors, as always.
+            validate_netlist(netlist, self.registry, port_spec)
+            validated = True
+
+        names: List[str] = []
+        refs: List[str] = []
+        func_ids: List[str] = []
+        records: List[_InstanceRecord] = []
+        symmetric = True
+        for name, inst, ref, func_id, key in entries:
+            record = self._instance_cache.get(key)
+            if record is None:
+                record = self._evaluate_instance(name, inst, ref, key, wavelengths)
+            names.append(name)
+            refs.append(ref)
+            func_ids.append(func_id)
+            records.append(record)
+            symmetric = symmetric and record.symmetric
+
+        fingerprint = topology_fingerprint(
+            netlist,
+            (
+                (name, inst.component, ref, func_id, record.smatrix.ports, record.mask_bytes)
+                for (name, inst, ref, func_id, _), record in zip(entries, records)
+            ),
+        )
+        if validate_needed and not validated:
+            # Fully warm content: skip re-validation when this exact
+            # structure (and port spec) already validated once.
+            if self._validated.get((fingerprint, spec_key)) is None:
+                validate_netlist(netlist, self.registry, port_spec)
+        if validate_needed:
+            self._validated.put((fingerprint, spec_key), True)
+
+        compiled = self._plan_cache.get(fingerprint)
+        if compiled is None:
+            compiled = compile_netlist(
+                netlist,
+                {name: record.smatrix for name, record in zip(names, records)},
+                masks=[record.mask for record in records],
+                fingerprint=fingerprint,
+                instance_refs=tuple(refs),
+                func_identities=tuple(func_ids),
             )
-            cached = self._instance_cache.get(key)
-            if cached is not None:
-                matrices[name] = cached
-                continue
+            self._plan_cache.put(fingerprint, compiled)
+        return compiled, [record.smatrix.data for record in records], symmetric
+
+    def _instance_key(self, netlist: Netlist, inst: Instance) -> Tuple[str, str]:
+        """Resolve one instance's ``(registry ref, function identity)``.
+
+        The function identity is memoised on ``(ref, registry version)`` --
+        re-registering a model bumps the registry version, so a replaced
+        implementation can never serve a stale identity (and therefore never
+        a stale instance-cache or plan-cache entry).
+        """
+        ref = netlist.models.get(inst.component, inst.component)
+        memo_key = (ref, self.registry.version)
+        func_id = self._func_id_memo.get(memo_key)
+        if func_id is None:
+            func_id = func_identity(self.registry.get(ref).func)
+            if len(self._func_id_memo) >= _MEMO_MAX_ENTRIES:
+                self._func_id_memo.clear()
+            self._func_id_memo[memo_key] = func_id
+        return ref, func_id
+
+    def _settings_fp(self, inst: Instance) -> str:
+        """Memoised :func:`settings_fingerprint` of one instance.
+
+        Keyed by the :class:`Instance` object's id with a value-equality
+        guard: the fingerprint is recomputed whenever the stored settings
+        snapshot no longer equals the instance's current settings, so both
+        in-place mutation and id reuse after garbage collection are safe
+        (the guard compares *content*, and the fingerprint is a pure
+        function of content).
+        """
+        memo = self._settings_memo
+        entry = memo.get(id(inst))
+        if entry is not None:
             try:
-                smatrix = info.evaluate(wavelengths, **inst.settings)
-            except (TypeError, ValueError) as exc:
-                raise OtherSyntaxError(
-                    f"instance {name!r} (model {ref!r}) rejected its settings "
-                    f"{inst.settings!r}: {exc}"
-                ) from exc
-            self._instance_cache.put(key, smatrix)
-            matrices[name] = smatrix
-        return matrices
+                if bool(entry[0] == inst.settings):
+                    return entry[1]
+            except (TypeError, ValueError):
+                # Settings containing numpy arrays (or other objects whose
+                # equality is non-boolean) just skip the memo.
+                pass
+        fingerprint = settings_fingerprint(inst.settings)
+        if len(memo) >= _MEMO_MAX_ENTRIES:
+            memo.clear()
+        memo[id(inst)] = (copy.deepcopy(inst.settings), fingerprint)
+        return fingerprint
 
-    def _dense_solve(self, assembly: _Assembly, num_wavelengths: int) -> np.ndarray:
-        """Batched global solve of ``(I - S C) b = S E`` (the dense backend)."""
-        num_ports = assembly.num_ports
-        block = np.zeros((num_wavelengths, num_ports, num_ports), dtype=complex)
-        for data, (start, size) in zip(assembly.matrices, assembly.spans):
-            block[:, start : start + size, start : start + size] = data
-
-        # system = I - S @ C, built without the matmul: C is permutation-like,
-        # so column j of S @ C is column partner(j) of S (zero when dangling).
-        system = np.zeros_like(block)
-        for column, ports in assembly.sources.items():
-            for source in ports:
-                system[:, :, column] += block[:, :, source]
-        np.negative(system, out=system)
-        diagonal = np.arange(num_ports)
-        system[:, diagonal, diagonal] += 1.0
-
-        # rhs = S @ E: E's columns are one-hot on the injected instance ports.
-        rhs = block[:, :, assembly.injection_ports]
-        interior = np.linalg.solve(system, rhs)
-        # external = E.T @ interior: a row gather for the same reason.
-        return interior[:, assembly.injection_ports, :]
-
-    @staticmethod
-    def _connection_sources(
-        netlist: Netlist, port_index: _PortIndex
-    ) -> Dict[int, List[int]]:
-        """Connection structure: per column ``j``, ports ``k`` with ``C[k, j] = 1``."""
-        pairs = set()
-        for key, value in netlist.connections.items():
-            a = parse_endpoint(key)
-            b = parse_endpoint(value)
-            for endpoint, raw in ((a, key), (b, value)):
-                if endpoint not in port_index.index:
-                    raise WrongPortError(
-                        f"connection endpoint {raw!r} does not correspond to any "
-                        "instance port"
-                    )
-            ia = port_index.index[a]
-            ib = port_index.index[b]
-            pairs.add((ia, ib))
-            pairs.add((ib, ia))
-        sources: Dict[int, List[int]] = {}
-        for source, column in sorted(pairs):
-            sources.setdefault(column, []).append(source)
-        return sources
-
-    @staticmethod
-    def _injection_ports(
-        netlist: Netlist, port_index: _PortIndex
-    ) -> Tuple[List[str], np.ndarray]:
-        """External port names and the flattened instance port behind each."""
-        external_names = list(netlist.ports)
-        injection_ports = np.empty(len(external_names), dtype=int)
-        for column, ext_name in enumerate(external_names):
-            endpoint = parse_endpoint(netlist.ports[ext_name])
-            if endpoint not in port_index.index:
-                raise WrongPortError(
-                    f"external port {ext_name!r} maps to "
-                    f"{format_endpoint(*endpoint)!r} which is not an instance port"
-                )
-            injection_ports[column] = port_index.index[endpoint]
-        return external_names, injection_ports
+    def _evaluate_instance(
+        self,
+        name: str,
+        inst: Instance,
+        ref: str,
+        key: Tuple[str, str, str, bytes],
+        wavelengths: np.ndarray,
+    ) -> _InstanceRecord:
+        """Evaluate one instance's device model and store it in the sub-cache."""
+        info = self.registry.get(ref)
+        try:
+            smatrix = info.evaluate(wavelengths, **inst.settings)
+        except (TypeError, ValueError) as exc:
+            raise OtherSyntaxError(
+                f"instance {name!r} (model {ref!r}) rejected its settings "
+                f"{inst.settings!r}: {exc}"
+            ) from exc
+        mask = structural_masks([smatrix.data])[0]
+        record = _InstanceRecord(
+            smatrix=smatrix,
+            mask=mask,
+            mask_bytes=mask.tobytes(),
+            symmetric=bool(
+                np.array_equal(smatrix.data, smatrix.data.transpose(0, 2, 1))
+            ),
+        )
+        self._instance_cache.put(key, record)
+        return record
 
 
 # ----------------------------------------------------------------------
@@ -384,7 +531,8 @@ def default_solver() -> CircuitSolver:
 
     Shared by every :func:`evaluate_netlist` call that does not pass its own
     registry, so repeated convenience-API calls hit one warm per-device
-    instance cache instead of rebuilding an empty solver each time.
+    instance cache -- and one warm compiled-plan cache -- instead of
+    rebuilding an empty solver each time.
     """
     global _DEFAULT_SOLVER
     with _DEFAULT_SOLVER_LOCK:
@@ -404,8 +552,8 @@ def evaluate_netlist(
     """Convenience wrapper: evaluate ``netlist`` with the default solver.
 
     Calls without a custom ``registry`` share the module-level
-    :func:`default_solver` (and its instance cache); passing a registry
-    builds a dedicated solver for that call.
+    :func:`default_solver` (and its instance and plan caches); passing a
+    registry builds a dedicated solver for that call.
     """
     solver = default_solver() if registry is None else CircuitSolver(registry=registry)
     return solver.evaluate(netlist, wavelengths, port_spec=port_spec, backend=backend)

@@ -1,13 +1,24 @@
 #!/usr/bin/env python
-"""Time the circuit-solver backends and write a JSON benchmark trajectory.
+"""Time the circuit-solver backends and append to a JSON benchmark trajectory.
 
 Runs the solver-scaling problems (the same set as
-``benchmarks/bench_ablation_solver_scaling.py``) through both the ``dense``
-and the ``cascade`` backend, records best-of-N wall times, the measured
-speedup, the cascade plan's feedback structure and the max absolute
-dense/cascade deviation, and writes everything to a JSON file
+``benchmarks/bench_ablation_solver_scaling.py``) through
+
+* the ``dense`` backend,
+* the retained **PR 3 per-port cascade reference**
+  (:func:`repro.sim.cascade.cascade_solve`, which recomputes masks,
+  adjacency and plan on every call -- the cold path the compiled-plan
+  architecture replaces),
+* the compiled level-batched cascade with a **cold** plan cache (compile +
+  execute on every call) and a **warm** one (the repeated-evaluation hot
+  path),
+
+records best-of-N wall times, the compile-versus-execute split, plan-cache
+hit rates, the plan structure (feedback clusters, levels, column groups) and
+the max absolute dense/cascade deviation over *every* registered pack
+problem, and appends everything as one run to a JSON trajectory file
 (``BENCH_solver.json`` at the repository root by default) so the perf
-trajectory is versioned alongside the code.
+history is versioned alongside the code.
 
 Examples
 --------
@@ -15,11 +26,12 @@ Full committed run (161-point grid, the paper's evaluation band)::
 
     python tools/bench_to_json.py
 
-CI perf smoke (small grid, subset, non-zero exit if cascade regresses)::
+CI perf smoke (small grid, subset, non-zero exit on regression)::
 
     python tools/bench_to_json.py --wavelengths 41 --repeats 1 \\
         --problems mzi_ps benes_8x8 spanke_8x8 \\
-        --output /tmp/bench_solver.json --assert-speedup spanke_8x8=1.0
+        --output /tmp/bench_solver.json --assert-speedup spanke_8x8=1.0 \\
+        --assert-warm-speedup spanke_8x8=1.0
 """
 
 from __future__ import annotations
@@ -38,8 +50,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402  (after the path insert, like the other tools)
 
 from repro.bench import get_problem  # noqa: E402
+from repro.bench.packs import get_pack, pack_names  # noqa: E402
 from repro.constants import default_wavelength_grid  # noqa: E402
+from repro.netlist.validation import validate_netlist  # noqa: E402
 from repro.sim import CircuitSolver  # noqa: E402
+from repro.sim.cascade import cascade_solve  # noqa: E402
 
 #: Problems timed by default (mirrors benchmarks/bench_ablation_solver_scaling.py).
 DEFAULT_PROBLEMS = (
@@ -52,90 +67,236 @@ DEFAULT_PROBLEMS = (
     "spanke_8x8",
 )
 
-BACKENDS = ("dense", "cascade")
 
-
-def _time_backend(
-    solver: CircuitSolver, netlist, wavelengths, backend: str, repeats: int
-) -> Dict[str, object]:
-    """Best-of-``repeats`` wall time of one backend on one netlist."""
+def _best_of(fn, repeats: int) -> Dict[str, object]:
+    """Best-of-``repeats`` wall time of ``fn``."""
     runs: List[float] = []
     for _ in range(repeats):
         start = time.perf_counter()
-        solver.evaluate(netlist, wavelengths, backend=backend)
+        fn()
         runs.append(time.perf_counter() - start)
     return {"best_s": min(runs), "mean_s": sum(runs) / len(runs), "runs_s": runs}
+
+
+def _pr3_reference_evaluate(solver, netlist, wavelengths, compiled, matrices):
+    """One evaluation along the PR 3 cold path.
+
+    Re-runs what PR 3's ``evaluate`` did on every call: structural
+    validation plus the per-port cascade, which internally recomputes the
+    structural masks, the dependency adjacency and the condensation.  The
+    flattened-assembly bookkeeping (spans/owner/partner) is *reused* from
+    the compiled plan, which slightly under-counts the PR 3 cost -- i.e.
+    the reported warm-plan speedups are conservative.
+    """
+    validate_netlist(netlist, solver.registry, None)
+    return cascade_solve(
+        matrices,
+        list(compiled.spans),
+        compiled.owner,
+        compiled.partner,
+        compiled.injection_ports,
+        wavelengths.size,
+    )
+
+
+def _equivalence_sweep(num_wavelengths: int) -> Dict[str, object]:
+    """Max |dense - compiled cascade| over every registered pack problem."""
+    wavelengths = default_wavelength_grid(num_wavelengths)
+    solver = CircuitSolver()
+    worst = 0.0
+    worst_problem = None
+    checked = 0
+    for pack_name in pack_names():
+        for problem in get_pack(pack_name).build_problems():
+            netlist = problem.golden_netlist()
+            dense = solver.evaluate(netlist, wavelengths, backend="dense")
+            cascade = solver.evaluate(netlist, wavelengths, backend="cascade")
+            diff = (
+                float(np.max(np.abs(dense.data - cascade.data)))
+                if dense.data.size
+                else 0.0
+            )
+            checked += 1
+            if diff > worst:
+                worst, worst_problem = diff, f"{pack_name}:{problem.name}"
+    return {
+        "problems_checked": checked,
+        "max_abs_diff": worst,
+        "worst_problem": worst_problem,
+    }
 
 
 def run_benchmark(
     problems: Sequence[str], num_wavelengths: int, repeats: int
 ) -> Dict[str, object]:
-    """Time every backend on every problem and assemble the JSON payload."""
+    """Time every scenario on every problem and assemble one trajectory run."""
     wavelengths = default_wavelength_grid(num_wavelengths)
     solver = CircuitSolver()
     results: List[Dict[str, object]] = []
     for name in problems:
         netlist = get_problem(name).golden_netlist()
         plan = solver.cascade_plan(netlist, wavelengths)
-        # Warm the per-device instance cache so both backends are timed on
-        # pure composition cost, not on device-model evaluation.
+        compiled = solver.compile(netlist, wavelengths)
+        # Instance matrices for the PR 3 reference (evaluated via the
+        # registry so the reference path is independent of solver caches).
+        matrices = []
+        for inst in netlist.instances.values():
+            ref = netlist.models.get(inst.component, inst.component)
+            matrices.append(
+                solver.registry.get(ref).evaluate(wavelengths, **inst.settings).data
+            )
+
+        # Warm every cache tier, then verify the backends agree.
         reference = solver.evaluate(netlist, wavelengths, backend="dense")
         cascade_result = solver.evaluate(netlist, wavelengths, backend="cascade")
         max_abs_diff = float(np.max(np.abs(reference.data - cascade_result.data)))
 
         timings = {
-            backend: _time_backend(solver, netlist, wavelengths, backend, repeats)
-            for backend in BACKENDS
+            "dense": _best_of(
+                lambda: solver.evaluate(netlist, wavelengths, backend="dense"), repeats
+            ),
+            "cascade_pr3_reference": _best_of(
+                lambda: _pr3_reference_evaluate(
+                    solver, netlist, wavelengths, compiled, matrices
+                ),
+                repeats,
+            ),
+            "cascade_warm_plan": _best_of(
+                lambda: solver.evaluate(netlist, wavelengths, backend="cascade"),
+                repeats,
+            ),
         }
-        speedup = timings["dense"]["best_s"] / timings["cascade"]["best_s"]
+
+        def cold_evaluate():
+            solver.clear_plan_cache()
+            solver.evaluate(netlist, wavelengths, backend="cascade")
+
+        timings["cascade_cold_plan"] = _best_of(cold_evaluate, repeats)
+
+        def cold_compile():
+            solver.clear_plan_cache()
+            solver.compile(netlist, wavelengths)
+
+        compile_timing = _best_of(cold_compile, repeats)
+        solver.evaluate(netlist, wavelengths, backend="cascade")  # re-warm
+
+        warm = timings["cascade_warm_plan"]["best_s"]
         entry = {
             "problem": name,
             "num_instances": netlist.num_instances(),
             "num_ports": plan.num_ports,
             "num_feedback_clusters": len(plan.feedback),
             "largest_feedback_cluster": plan.largest_feedback_cluster,
+            "num_levels": compiled.num_levels,
+            "num_column_groups": compiled.num_column_groups,
+            "active_cells": compiled.active_cells,
+            "total_cells": compiled.num_ports * compiled.num_external,
             "max_abs_diff": max_abs_diff,
             "backends": timings,
-            "speedup_cascade_over_dense": speedup,
+            "compile_vs_execute": {
+                "compile_s": compile_timing["best_s"],
+                "warm_execute_s": warm,
+                "compile_fraction_of_cold": compile_timing["best_s"]
+                / max(timings["cascade_cold_plan"]["best_s"], 1e-12),
+            },
+            "speedup_cascade_over_dense": timings["dense"]["best_s"] / warm,
+            "warm_plan_speedup_vs_pr3_cold": timings["cascade_pr3_reference"]["best_s"]
+            / warm,
+            "warm_plan_speedup_vs_cold_plan": timings["cascade_cold_plan"]["best_s"]
+            / warm,
         }
         results.append(entry)
         print(
             f"{name}: dense={timings['dense']['best_s']:.4f}s "
-            f"cascade={timings['cascade']['best_s']:.4f}s "
-            f"speedup={speedup:.1f}x diff={max_abs_diff:.1e}",
+            f"pr3={timings['cascade_pr3_reference']['best_s']:.4f}s "
+            f"cold={timings['cascade_cold_plan']['best_s']:.4f}s "
+            f"warm={warm:.4f}s "
+            f"warm-vs-pr3={entry['warm_plan_speedup_vs_pr3_cold']:.1f}x "
+            f"diff={max_abs_diff:.1e}",
             file=sys.stderr,
         )
+
+    plan_stats = solver.plan_cache_stats()
     return {
-        "benchmark": "solver-backends",
-        "generated_by": "tools/bench_to_json.py",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "config": {
             "num_wavelengths": num_wavelengths,
             "repeats": repeats,
-            "timing": "best of repeats, per-device instance cache warm",
+            "timing": "best of repeats; per-device instance cache warm; "
+            "'warm' keeps the compiled-plan cache, 'cold' clears it per run; "
+            "'cascade_pr3_reference' is the retained per-port PR 3 path",
         },
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
+        "plan_cache": plan_stats.as_dict(),
+        "plan_cache_hit_rate": plan_stats.hit_rate,
+        "equivalence": _equivalence_sweep(num_wavelengths),
         "results": results,
     }
 
 
-def _parse_assertions(raw: Optional[Sequence[str]]) -> Dict[str, float]:
-    """Parse repeated ``--assert-speedup PROBLEM=FACTOR`` flags."""
+def merge_trajectory(output: Path, run: Dict[str, object], fresh: bool) -> Dict[str, object]:
+    """Append ``run`` to the trajectory in ``output`` (create or migrate it).
+
+    A pre-trajectory single-snapshot file (the PR 3 format, recognised by a
+    top-level ``results`` key) becomes the first run of the trajectory, so
+    ``BENCH_*.json`` files grow a history instead of being overwritten.
+    """
+    runs: List[Dict[str, object]] = []
+    if not fresh and output.exists():
+        try:
+            existing = json.loads(output.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            if isinstance(existing.get("runs"), list):
+                runs = existing["runs"]
+            elif "results" in existing:
+                runs = [existing]  # legacy single snapshot
+    runs.append(run)
+    return {
+        "benchmark": "solver-backends",
+        "schema": "trajectory-v1",
+        "generated_by": "tools/bench_to_json.py",
+        "runs": runs,
+    }
+
+
+def _parse_assertions(raw: Optional[Sequence[str]], flag: str) -> Dict[str, float]:
+    """Parse repeated ``PROBLEM=FACTOR`` assertion flags."""
     assertions: Dict[str, float] = {}
     for item in raw or ():
         name, separator, factor = item.partition("=")
         if not separator or not name:
-            raise SystemExit(f"--assert-speedup must look like PROBLEM=FACTOR, got {item!r}")
+            raise SystemExit(f"{flag} must look like PROBLEM=FACTOR, got {item!r}")
         try:
             assertions[name] = float(factor)
         except ValueError:
             raise SystemExit(
-                f"--assert-speedup factor must be a number, got {factor!r} in {item!r}"
+                f"{flag} factor must be a number, got {factor!r} in {item!r}"
             ) from None
     return assertions
+
+
+def _check_assertions(
+    by_problem: Dict[str, Dict[str, object]],
+    assertions: Dict[str, float],
+    metric: str,
+    label: str,
+    failures: List[str],
+) -> None:
+    """Collect failures of one assertion family."""
+    for name, factor in assertions.items():
+        entry = by_problem.get(name)
+        if entry is None:
+            failures.append(f"{name}: not benchmarked")
+            continue
+        value = entry[metric]
+        if value < factor:
+            failures.append(f"{name}: {label} {value:.2f}x < required {factor:.2f}x")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -145,7 +306,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_solver.json",
-        help="JSON file to write (default: BENCH_solver.json at the repo root)",
+        help="JSON trajectory file to append to (default: BENCH_solver.json)",
     )
     parser.add_argument(
         "--problems",
@@ -160,37 +321,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="wavelength-grid points (default: the 161-point evaluation grid)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=3, help="timed repetitions per backend (best-of)"
+        "--repeats", type=int, default=3, help="timed repetitions per scenario (best-of)"
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="start a new trajectory instead of appending to an existing file",
     )
     parser.add_argument(
         "--assert-speedup",
         action="append",
         default=None,
         metavar="PROBLEM=FACTOR",
-        help="exit non-zero unless cascade is at least FACTOR times faster "
-        "than dense on PROBLEM (repeatable; 1.0 = 'no slower')",
+        help="exit non-zero unless the warm compiled cascade is at least "
+        "FACTOR times faster than dense on PROBLEM (repeatable)",
+    )
+    parser.add_argument(
+        "--assert-warm-speedup",
+        action="append",
+        default=None,
+        metavar="PROBLEM=FACTOR",
+        help="exit non-zero unless warm-plan repeated evaluation is at least "
+        "FACTOR times faster than the cold (compile-every-call) path on "
+        "PROBLEM (repeatable; 1.0 = 'no slower')",
     )
     args = parser.parse_args(argv)
     # Validate flags that would otherwise only fail after minutes of timing.
-    assertions = _parse_assertions(args.assert_speedup)
+    speedup_assertions = _parse_assertions(args.assert_speedup, "--assert-speedup")
+    warm_assertions = _parse_assertions(args.assert_warm_speedup, "--assert-warm-speedup")
     if args.repeats < 1:
         raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
 
-    payload = run_benchmark(args.problems, args.wavelengths, args.repeats)
+    run = run_benchmark(args.problems, args.wavelengths, args.repeats)
+    payload = merge_trajectory(args.output, run, args.fresh)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {args.output}", file=sys.stderr)
+    print(
+        f"wrote {args.output} ({len(payload['runs'])} run(s) in trajectory)",
+        file=sys.stderr,
+    )
 
-    failures = []
-    by_problem = {entry["problem"]: entry for entry in payload["results"]}
-    for name, factor in assertions.items():
-        entry = by_problem.get(name)
-        if entry is None:
-            failures.append(f"{name}: not benchmarked")
-            continue
-        speedup = entry["speedup_cascade_over_dense"]
-        if speedup < factor:
-            failures.append(f"{name}: cascade speedup {speedup:.2f}x < required {factor:.2f}x")
+    failures: List[str] = []
+    by_problem = {entry["problem"]: entry for entry in run["results"]}
+    _check_assertions(
+        by_problem, speedup_assertions, "speedup_cascade_over_dense", "cascade speedup", failures
+    )
+    _check_assertions(
+        by_problem,
+        warm_assertions,
+        "warm_plan_speedup_vs_cold_plan",
+        "warm-plan speedup",
+        failures,
+    )
     if failures:
         print("speedup assertions FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
         return 1
