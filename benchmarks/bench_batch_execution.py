@@ -1,0 +1,104 @@
+"""Benchmark: batched settings-axis execution versus the per-sample loop.
+
+Times the Monte-Carlo / pass@k workload shape -- a stack of settings samples
+over one topology -- two ways: the pre-batching pipeline (build each
+sample's derived netlist, evaluate it) and one fused
+:meth:`CircuitSolver.evaluate_batch` call over the same samples.  Fresh
+draws are used for every round (real sample settings never repeat, so
+per-variant instance-cache warmth would be fiction), while the compiled
+plan stays warm, exactly as in a real sweep.  A separate benchmark times
+the Monte-Carlo yield analysis of the ``variability`` pack end to end
+through the engine's batch-aware cache keys.
+``tools/bench_to_json.py`` runs the same batched-vs-looped comparison
+standalone and records the trajectory in ``BENCH_solver.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import get_problem
+from repro.bench.problems.variability import (
+    YieldSpec,
+    monte_carlo_yield,
+    ring_filter_nominal,
+)
+from repro.constants import default_wavelength_grid
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.sim import CircuitSolver, apply_settings
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+from bench_to_json import _settings_perturbations  # noqa: E402
+
+WAVELENGTHS = default_wavelength_grid(41)
+SOLVER = CircuitSolver(instance_cache_entries=8192)
+
+#: Settings samples per stack (a typical Monte-Carlo draw count).
+BATCH_SAMPLES = 32
+
+BATCH_PROBLEMS = ["mzi_ps", "clements_8x8", "benes_8x8", "spanke_8x8"]
+
+DISPATCH_MODES = ["looped", "batched"]
+
+
+def _fresh_salt() -> int:
+    """A process-unique salt so every benchmark round uses fresh draws."""
+    _fresh_salt.counter += 1  # type: ignore[attr-defined]
+    return _fresh_salt.counter  # type: ignore[attr-defined]
+
+
+_fresh_salt.counter = 0  # type: ignore[attr-defined]
+
+
+@pytest.mark.parametrize("mode", DISPATCH_MODES)
+@pytest.mark.parametrize("problem_name", BATCH_PROBLEMS)
+def test_settings_batch_dispatch(benchmark, problem_name, mode):
+    """Time one settings-sample stack looped versus fused."""
+    netlist = get_problem(problem_name).golden_netlist()
+    # Warm the structure work (plan cache) like a running sweep.
+    SOLVER.evaluate_batch(
+        netlist, _settings_perturbations(netlist, BATCH_SAMPLES, salt=_fresh_salt()), WAVELENGTHS
+    )
+
+    if mode == "looped":
+
+        def run():
+            batch = _settings_perturbations(netlist, BATCH_SAMPLES, salt=_fresh_salt())
+            return [
+                SOLVER.evaluate(apply_settings(netlist, overrides), WAVELENGTHS)
+                for overrides in batch
+            ]
+
+    else:
+
+        def run():
+            batch = _settings_perturbations(netlist, BATCH_SAMPLES, salt=_fresh_salt())
+            return SOLVER.evaluate_batch(netlist, batch, WAVELENGTHS)
+
+    results = benchmark(run)
+    assert len(results) == BATCH_SAMPLES
+    benchmark.extra_info["batch_stats"] = SOLVER.batch_stats().as_dict()
+
+
+def test_monte_carlo_yield_through_engine(benchmark):
+    """Time a full Monte-Carlo yield analysis over the batched engine path."""
+    engine = ExecutionEngine(EngineConfig(batch_size=16, cache_entries=0))
+    netlist = ring_filter_nominal()
+    spec = YieldSpec("O2", "I1", min_transmission=0.30, metric="max")
+
+    def run():
+        return monte_carlo_yield(
+            netlist,
+            spec,
+            draws=BATCH_SAMPLES,
+            seed=_fresh_salt(),
+            wavelengths=WAVELENGTHS,
+            engine=engine,
+        )
+
+    result = benchmark(run)
+    assert result.draws == BATCH_SAMPLES
+    benchmark.extra_info["engine_batch"] = engine.batch_stats().as_dict()

@@ -7,7 +7,7 @@ named family of problems with category metadata and a parametric
 discoverable by name (``repro.harness`` exposes them via ``--pack`` /
 ``--list-packs``).
 
-Two packs are registered on import:
+Three packs are registered on import:
 
 ``core``
     The paper's 24 problems, byte-for-byte identical to the original table
@@ -17,6 +17,12 @@ Two packs are registered on import:
     demultiplexers and full mux-bus-demux ring-filter links generated over a
     list of channel counts and a ring-radius spacing
     (:mod:`repro.bench.problems.wdm_links`).
+``variability``
+    Monte-Carlo fabrication-corner problems: seeded Gaussian/uniform draws
+    perturb coupler ratios, ring radii and waveguide loss of three circuit
+    families, scored for yield against transmission specs; corner batches
+    share topology and exercise the batched settings-axis executor
+    (:mod:`repro.bench.problems.variability`).
 
 Third-party packs register themselves with :func:`register_pack`, typically
 from the module that defines their golden designs -- see
@@ -192,7 +198,7 @@ def register_pack(pack: ProblemPack, *, replace_existing: bool = False) -> Probl
 
 def unregister_pack(name: str) -> None:
     """Remove a pack from the registry (the built-in packs are protected)."""
-    if name in (CORE_PACK_NAME, "wdm-links"):
+    if name in (CORE_PACK_NAME, "wdm-links", "variability"):
         raise ValueError(f"the built-in pack {name!r} cannot be unregistered")
     with _REGISTRY_LOCK:
         _REGISTRY.pop(name, None)
@@ -272,8 +278,9 @@ def _build_core_problems(params: PackParams) -> List[Problem]:
 
 
 def _register_builtin_packs() -> None:
-    """Register the built-in ``core`` and ``wdm-links`` packs (idempotent)."""
-    from .problems import wdm_links
+    """Register the built-in ``core``, ``wdm-links`` and ``variability``
+    packs (idempotent)."""
+    from .problems import variability, wdm_links
 
     register_pack(
         ProblemPack(
@@ -291,6 +298,7 @@ def _register_builtin_packs() -> None:
         replace_existing=True,
     )
     register_pack(wdm_links.make_pack(), replace_existing=True)
+    register_pack(variability.make_pack(), replace_existing=True)
 
 
 _register_builtin_packs()

@@ -1,0 +1,519 @@
+"""The ``variability`` problem pack: Monte-Carlo fabrication-corner analysis.
+
+Fabricated photonic circuits never match their nominal design: coupler power
+ratios, ring radii and waveguide losses all drift with process variation,
+and a design is only as good as its **yield** -- the fraction of fabrication
+draws that still meets spec.  This pack turns that workload into benchmark
+problems and a reusable Monte-Carlo API, both built on the batched
+settings-axis executor (:meth:`repro.sim.circuit.CircuitSolver.evaluate_batch`):
+a corner draw perturbs instance *settings*, never topology, so hundreds of
+draws share one compiled plan and fuse into a handful of executor passes.
+
+Three circuit families each contribute ``corners`` seeded corner problems
+(the perturbed parameter values are stated exactly in the task description,
+so a designer can -- and must -- reproduce that specific corner):
+
+* ``var_mzi_cXX``  -- an unbalanced two-arm MZI from two directional
+  couplers (perturbed coupling ratios) and two lossy arm waveguides
+  (perturbed propagation loss),
+* ``var_ring_cXX`` -- an add/drop ring filter assembled from two couplers
+  and two half-ring waveguides: a genuine feedback cluster, so corner
+  batches exercise the batched local solves,
+* ``var_wdm_cXX``  -- a 2-channel WDM ring-filter link whose channel ring
+  radii are perturbed (resonance drift, the classic WDM yield killer).
+
+The Monte-Carlo API is independent of the problem list:
+
+* :func:`monte_carlo_settings` draws ``S`` seeded Gaussian/uniform
+  settings-override samples for any netlist (perturbing ``coupling`` /
+  ``coupling_in`` / ``coupling_out``, ``radius`` and ``loss_db_cm`` keys
+  wherever an instance sets them),
+* :func:`monte_carlo_yield` pushes one such batch through the batched
+  executor and scores every draw against a :class:`YieldSpec`.
+
+See ``examples/monte_carlo_yield.py`` for a runnable end-to-end analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...netlist.schema import Instance, Netlist
+from ...netlist.validation import PortSpec
+from ...sim.batch import apply_settings
+from ..problem import Problem
+from .wdm_links import channel_radii, wdm_link_golden
+
+__all__ = [
+    "CATEGORY_INTERFEROMETER",
+    "CATEGORY_RING",
+    "CATEGORY_WDM",
+    "DEFAULT_PARAMS",
+    "PERTURBATION_RULES",
+    "YieldSpec",
+    "YieldResult",
+    "perturb_settings",
+    "monte_carlo_settings",
+    "monte_carlo_yield",
+    "interferometer_nominal",
+    "ring_filter_nominal",
+    "wdm_link_nominal",
+    "build_problems",
+    "make_pack",
+]
+
+#: Category labels of the pack (grouping for Table I-style listings).
+CATEGORY_INTERFEROMETER = "Interferometer Corners"
+CATEGORY_RING = "Ring Filter Corners"
+CATEGORY_WDM = "WDM Corners"
+
+#: Default generation parameters of the pack.
+DEFAULT_PARAMS: Dict[str, object] = {
+    "corners": 3,
+    "seed": 20260728,
+    "sigma_coupling": 0.02,
+    "sigma_radius": 0.02,
+    "sigma_loss_db_cm": 0.5,
+    "distribution": "gaussian",
+}
+
+#: Perturbable settings keys: ``key -> (sigma parameter, lower clip, upper
+#: clip)``.  Clipping keeps draws physical (a power coupling ratio stays in
+#: ``[0, 1]``, radii and losses stay positive) without re-drawing, so the
+#: draw count consumed per instance is independent of the outcome.
+PERTURBATION_RULES: Dict[str, Tuple[str, Optional[float], Optional[float]]] = {
+    "coupling": ("sigma_coupling", 0.0, 1.0),
+    "coupling_in": ("sigma_coupling", 0.0, 1.0),
+    "coupling_out": ("sigma_coupling", 0.0, 1.0),
+    "radius": ("sigma_radius", 0.05, None),
+    "loss_db_cm": ("sigma_loss_db_cm", 0.0, None),
+}
+
+#: Decimal places corner values are rounded to -- enough to be physically
+#: meaningless, coarse enough for exact round-trips through the JSON problem
+#: descriptions.
+_ROUND_DIGITS = 6
+
+
+def _check_distribution(distribution: str) -> str:
+    """Validate the draw distribution name, returning it unchanged."""
+    if distribution not in ("gaussian", "uniform"):
+        raise ValueError(
+            f"distribution must be 'gaussian' or 'uniform', got {distribution!r}"
+        )
+    return distribution
+
+
+def perturb_settings(
+    settings: Mapping[str, object],
+    rng: np.random.Generator,
+    *,
+    sigma_coupling: float,
+    sigma_radius: float,
+    sigma_loss_db_cm: float,
+    distribution: str = "gaussian",
+) -> Dict[str, float]:
+    """Draw perturbed values for every perturbable key of one settings dict.
+
+    Keys not named in :data:`PERTURBATION_RULES` (and non-numeric values)
+    pass through untouched -- i.e. they are absent from the returned
+    overrides.  Gaussian draws use the sigma as the standard deviation;
+    uniform draws span ``+-sigma``.  Draws are consumed in settings-dict
+    iteration order, so a fixed ``rng`` state yields a fixed corner.
+    """
+    sigmas = {
+        "sigma_coupling": float(sigma_coupling),
+        "sigma_radius": float(sigma_radius),
+        "sigma_loss_db_cm": float(sigma_loss_db_cm),
+    }
+    _check_distribution(distribution)
+    overrides: Dict[str, float] = {}
+    for key, value in settings.items():
+        rule = PERTURBATION_RULES.get(key)
+        if rule is None or isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        sigma_name, lower, upper = rule
+        sigma = sigmas[sigma_name]
+        if sigma <= 0.0:
+            continue
+        if distribution == "gaussian":
+            delta = float(rng.normal(0.0, sigma))
+        else:
+            delta = float(rng.uniform(-sigma, sigma))
+        drawn = float(value) + delta
+        if lower is not None:
+            drawn = max(lower, drawn)
+        if upper is not None:
+            drawn = min(upper, drawn)
+        overrides[key] = round(drawn, _ROUND_DIGITS)
+    return overrides
+
+
+def monte_carlo_settings(
+    netlist: Netlist,
+    draws: int,
+    seed: int,
+    *,
+    sigma_coupling: float = 0.02,
+    sigma_radius: float = 0.02,
+    sigma_loss_db_cm: float = 0.5,
+    distribution: str = "gaussian",
+) -> List[Dict[str, Dict[str, float]]]:
+    """Draw ``draws`` seeded settings-override samples for ``netlist``.
+
+    Each sample perturbs every perturbable setting of every instance
+    (see :func:`perturb_settings`); the result plugs straight into
+    :meth:`CircuitSolver.evaluate_batch` /
+    :meth:`ExecutionEngine.evaluate_batch`.  Draw ``k`` is seeded by the
+    sequence ``(seed, k)``, so individual draws are reproducible no matter
+    how many are requested.
+    """
+    if draws < 0:
+        raise ValueError(f"draws must be non-negative, got {draws}")
+    _check_distribution(distribution)
+    batches: List[Dict[str, Dict[str, float]]] = []
+    for draw in range(int(draws)):
+        rng = np.random.default_rng([int(seed), draw])
+        overrides: Dict[str, Dict[str, float]] = {}
+        for name, inst in netlist.instances.items():
+            perturbed = perturb_settings(
+                inst.settings,
+                rng,
+                sigma_coupling=sigma_coupling,
+                sigma_radius=sigma_radius,
+                sigma_loss_db_cm=sigma_loss_db_cm,
+                distribution=distribution,
+            )
+            if perturbed:
+                overrides[name] = perturbed
+        batches.append(overrides)
+    return batches
+
+
+# ----------------------------------------------------------------------
+# Yield scoring
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class YieldSpec:
+    """A pass/fail criterion on one port pair's power transmission.
+
+    ``metric`` selects how the ``|S|^2`` spectrum is collapsed to one
+    number per draw: its band ``"mean"``, worst-case ``"min"`` or peak
+    ``"max"``.  A draw passes when that number is at least
+    ``min_transmission``.
+    """
+
+    output_port: str
+    input_port: str
+    min_transmission: float
+    metric: str = "mean"
+
+    def score(self, transmission: np.ndarray) -> float:
+        """Collapse one draw's ``|S|^2`` spectrum to its scored metric."""
+        if self.metric == "mean":
+            return float(np.mean(transmission))
+        if self.metric == "min":
+            return float(np.min(transmission))
+        if self.metric == "max":
+            return float(np.max(transmission))
+        raise ValueError(f"unknown yield metric {self.metric!r}")
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Outcome of one Monte-Carlo yield analysis."""
+
+    draws: int
+    passes: int
+    metrics: Tuple[float, ...]
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of draws meeting the spec (1.0 for an empty analysis)."""
+        return self.passes / self.draws if self.draws else 1.0
+
+
+def monte_carlo_yield(
+    netlist: Netlist,
+    spec: YieldSpec,
+    *,
+    draws: int = 64,
+    seed: int = 0,
+    wavelengths: Optional[np.ndarray] = None,
+    engine=None,
+    solver=None,
+    sigma_coupling: float = 0.02,
+    sigma_radius: float = 0.02,
+    sigma_loss_db_cm: float = 0.5,
+    distribution: str = "gaussian",
+) -> YieldResult:
+    """Score the fabrication yield of ``netlist`` against ``spec``.
+
+    All draws run through the batched settings-axis executor: one compiled
+    plan, a handful of fused executor passes (via ``engine.evaluate_batch``
+    when an :class:`~repro.engine.ExecutionEngine` is given -- draws then
+    also hit the content-addressed simulation cache -- or directly through
+    ``solver.evaluate_batch`` otherwise; a private solver is created when
+    neither is provided).
+    """
+    batches = monte_carlo_settings(
+        netlist,
+        draws,
+        seed,
+        sigma_coupling=sigma_coupling,
+        sigma_radius=sigma_radius,
+        sigma_loss_db_cm=sigma_loss_db_cm,
+        distribution=distribution,
+    )
+    if engine is not None:
+        smatrices = engine.evaluate_batch(netlist, batches, wavelengths)
+    else:
+        if solver is None:
+            from ...sim.circuit import CircuitSolver
+
+            solver = CircuitSolver()
+        smatrices = solver.evaluate_batch(netlist, batches, wavelengths)
+    metrics = tuple(
+        spec.score(smatrix.transmission(spec.output_port, spec.input_port))
+        for smatrix in smatrices
+    )
+    passes = sum(1 for metric in metrics if metric >= spec.min_transmission)
+    return YieldResult(draws=len(metrics), passes=passes, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# Nominal circuit families
+# ----------------------------------------------------------------------
+def interferometer_nominal() -> Netlist:
+    """Nominal unbalanced MZI: two 50/50 couplers, two lossy arm waveguides."""
+    return Netlist(
+        instances={
+            "cpIn": Instance("coupler", {"coupling": 0.5}),
+            "armTop": Instance("waveguide", {"length": 100.0, "loss_db_cm": 2.0}),
+            "armBot": Instance("waveguide", {"length": 110.0, "loss_db_cm": 2.0}),
+            "cpOut": Instance("coupler", {"coupling": 0.5}),
+        },
+        connections={
+            "cpIn,O1": "armTop,I1",
+            "armTop,O1": "cpOut,I1",
+            "cpIn,O2": "armBot,I1",
+            "armBot,O1": "cpOut,I2",
+        },
+        ports={"I1": "cpIn,I1", "I2": "cpIn,I2", "O1": "cpOut,O1", "O2": "cpOut,O2"},
+        models={"coupler": "coupler", "waveguide": "waveguide"},
+    )
+
+
+def ring_filter_nominal() -> Netlist:
+    """Nominal add/drop ring filter: two couplers closed by two half-rings.
+
+    Unlike the monolithic ``mrr_adddrop`` model, the explicit loop makes
+    this a genuine signal-flow feedback cluster, so corner batches exercise
+    the batched local cluster solves.
+    """
+    return Netlist(
+        instances={
+            "cpBus": Instance("coupler", {"coupling": 0.1}),
+            "cpDrop": Instance("coupler", {"coupling": 0.1}),
+            "halfTop": Instance("waveguide", {"length": 15.7, "loss_db_cm": 3.0}),
+            "halfBot": Instance("waveguide", {"length": 15.7, "loss_db_cm": 3.0}),
+        },
+        connections={
+            "cpBus,O2": "halfTop,I1",
+            "halfTop,O1": "cpDrop,I2",
+            "cpDrop,O2": "halfBot,I1",
+            "halfBot,O1": "cpBus,I2",
+        },
+        ports={
+            "I1": "cpBus,I1",
+            "O1": "cpBus,O1",
+            "I2": "cpDrop,I1",
+            "O2": "cpDrop,O1",
+        },
+        models={"coupler": "coupler", "waveguide": "waveguide"},
+    )
+
+
+def wdm_link_nominal() -> Netlist:
+    """Nominal 2-channel WDM ring-filter link (from the ``wdm-links`` family)."""
+    return wdm_link_golden(channel_radii(2), bus_length=500.0)
+
+
+# ----------------------------------------------------------------------
+# Corner-problem generation
+# ----------------------------------------------------------------------
+def _corner_overrides(
+    nominal: Netlist, family_index: int, corner: int, params: Mapping[str, object]
+) -> Dict[str, Dict[str, float]]:
+    """The seeded settings overrides of one family's corner ``corner``."""
+    rng = np.random.default_rng([int(params["seed"]), family_index, corner])
+    overrides: Dict[str, Dict[str, float]] = {}
+    for name, inst in nominal.instances.items():
+        perturbed = perturb_settings(
+            inst.settings,
+            rng,
+            sigma_coupling=float(params["sigma_coupling"]),
+            sigma_radius=float(params["sigma_radius"]),
+            sigma_loss_db_cm=float(params["sigma_loss_db_cm"]),
+            distribution=str(params["distribution"]),
+        )
+        if perturbed:
+            overrides[name] = perturbed
+    return overrides
+
+
+def _mzi_description(netlist: Netlist, corner: int) -> str:
+    """Natural-language task statement of one interferometer corner."""
+    cp_in = netlist.instances["cpIn"].settings["coupling"]
+    cp_out = netlist.instances["cpOut"].settings["coupling"]
+    top = netlist.instances["armTop"].settings
+    bot = netlist.instances["armBot"].settings
+    return (
+        f"Create fabrication corner {corner} of an unbalanced two-arm "
+        "Mach-Zehnder interferometer with two inputs and two outputs, using "
+        "this corner's measured parameters exactly. The input directional "
+        f"coupler (built-in coupler) has a power coupling ratio of {cp_in}; "
+        f"the output coupler has a ratio of {cp_out}. The top arm is a "
+        f"built-in waveguide of {top['length']:.0f} microns length with a "
+        f"propagation loss of {top['loss_db_cm']} dB/cm; the bottom arm is a "
+        f"waveguide of {bot['length']:.0f} microns length with a loss of "
+        f"{bot['loss_db_cm']} dB/cm. The input coupler's outputs feed the "
+        "two arms, which feed the output coupler's inputs. Use default "
+        "values for every unspecified parameter.\n"
+        "Ports: 2 inputs (I1, I2), 2 outputs (O1, O2)."
+    )
+
+
+def _ring_description(netlist: Netlist, corner: int) -> str:
+    """Natural-language task statement of one ring-filter corner."""
+    bus = netlist.instances["cpBus"].settings["coupling"]
+    drop = netlist.instances["cpDrop"].settings["coupling"]
+    top = netlist.instances["halfTop"].settings
+    bot = netlist.instances["halfBot"].settings
+    return (
+        f"Create fabrication corner {corner} of an add/drop ring resonator "
+        "filter assembled from two built-in directional couplers closed "
+        "into a ring by two half-ring waveguides, using this corner's "
+        "measured parameters exactly. The bus-side coupler has a power "
+        f"coupling ratio of {bus} and the drop-side coupler a ratio of "
+        f"{drop}. Each half-ring is a built-in waveguide of "
+        f"{top['length']} microns length; the top half has a propagation "
+        f"loss of {top['loss_db_cm']} dB/cm and the bottom half a loss of "
+        f"{bot['loss_db_cm']} dB/cm. The bus coupler's cross port feeds the "
+        "top half-ring into the drop coupler's cross port, whose other "
+        "cross port feeds the bottom half-ring back into the bus coupler. "
+        "Use default values for every unspecified parameter.\n"
+        "Ports: 2 inputs (I1 bus in, I2 add), 2 outputs (O1 through, O2 drop)."
+    )
+
+
+def _wdm_description(radii: Sequence[float], bus_length: float, corner: int) -> str:
+    """Natural-language task statement of one WDM-link corner."""
+    radii_text = ", ".join(str(radius) for radius in radii)
+    return (
+        f"Create fabrication corner {corner} of a complete 2-channel WDM "
+        "ring-filter link with 2 inputs and 2 outputs, using this corner's "
+        "measured ring radii exactly. The transmitter side is a 2-channel "
+        "multiplexer built from add/drop microring resonators (mrr_adddrop) "
+        f"with radii of {radii_text} microns whose through ports are chained "
+        "into a common bus; its multiplexed output feeds a built-in "
+        f"waveguide of {bus_length:.0f} microns length, which feeds the "
+        "receiver side: the matching demultiplexer with the same corner's "
+        "ring radii in the same channel order, where the drop port of ring "
+        "k provides output k. Use default values for every unspecified "
+        "parameter.\n"
+        "Ports: 2 inputs (I1, I2), 2 outputs (O1, O2)."
+    )
+
+
+def build_problems(params: Dict[str, object]) -> List[Problem]:
+    """Build the pack's corner problems for one parameter mapping.
+
+    Per corner index the pack emits one problem of each family
+    (interferometer, ring filter, WDM link), so ``corners=N`` yields ``3*N``
+    problems whose golden designs share three topologies -- exactly the
+    shape the batched executor amortises.
+    """
+    corners = int(params["corners"])  # type: ignore[arg-type]
+    if corners < 1:
+        raise ValueError(f"the variability pack needs corners >= 1, got {corners}")
+    _check_distribution(str(params["distribution"]))
+
+    def mzi_corner(corner: int) -> Tuple[Netlist, str]:
+        """Golden design and description of interferometer corner ``corner``."""
+        nominal = interferometer_nominal()
+        golden = apply_settings(nominal, _corner_overrides(nominal, 0, corner, params))
+        return golden, _mzi_description(golden, corner)
+
+    def ring_corner(corner: int) -> Tuple[Netlist, str]:
+        """Golden design and description of ring-filter corner ``corner``."""
+        nominal = ring_filter_nominal()
+        golden = apply_settings(nominal, _corner_overrides(nominal, 1, corner, params))
+        return golden, _ring_description(golden, corner)
+
+    def wdm_corner(corner: int) -> Tuple[Netlist, str]:
+        """Golden design and description of WDM-link corner ``corner``.
+
+        The per-channel radii are drawn once and used on both the mux and
+        the demux side, so the description ("the same corner's ring radii")
+        pins the golden design exactly.
+        """
+        rng = np.random.default_rng([int(params["seed"]), 2, corner])
+        sigma = float(params["sigma_radius"])
+        bus_length = 500.0
+        radii = []
+        for nominal_radius in channel_radii(2):
+            if str(params["distribution"]) == "gaussian":
+                delta = float(rng.normal(0.0, sigma))
+            else:
+                delta = float(rng.uniform(-sigma, sigma))
+            radii.append(round(max(0.05, nominal_radius + delta), _ROUND_DIGITS))
+        golden = wdm_link_golden(tuple(radii), bus_length=bus_length)
+        return golden, _wdm_description(radii, bus_length, corner)
+
+    families = (
+        ("mzi", "MZI corner", CATEGORY_INTERFEROMETER, mzi_corner),
+        ("ring", "Ring filter corner", CATEGORY_RING, ring_corner),
+        ("wdm", "WDM link corner", CATEGORY_WDM, wdm_corner),
+    )
+    problems: List[Problem] = []
+    for corner in range(corners):
+        for key, title, category, build_corner in families:
+            golden, description = build_corner(corner)
+            problems.append(
+                Problem(
+                    name=f"var_{key}_c{corner:02d}",
+                    title=f"{title} {corner}",
+                    category=category,
+                    summary=f"Fabrication corner {corner} of the {key} family",
+                    description=description,
+                    golden_factory=lambda golden=golden: golden.copy(),
+                    port_spec=PortSpec(num_inputs=2, num_outputs=2),
+                )
+            )
+    return problems
+
+
+def make_pack():
+    """Build (but do not register) the ``variability`` :class:`ProblemPack`."""
+    from ..packs import ProblemPack
+
+    return ProblemPack(
+        name="variability",
+        title="Fabrication variability",
+        description=(
+            "Monte-Carlo fabrication-corner problems: seeded Gaussian or "
+            "uniform draws perturb coupler power ratios, ring radii and "
+            "waveguide propagation loss of three circuit families (an "
+            "unbalanced MZI, an add/drop ring filter and a 2-channel WDM "
+            "link), and designs are scored for yield against transmission "
+            "specs. Corner batches share topology and exercise the batched "
+            "settings-axis executor."
+        ),
+        categories=(CATEGORY_INTERFEROMETER, CATEGORY_RING, CATEGORY_WDM),
+        builder=build_problems,
+        default_params=DEFAULT_PARAMS,
+    )

@@ -17,7 +17,7 @@ higher layers depend on it, never the other way around.
 """
 
 from .cache import CacheStats, LRUCache, SimulationCache
-from .engine import EngineConfig, ExecutionEngine, default_engine
+from .engine import EngineBatchStats, EngineConfig, ExecutionEngine, default_engine
 from .fingerprint import (
     grid_fingerprint,
     netlist_fingerprint,
@@ -33,6 +33,7 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "SimulationCache",
+    "EngineBatchStats",
     "EngineConfig",
     "ExecutionEngine",
     "default_engine",

@@ -18,15 +18,17 @@ settings, sequential or parallel alike.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
 
 from ..constants import normalize_wavelengths
 from ..netlist.schema import Netlist
 from ..netlist.validation import PortSpec
+from ..sim.batch import SettingsBatch, apply_settings, structural_key
 from ..sim.circuit import CircuitSolver
 from ..sim.registry import ModelRegistry
 from ..sim.sparams import SMatrix
@@ -34,7 +36,36 @@ from .cache import SimulationCache
 from .fingerprint import grid_fingerprint, netlist_fingerprint, registry_fingerprint, stable_hash
 from .scheduler import TaskScheduler
 
-__all__ = ["EngineConfig", "ExecutionEngine", "default_engine"]
+__all__ = ["EngineBatchStats", "EngineConfig", "ExecutionEngine", "default_engine"]
+
+
+@dataclass
+class EngineBatchStats:
+    """Counters of the engine's batched-evaluation entry points.
+
+    ``cache_hits`` counts samples served straight from the content-addressed
+    simulation cache -- batch-aware keys are computed per *derived sample
+    netlist*, so batched and per-sample evaluations share one entry space
+    and hit each other's results.
+    """
+
+    calls: int = 0
+    samples: int = 0
+    cache_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of batched samples served from the simulation cache."""
+        return self.cache_hits / self.samples if self.samples else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict snapshot (for logs and benchmark tables)."""
+        return {
+            "calls": self.calls,
+            "samples": self.samples,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+        }
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -69,6 +100,17 @@ class EngineConfig:
         once, capping the peak ``(W, P, E)`` workspace on large grids;
         ``None`` solves the whole grid in one batch.  Results are identical
         for any chunk size.
+    batch_size:
+        Batched *pipeline* dispatch: when > 1, :meth:`ExecutionEngine.evaluate_many`
+        (and therefore sweeps and the evaluator's lockstep mode) fuses up to
+        this many structure-sharing samples per solver call; ``1`` (the
+        default) evaluates pipeline work per sample.  Explicit
+        :meth:`ExecutionEngine.evaluate_batch` calls are a request to batch
+        and fuse their whole miss set by default regardless (the solver
+        splits fused passes internally for cache residency); the knob then
+        only caps their chunk size when > 1.  Purely a performance knob:
+        results -- and simulation cache keys -- are identical for any batch
+        size.
     """
 
     workers: int = 1
@@ -77,6 +119,7 @@ class EngineConfig:
     solver_backend: str = "auto"
     plan_cache_entries: int = 128
     wavelength_chunk: Optional[int] = None
+    batch_size: int = 1
 
 
 class ExecutionEngine:
@@ -106,6 +149,8 @@ class ExecutionEngine:
         self.scheduler = TaskScheduler(workers=self.config.workers)
         self._registry_fp = registry_fingerprint(self.solver.registry)
         self._registry_fp_version = self.solver.registry.version
+        self._batch_stats = EngineBatchStats()
+        self._batch_stats_lock = threading.Lock()
 
     def _registry_fingerprint(self) -> str:
         """The registry fingerprint, memoised on the registry's mutation counter.
@@ -180,6 +225,198 @@ class ExecutionEngine:
         return smatrix
 
     # ------------------------------------------------------------------
+    # Batched simulation
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self,
+        netlist: Netlist,
+        settings_batch: Sequence[SettingsBatch],
+        wavelengths: Optional[np.ndarray] = None,
+        *,
+        port_spec: Optional[PortSpec] = None,
+        merge: bool = True,
+    ) -> List[SMatrix]:
+        """Evaluate ``S`` settings samples of one netlist, batching the misses.
+
+        Cache keys are **batch-aware but per-sample**: each sample's key is
+        the content address of its *derived* netlist (base plus overrides),
+        exactly the key :meth:`evaluate` would compute for that netlist --
+        so batched results hit (and seed) per-sample cache entries.  Samples
+        already cached are served directly; the misses run through
+        :meth:`CircuitSolver.evaluate_batch`.  Calling this method is an
+        explicit request to batch, so the whole miss set fuses into one
+        solver call by default (the solver splits fused passes internally
+        for cache residency); ``config.batch_size`` > 1 additionally caps
+        the samples per solver call.
+        """
+        wavelengths = normalize_wavelengths(wavelengths)
+        num_samples = len(settings_batch)
+        results: List[Optional[SMatrix]] = [None] * num_samples
+        keys: List[Optional[str]] = [None] * num_samples
+        hits = 0
+        if self.cache.enabled:
+            for index, overrides in enumerate(settings_batch):
+                derived = apply_settings(netlist, overrides, merge)
+                key = self.simulation_key(derived, wavelengths, port_spec)
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    hits += 1
+        misses = [index for index in range(num_samples) if results[index] is None]
+
+        # Deduplicate identical samples within the batch (same derived key).
+        representative: Dict[Optional[str], int] = {}
+        unique: List[int] = []
+        for index in misses:
+            key = keys[index]
+            if key is None:  # cache disabled: no key to deduplicate on
+                unique.append(index)
+            elif key not in representative:
+                representative[key] = index
+                unique.append(index)
+
+        chunk_size = max(1, int(self.config.batch_size)) if self.config.batch_size > 1 else len(unique)
+        for start in range(0, len(unique), max(1, chunk_size)):
+            chunk = unique[start : start + max(1, chunk_size)]
+            solved = self.solver.evaluate_batch(
+                netlist,
+                [settings_batch[index] for index in chunk],
+                wavelengths,
+                port_spec=port_spec,
+                merge=merge,
+            )
+            for index, smatrix in zip(chunk, solved):
+                results[index] = smatrix
+                if keys[index] is not None:
+                    self.cache.put(keys[index], smatrix)
+        for index in misses:
+            if results[index] is None:  # duplicate of a representative sample
+                results[index] = results[representative[keys[index]]]
+
+        with self._batch_stats_lock:
+            self._batch_stats.calls += 1
+            self._batch_stats.samples += num_samples
+            self._batch_stats.cache_hits += hits
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def evaluate_many(
+        self,
+        netlists: Sequence[Netlist],
+        wavelengths: Optional[np.ndarray] = None,
+        *,
+        port_specs: Optional[Sequence[Optional[PortSpec]]] = None,
+        batch_size: Optional[int] = None,
+        return_exceptions: bool = False,
+    ) -> List[Union[SMatrix, Exception]]:
+        """Evaluate many (possibly unrelated) netlists, batching where possible.
+
+        Netlists are grouped by settings-stripped structure (same instances,
+        connections, ports and models -- see
+        :func:`repro.sim.batch.structural_key`) and port spec; each group is
+        re-expressed as one base netlist plus per-sample settings and
+        dispatched through the fused batch path in chunks of ``batch_size``
+        (default: ``config.batch_size``; values <= 1 fall back to per-item
+        :meth:`evaluate` calls).  Per-item cache keys are unchanged, so
+        results interoperate with individually evaluated netlists.
+
+        With ``return_exceptions=True`` a failing item contributes its
+        exception (the same classified error :meth:`evaluate` would raise)
+        instead of aborting the whole call; a group whose fused evaluation
+        fails is retried item by item so one bad sample never poisons its
+        group.
+        """
+        wavelengths = normalize_wavelengths(wavelengths)
+        specs: List[Optional[PortSpec]] = (
+            list(port_specs) if port_specs is not None else [None] * len(netlists)
+        )
+        if len(specs) != len(netlists):
+            raise ValueError(
+                f"port_specs length {len(specs)} does not match {len(netlists)} netlists"
+            )
+        chunk_size = int(batch_size) if batch_size is not None else int(self.config.batch_size)
+        results: List[Optional[Union[SMatrix, Exception]]] = [None] * len(netlists)
+
+        def solve_item(index: int, key: Optional[str]) -> None:
+            """Per-item fallback replicating :meth:`evaluate` semantics."""
+            try:
+                smatrix = self.solver.evaluate(
+                    netlists[index], wavelengths, port_spec=specs[index]
+                )
+            except Exception as error:  # noqa: BLE001 - classified by the caller
+                if not return_exceptions:
+                    raise
+                results[index] = error
+                return
+            if key is not None:
+                self.cache.put(key, smatrix)
+            results[index] = smatrix
+
+        # Per-item cache probe (batched and per-sample keys are identical).
+        keys: List[Optional[str]] = [None] * len(netlists)
+        hits = 0
+        for index, netlist in enumerate(netlists):
+            if self.cache.enabled:
+                key = self.simulation_key(netlist, wavelengths, specs[index])
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    hits += 1
+
+        misses = [index for index in range(len(netlists)) if results[index] is None]
+        if chunk_size <= 1:
+            for index in misses:
+                solve_item(index, keys[index])
+        else:
+            groups: Dict[Tuple[str, Optional[Tuple[int, int]]], List[int]] = {}
+            for index in misses:
+                spec = specs[index]
+                spec_key = (spec.num_inputs, spec.num_outputs) if spec is not None else None
+                groups.setdefault(
+                    (structural_key(netlists[index]), spec_key), []
+                ).append(index)
+            for (_, _), members in groups.items():
+                for start in range(0, len(members), chunk_size):
+                    chunk = members[start : start + chunk_size]
+                    base = netlists[chunk[0]]
+                    # Settings dicts are passed by reference (the batch path
+                    # treats overrides as read-only): their stable object
+                    # ids let the solver's fingerprint memos hit across
+                    # repeated evaluations of the same netlists.
+                    overrides = [
+                        {
+                            name: inst.settings
+                            for name, inst in netlists[index].instances.items()
+                        }
+                        for index in chunk
+                    ]
+                    try:
+                        solved = self.solver.evaluate_batch(
+                            base,
+                            overrides,
+                            wavelengths,
+                            port_spec=specs[chunk[0]],
+                            merge=False,
+                        )
+                    except Exception:  # noqa: BLE001 - isolate the failing item
+                        for index in chunk:
+                            solve_item(index, keys[index])
+                        continue
+                    for index, smatrix in zip(chunk, solved):
+                        results[index] = smatrix
+                        if keys[index] is not None:
+                            self.cache.put(keys[index], smatrix)
+
+        with self._batch_stats_lock:
+            self._batch_stats.calls += 1
+            self._batch_stats.samples += len(netlists)
+            self._batch_stats.cache_hits += hits
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
@@ -189,18 +426,28 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def batch_stats(self) -> EngineBatchStats:
+        """Counters of the engine's batched entry points."""
+        return self._batch_stats
+
     def stats(self) -> Dict[str, object]:
         """Snapshot of the engine's cache behaviour (for logs and benchmarks)."""
         solver_stats = self.solver.instance_cache_stats()
         plan_stats = self.solver.plan_cache_stats()
+        solver_batch = self.solver.batch_stats()
         return {
             "workers": self.workers,
+            "batch_size": self.config.batch_size,
             "simulation_cache": self.cache.stats.as_dict(),
             "simulation_hit_rate": self.cache.stats.hit_rate,
             "instance_cache": solver_stats.as_dict(),
             "instance_hit_rate": solver_stats.hit_rate,
             "plan_cache": plan_stats.as_dict(),
             "plan_hit_rate": plan_stats.hit_rate,
+            "batch": self._batch_stats.as_dict(),
+            "batch_hit_rate": self._batch_stats.hit_rate,
+            "solver_batch": solver_batch.as_dict(),
+            "batch_fusion_rate": solver_batch.fusion_rate,
         }
 
 
@@ -212,6 +459,7 @@ def default_engine(
     solver_backend: str = "auto",
     plan_cache_entries: int = 128,
     wavelength_chunk: Optional[int] = None,
+    batch_size: int = 1,
 ) -> ExecutionEngine:
     """Convenience constructor mirroring the CLI's engine flags."""
     return ExecutionEngine(
@@ -221,6 +469,7 @@ def default_engine(
             solver_backend=solver_backend,
             plan_cache_entries=plan_cache_entries,
             wavelength_chunk=wavelength_chunk,
+            batch_size=batch_size,
         ),
         registry=registry,
     )

@@ -150,6 +150,69 @@ class Evaluator:
             error=FunctionalError(comparison.reason or "the frequency response deviates from the golden design"),
         )
 
+    def evaluate_responses(
+        self, items: Sequence[Tuple[Problem, str]]
+    ) -> List[AttemptOutcome]:
+        """Check many raw responses at once, batching compatible simulations.
+
+        Semantics per item are identical to :meth:`evaluate_response`; the
+        simulations of responses that parse and validate are dispatched
+        through :meth:`ExecutionEngine.evaluate_many`, which fuses
+        structure-sharing candidates (samples that differ only in instance
+        settings -- the common case across pass@k drafts) into shared
+        executor passes of at most ``engine.config.batch_size`` samples.
+        """
+        outcomes: List[Optional[AttemptOutcome]] = [None] * len(items)
+        pending: List[int] = []
+        netlists = []
+        for index, (problem, response_text) in enumerate(items):
+            try:
+                response = split_response(response_text)
+                netlist = parse_netlist_text(response.result, strict=True)
+                validate_netlist(netlist, self.registry, problem.port_spec)
+            except Exception as error:  # noqa: BLE001 - classified below
+                outcomes[index] = AttemptOutcome(
+                    syntax_ok=False, functional_ok=False, error=as_picbench_error(error)
+                )
+                continue
+            pending.append(index)
+            netlists.append(netlist)
+
+        if pending:
+            simulated = self.engine.evaluate_many(
+                netlists,
+                self.golden_store.wavelengths,
+                port_specs=[items[index][0].port_spec for index in pending],
+                return_exceptions=True,
+            )
+            for index, result in zip(pending, simulated):
+                problem = items[index][0]
+                if isinstance(result, Exception):
+                    outcomes[index] = AttemptOutcome(
+                        syntax_ok=False,
+                        functional_ok=False,
+                        error=as_picbench_error(result),
+                    )
+                    continue
+                comparison = compare_responses(
+                    result,
+                    self.golden_store.response_for(problem),
+                    atol=self.config.functional_atol,
+                )
+                if comparison.passed:
+                    outcomes[index] = AttemptOutcome(syntax_ok=True, functional_ok=True)
+                else:
+                    outcomes[index] = AttemptOutcome(
+                        syntax_ok=True,
+                        functional_ok=False,
+                        error=FunctionalError(
+                            comparison.reason
+                            or "the frequency response deviates from the golden design"
+                        ),
+                    )
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
     # Feedback loop
     # ------------------------------------------------------------------
@@ -198,6 +261,78 @@ class Evaluator:
             messages = list(messages) + [assistant(response_text), user(feedback)]
         return sample
 
+    def run_samples_batched(
+        self,
+        units: Sequence[Tuple[LLMClient, Problem, int]],
+        *,
+        prompt_config: Optional[PromptConfig] = None,
+    ) -> List[SampleResult]:
+        """Run many ``(client, problem, sample)`` trajectories in lockstep.
+
+        All trajectories advance one feedback iteration at a time: the
+        iteration's generations run on the engine's worker pool, then every
+        resulting candidate is evaluated in one :meth:`evaluate_responses`
+        call -- so structurally identical drafts across samples, problems
+        and clients fuse into shared batched executor passes.  Because each
+        trajectory's messages and seed are a pure function of its own
+        history, the returned :class:`SampleResult` list is identical to
+        running :meth:`run_sample` per unit.
+        """
+        prompt_config = prompt_config or PromptConfig(
+            include_restrictions=self.config.include_restrictions
+        )
+        states = []
+        for client, problem, sample_index in units:
+            states.append(
+                {
+                    "client": client,
+                    "problem": problem,
+                    "messages": [
+                        system(build_system_prompt(self.registry, prompt_config)),
+                        user(build_user_prompt(problem.description)),
+                    ],
+                    "seed": sample_seed(self.config.base_seed, problem.name, sample_index),
+                    "sample": SampleResult(problem=problem.name, sample_index=sample_index),
+                    "done": False,
+                }
+            )
+
+        for iteration in range(self.config.max_feedback_iterations + 1):
+            active = [state for state in states if not state["done"]]
+            if not active:
+                break
+            responses = self.engine.map(
+                lambda state: state["client"].complete(state["messages"], seed=state["seed"]),
+                active,
+            )
+            outcomes = self.evaluate_responses(
+                [(state["problem"], text) for state, text in zip(active, responses)]
+            )
+            for state, response_text, outcome in zip(active, responses, outcomes):
+                state["sample"].attempts.append(
+                    AttemptRecord(
+                        iteration=iteration,
+                        syntax_ok=outcome.syntax_ok,
+                        functional_ok=outcome.functional_ok,
+                        error_category=outcome.error.category if outcome.error else None,
+                        error_detail=outcome.error.detail if outcome.error else None,
+                        response_text=response_text if self.config.keep_responses else None,
+                    )
+                )
+                if outcome.functional_ok and outcome.syntax_ok:
+                    state["done"] = True
+                    continue
+                if iteration == self.config.max_feedback_iterations:
+                    state["done"] = True
+                    continue
+                assert outcome.error is not None
+                feedback = build_feedback(state["problem"].name, outcome.error)
+                state["messages"] = list(state["messages"]) + [
+                    assistant(response_text),
+                    user(feedback),
+                ]
+        return [state["sample"] for state in states]
+
     def run_problem(
         self,
         client: LLMClient,
@@ -240,15 +375,28 @@ class Evaluator:
             max_feedback_iterations=self.config.max_feedback_iterations,
             pack=packs.pop() if len(packs) == 1 else "mixed",
         )
-        units = [
-            (problem, sample_index)
-            for problem in problems
-            for sample_index in range(self.config.samples_per_problem)
-        ]
-        samples = self.engine.map(
-            lambda unit: self.run_sample(client, unit[0], unit[1], prompt_config=prompt_config),
-            units,
-        )
+        if getattr(self.engine.config, "batch_size", 1) > 1:
+            # Batched dispatch: trajectories advance in lockstep so each
+            # iteration's structure-sharing candidates fuse into shared
+            # executor passes.  Identical results by construction.
+            samples = self.run_samples_batched(
+                [
+                    (client, problem, sample_index)
+                    for problem in problems
+                    for sample_index in range(self.config.samples_per_problem)
+                ],
+                prompt_config=prompt_config,
+            )
+        else:
+            units = [
+                (problem, sample_index)
+                for problem in problems
+                for sample_index in range(self.config.samples_per_problem)
+            ]
+            samples = self.engine.map(
+                lambda unit: self.run_sample(client, unit[0], unit[1], prompt_config=prompt_config),
+                units,
+            )
         for sample in samples:
             report.add(sample)
         return report

@@ -151,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
         "the solver's peak workspace on large grids (default: whole grid at "
         "once); results are identical for any chunk size",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="SAMPLES",
+        help="fuse up to this many structure-sharing candidate netlists into "
+        "one solver executor pass (trajectories then advance in lockstep "
+        "per feedback iteration); 1 (default) evaluates sweep work per "
+        "sample; reports are identical for any batch size",
+    )
     return parser
 
 
@@ -189,6 +199,7 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         solver_backend=args.solver_backend,
         plan_cache_entries=args.plan_cache_entries,
         wavelength_chunk=args.wavelength_chunk,
+        batch_size=args.batch_size,
     )
 
 

@@ -55,9 +55,13 @@ class SweepConfig:
     so it changes sweep runtime but never the reported numbers.  The same
     holds for ``plan_cache_entries`` (capacity of the solver's
     topology-keyed compiled-plan cache -- structurally identical candidate
-    netlists across samples and workers compile once) and
+    netlists across samples and workers compile once),
     ``wavelength_chunk`` (bounds the solver's peak per-evaluation workspace
-    on large grids).
+    on large grids) and ``batch_size`` (when > 1, trajectories advance in
+    lockstep and each feedback iteration's structure-sharing candidate
+    netlists -- samples that differ only in instance settings -- are fused
+    into shared batched executor passes of at most ``batch_size`` samples;
+    reports are identical to the per-sample path).
     """
 
     samples_per_problem: int = 5
@@ -72,6 +76,7 @@ class SweepConfig:
     solver_backend: str = "auto"
     plan_cache_entries: int = 128
     wavelength_chunk: Optional[int] = None
+    batch_size: int = 1
 
     def engine_config(self) -> EngineConfig:
         """Build the corresponding :class:`EngineConfig`."""
@@ -81,6 +86,7 @@ class SweepConfig:
             solver_backend=self.solver_backend,
             plan_cache_entries=self.plan_cache_entries,
             wavelength_chunk=self.wavelength_chunk,
+            batch_size=self.batch_size,
         )
 
     def evaluation_config(self, *, include_restrictions: bool) -> EvaluationConfig:
@@ -263,17 +269,38 @@ def run_sweep(
         for sample_index in range(config.samples_per_problem)
     ]
 
-    def run_unit(unit):
-        """Run one (restrictions, client, problem, sample) trajectory."""
-        include_restrictions, client, problem, sample_index = unit
-        return evaluators[include_restrictions].run_sample(
-            client,
-            problem,
-            sample_index,
-            prompt_config=prompt_configs[include_restrictions],
-        )
+    if config.batch_size > 1:
+        # Batched dispatch: per restriction setting, all trajectories
+        # advance in lockstep and every iteration's structure-sharing
+        # candidates (samples that mutate settings, not topology) fuse
+        # into shared executor passes.  Unit order -- and therefore the
+        # folded reports -- are identical to the per-sample path.
+        samples = []
+        for include_restrictions in restriction_settings:
+            samples.extend(
+                evaluators[include_restrictions].run_samples_batched(
+                    [
+                        (client, problem, sample_index)
+                        for client in clients
+                        for problem in problems
+                        for sample_index in range(config.samples_per_problem)
+                    ],
+                    prompt_config=prompt_configs[include_restrictions],
+                )
+            )
+    else:
 
-    samples = engine.map(run_unit, units)
+        def run_unit(unit):
+            """Run one (restrictions, client, problem, sample) trajectory."""
+            include_restrictions, client, problem, sample_index = unit
+            return evaluators[include_restrictions].run_sample(
+                client,
+                problem,
+                sample_index,
+                prompt_config=prompt_configs[include_restrictions],
+            )
+
+        samples = engine.map(run_unit, units)
 
     result = SweepResult(config=config)
     for (include_restrictions, client, _, _), sample in zip(units, samples):

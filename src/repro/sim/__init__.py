@@ -10,6 +10,7 @@ The public surface mirrors what the benchmark needs from SAX:
 """
 
 from .analysis import ComparisonResult, FrequencyResponse, compare_responses
+from .batch import BatchStats, apply_settings, batch_evaluate_model, fuse_sample_matrices
 from .cascade import CascadePlan
 from .circuit import SOLVER_BACKENDS, CircuitSolver, default_solver, evaluate_netlist
 from .plan import CompiledCircuit, compile_netlist
@@ -27,6 +28,10 @@ __all__ = [
     "UnknownModelError",
     "default_registry",
     "SOLVER_BACKENDS",
+    "BatchStats",
+    "apply_settings",
+    "batch_evaluate_model",
+    "fuse_sample_matrices",
     "CascadePlan",
     "CompiledCircuit",
     "compile_netlist",

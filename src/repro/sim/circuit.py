@@ -49,7 +49,7 @@ from __future__ import annotations
 import copy
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,15 @@ from ..constants import normalize_wavelengths
 from ..netlist.errors import OtherSyntaxError
 from ..netlist.schema import Instance, Netlist
 from ..netlist.validation import PortSpec, validate_netlist
+from .batch import (
+    BatchStats,
+    SettingsBatch,
+    batch_evaluate_model,
+    check_override_names,
+    fuse_sample_matrices,
+    fuse_sample_stacks,
+    merge_settings,
+)
 from .cascade import CascadePlan, structural_masks
 from .plan import (
     CompiledCircuit,
@@ -85,6 +94,15 @@ _AUTO_DENSE_MAX_PORTS = 12
 #: settings fingerprints); exceeding it clears the memo, it never grows past
 #: this size.
 _MEMO_MAX_ENTRIES = 8192
+
+#: Target bytes of one fused executor pass's working set (coefficient
+#: array, workspace, contribution buffer, output block).  Batched execution
+#: fuses at most as many samples per pass as fit the budget: fusing more
+#: spills the last-level cache and measurably regresses below the
+#: per-sample loop on large fabrics, while small circuits fuse whole
+#: batches.  Purely a performance knob -- results are identical for any
+#: passes split.
+_BATCH_FUSION_TARGET_BYTES = 16 << 20
 
 
 def _check_backend(backend: str) -> str:
@@ -190,9 +208,18 @@ class CircuitSolver:
         )
         # Per-instance key memos (see _instance_key): function identities
         # keyed by (ref, registry version), settings fingerprints keyed by
-        # Instance object id with an equality guard.
+        # Instance object id with an equality guard.  Guarded by a lock: the
+        # solver is shared process-wide through default_solver() and by
+        # every parallel sweep worker of one engine, and plain dicts with a
+        # clear-on-overflow policy are not safe to mutate concurrently
+        # (mirroring the PR 2 fix of the suite module's _CACHE).
+        self._memo_lock = threading.Lock()
         self._func_id_memo: Dict[Tuple[str, int], str] = {}
         self._settings_memo: Dict[int, Tuple[Dict[str, object], str]] = {}
+        # Batched-evaluation override-fingerprint memo: override mapping id
+        # -> (shallow content snapshot, fingerprint); see _override_fp.
+        self._override_fp_memo: Dict[int, Tuple[Dict[str, object], str]] = {}
+        self._batch_stats = BatchStats()
         # Stacked instance matrices per (plan, concrete instance arrays).
         # Deliberately small: it only pays off for repeated evaluation of
         # content-identical netlists (instance-cache hits return the same
@@ -209,6 +236,10 @@ class CircuitSolver:
     def plan_cache_stats(self) -> CacheStats:
         """Hit/miss counters of the compiled-plan cache."""
         return self._plan_cache.stats
+
+    def batch_stats(self) -> BatchStats:
+        """Counters of the batched-execution path (see :class:`BatchStats`)."""
+        return self._batch_stats
 
     def clear_plan_cache(self) -> None:
         """Drop every compiled plan, cached validation verdict and stacked
@@ -239,19 +270,351 @@ class CircuitSolver:
         wavelengths = normalize_wavelengths(wavelengths)
         chosen = _check_backend(backend if backend is not None else self.backend)
         compiled, matrices, symmetric = self._compiled(netlist, wavelengths, port_spec)
-        if chosen == "auto":
-            chosen = (
-                "dense"
-                if not compiled.supports_cascade
-                or compiled.num_ports <= _AUTO_DENSE_MAX_PORTS
-                else "cascade"
-            )
-        if chosen == "cascade" and not compiled.supports_cascade:
-            # A port wired to several partners cannot occur on a validated
-            # netlist; fall back to the general dense formulation.
-            chosen = "dense"
+        chosen = self._choose_backend(compiled, chosen)
         data = self._execute(compiled, matrices, wavelengths.size, chosen, symmetric)
         return SMatrix(wavelengths, compiled.external_names, data)
+
+    def evaluate_batch(
+        self,
+        netlist: Netlist,
+        settings_batch: Sequence[SettingsBatch],
+        wavelengths: Optional[np.ndarray] = None,
+        *,
+        port_spec: Optional[PortSpec] = None,
+        backend: Optional[str] = None,
+        merge: bool = True,
+    ) -> List[SMatrix]:
+        """Evaluate ``S`` settings samples of one netlist in fused executor passes.
+
+        ``settings_batch`` holds one mapping per sample: instance name to the
+        settings overrides of that sample (merged into the instance's base
+        settings by default; ``merge=False`` substitutes them wholesale).
+        Device models are evaluated once per *distinct* settings variant --
+        vectorised through array parameters where the model supports them,
+        loop-and-stack otherwise -- and samples are grouped by topology
+        fingerprint: every group runs the level-batched cascade (or dense)
+        executor exactly once with the batch axis fused into the wavelength
+        axis, so ``S`` structurally identical samples cost one executor pass
+        instead of ``S``.  Results are returned in sample order and are
+        numerically identical (to solver round-off) to the per-sample loop
+        ``[evaluate(apply_settings(netlist, s)) for s in settings_batch]``.
+
+        Invalid settings raise the same classified errors the per-sample
+        loop raises; when several samples are invalid, which sample's error
+        surfaces first may differ from strict per-sample order (instances
+        are checked instance-major).
+        """
+        if not settings_batch:
+            return []
+        wavelengths = normalize_wavelengths(wavelengths)
+        chosen_base = _check_backend(backend if backend is not None else self.backend)
+        num_samples = len(settings_batch)
+        num_points = int(wavelengths.size)
+        grid_bytes = np.ascontiguousarray(wavelengths).tobytes()
+        spec_key = (
+            (port_spec.num_inputs, port_spec.num_outputs)
+            if port_spec is not None
+            else None
+        )
+        for overrides in settings_batch:
+            check_override_names(netlist, overrides)
+
+        # Resolve per-instance (ref, function identity) once -- overrides can
+        # never change an instance's component or the models section.
+        try:
+            meta = [
+                (name, inst, *self._instance_key(netlist, inst))
+                for name, inst in netlist.instances.items()
+            ]
+        except (UnknownModelError, TypeError):
+            if self.validate:
+                validate_netlist(netlist, self.registry, port_spec)
+            raise
+
+        # Per instance: the distinct settings variants of the batch and each
+        # sample's variant index.  Cache keys are deduplicated *globally* --
+        # the dozens of same-device instances of a mesh or fabric share one
+        # key per settings variant -- so the instance cache is probed once
+        # per unique key per call (evaluate's one probe per consumer, with
+        # the repeated consumers collapsed).
+        all_hit = True
+        probed: Dict[Tuple[str, str, str, bytes], Optional[_InstanceRecord]] = {}
+        variant_keys: List[List[Tuple[str, str, str, bytes]]] = []
+        variant_overrides: List[List[Optional[Mapping[str, object]]]] = []
+        variant_of_sample: List[List[int]] = []
+        for name, inst, ref, func_id in meta:
+            keys: List[Tuple[str, str, str, bytes]] = []
+            overrides_list: List[Optional[Mapping[str, object]]] = []
+            index_of_fp: Dict[str, int] = {}
+            sample_map: List[int] = []
+            for overrides in settings_batch:
+                override = overrides.get(name) if overrides else None
+                fingerprint = self._merged_settings_fp(inst, override, merge)
+                index = index_of_fp.get(fingerprint)
+                if index is None:
+                    index = len(keys)
+                    index_of_fp[fingerprint] = index
+                    key = (ref, func_id, fingerprint, grid_bytes)
+                    keys.append(key)
+                    overrides_list.append(override)
+                    if key not in probed:
+                        probed[key] = self._instance_cache.peek(key)
+                        if probed[key] is None:
+                            all_hit = False
+                sample_map.append(index)
+            variant_keys.append(keys)
+            variant_overrides.append(overrides_list)
+            variant_of_sample.append(sample_map)
+
+        validated = False
+        if self.validate and not all_hit:
+            # Structural validation is settings-independent, so validating
+            # the base netlist covers every sample of the batch.
+            validate_netlist(netlist, self.registry, port_spec)
+            validated = True
+
+        # Evaluate every missing settings variant, instance-major; variants
+        # already resolved (by the cache or by an earlier same-key instance
+        # of this call) are reused directly.
+        resolved: Dict[Tuple[str, str, str, bytes], _InstanceRecord] = {}
+        records_by_variant: List[List[_InstanceRecord]] = []
+        vectorised_evals = 0
+        looped_evals = 0
+        for (name, inst, ref, func_id), keys, overrides_list in zip(
+            meta, variant_keys, variant_overrides
+        ):
+            missing = [
+                index
+                for index, key in enumerate(keys)
+                if key not in resolved and probed.get(key) is None
+            ]
+            if missing:
+                info = self.registry.get(ref)
+                variants = [
+                    self._merged_one(inst, overrides_list[index], merge)
+                    for index in missing
+                ]
+                try:
+                    smatrices, vectorised = batch_evaluate_model(
+                        info, wavelengths, variants
+                    )
+                except (TypeError, ValueError) as exc:
+                    # Surface the first failing variant with the same
+                    # classified error a per-sample evaluation would raise.
+                    failing = variants[0]
+                    for settings in variants:
+                        try:
+                            info.evaluate(wavelengths, **settings)
+                        except (TypeError, ValueError):
+                            failing = settings
+                            break
+                    raise OtherSyntaxError(
+                        f"instance {name!r} (model {ref!r}) rejected its settings "
+                        f"{failing!r}: {exc}"
+                    ) from exc
+                if vectorised:
+                    vectorised_evals += len(missing)
+                else:
+                    looped_evals += len(missing)
+                for index, smatrix in zip(missing, smatrices):
+                    resolved[keys[index]] = self._record_from_smatrix(
+                        smatrix, keys[index]
+                    )
+            variant_records: List[_InstanceRecord] = []
+            for index, key in enumerate(keys):
+                record = resolved.get(key)
+                if record is None:
+                    record = self._instance_cache.get(key)
+                if record is None:  # evicted between put and get (tiny caches)
+                    record = self._evaluate_instance(
+                        name,
+                        Instance(
+                            inst.component,
+                            self._merged_one(inst, overrides_list[index], merge),
+                        ),
+                        ref,
+                        key,
+                        wavelengths,
+                    )
+                resolved[key] = record
+                variant_records.append(record)
+            records_by_variant.append(variant_records)
+
+        def record_of(index: int, sample: int) -> _InstanceRecord:
+            """The cached record instance ``index`` uses for ``sample``."""
+            return records_by_variant[index][variant_of_sample[index][sample]]
+
+        def sample_fingerprint(sample: int) -> str:
+            """Topology fingerprint of one sample (its masks are the only
+            sample-dependent input)."""
+            return topology_fingerprint(
+                netlist,
+                (
+                    (
+                        name,
+                        inst.component,
+                        ref,
+                        func_id,
+                        record_of(index, sample).smatrix.ports,
+                        record_of(index, sample).mask_bytes,
+                    )
+                    for index, (name, inst, ref, func_id) in enumerate(meta)
+                ),
+            )
+
+        # Group samples by topology fingerprint: a draw that flips a
+        # structural mask (e.g. a coupling hitting exactly zero) compiles --
+        # and executes -- separately from the common-structure group.  The
+        # overwhelmingly common case -- every variant of every instance
+        # shares one structural mask -- needs no per-sample work at all.
+        groups: Dict[str, List[int]] = {}
+        masks_uniform = all(
+            all(
+                record.mask_bytes == variants[0].mask_bytes
+                for record in variants[1:]
+            )
+            for variants in records_by_variant
+        )
+        if masks_uniform:
+            groups[sample_fingerprint(0)] = list(range(num_samples))
+        else:
+            # The fingerprint only depends on a sample through its mask
+            # signature, so it is hashed once per distinct signature.
+            fingerprint_of_signature: Dict[Tuple[bytes, ...], str] = {}
+            for sample in range(num_samples):
+                signature = tuple(
+                    record_of(index, sample).mask_bytes for index in range(len(meta))
+                )
+                fingerprint = fingerprint_of_signature.get(signature)
+                if fingerprint is None:
+                    fingerprint = sample_fingerprint(sample)
+                    fingerprint_of_signature[signature] = fingerprint
+                groups.setdefault(fingerprint, []).append(sample)
+
+        if self.validate:
+            for fingerprint in groups:
+                if not validated and self._validated.get((fingerprint, spec_key)) is None:
+                    validate_netlist(netlist, self.registry, port_spec)
+                    validated = True
+                self._validated.put((fingerprint, spec_key), True)
+
+        # One pass over the (deduplicated) records decides symmetry for the
+        # common all-symmetric case; only mixed batches need per-group work.
+        all_symmetric = all(record.symmetric for record in resolved.values())
+
+        out: List[Optional[SMatrix]] = [None] * num_samples
+        executor_passes = 0
+        for fingerprint, sample_ids in groups.items():
+            compiled = self._plan_cache.get(fingerprint)
+            if compiled is None:
+                first = sample_ids[0]
+                compiled = compile_netlist(
+                    netlist,
+                    {
+                        name: record_of(index, first).smatrix
+                        for index, (name, _, _, _) in enumerate(meta)
+                    },
+                    masks=[record_of(index, first).mask for index in range(len(meta))],
+                    fingerprint=fingerprint,
+                    instance_refs=tuple(ref for _, _, ref, _ in meta),
+                    func_identities=tuple(func_id for _, _, _, func_id in meta),
+                )
+                self._plan_cache.put(fingerprint, compiled)
+            chosen = self._choose_backend(compiled, chosen_base)
+            symmetric = all_symmetric or all(
+                record_of(index, sample).symmetric
+                for index in range(len(meta))
+                for sample in sample_ids
+            )
+            per_pass = self._samples_per_pass(compiled, num_points, symmetric)
+            for start in range(0, len(sample_ids), per_pass):
+                pass_ids = sample_ids[start : start + per_pass]
+                executor_passes += 1
+                sample_matrices = [
+                    [record_of(index, sample).smatrix.data for index in range(len(meta))]
+                    for sample in pass_ids
+                ]
+                fused_points = len(pass_ids) * num_points
+                if chosen == "cascade" and compiled.stack_members:
+                    # One deduplicated copy pass: fuse straight into the
+                    # executor's stacks, sharing rows across the same-device
+                    # instances of meshes and fabrics.  Blocks are capped at
+                    # one sample's grid width: the per-sample block size is
+                    # what the executor's cache-residency targets were tuned
+                    # for, and letting a fused pass widen the working set
+                    # measurably regresses it.
+                    matrices, stacks, stack_positions = fuse_sample_stacks(
+                        compiled.stack_members, sample_matrices, num_points
+                    )
+                    max_block = (
+                        num_points
+                        if self.max_wavelength_chunk is None
+                        else min(num_points, self.max_wavelength_chunk)
+                    )
+                    data = execute_cascade(
+                        compiled,
+                        matrices,
+                        fused_points,
+                        max_block=max_block,
+                        symmetric=symmetric,
+                        stacks=stacks,
+                        stack_positions=stack_positions,
+                    )
+                else:
+                    data = self._execute(
+                        compiled,
+                        fuse_sample_matrices(sample_matrices, num_points),
+                        fused_points,
+                        chosen,
+                        symmetric,
+                        memo_stacks=False,
+                    )
+                data = data.reshape(
+                    len(pass_ids), num_points, compiled.num_external, compiled.num_external
+                )
+                for position, sample in enumerate(pass_ids):
+                    # Copy each sample out of the fused pass buffer: a
+                    # caller (or a cache) retaining one sample must not pin
+                    # the whole pass's output.
+                    out[sample] = SMatrix(
+                        wavelengths, compiled.external_names, data[position].copy()
+                    )
+
+        with self._memo_lock:
+            self._batch_stats.calls += 1
+            self._batch_stats.samples += num_samples
+            self._batch_stats.executor_passes += executor_passes
+            self._batch_stats.vectorised_model_evals += vectorised_evals
+            self._batch_stats.looped_model_evals += looped_evals
+        assert all(smatrix is not None for smatrix in out)
+        return out  # type: ignore[return-value]
+
+    def _samples_per_pass(
+        self, compiled: CompiledCircuit, num_points: int, symmetric: bool
+    ) -> int:
+        """How many samples one fused executor pass should carry.
+
+        Derived from the compiled schedule's per-sample working set
+        (coefficient rows, compacted workspace rows, contribution buffer
+        and output block) against :data:`_BATCH_FUSION_TARGET_BYTES`:
+        fusing beyond the last-level cache hurts more than the saved
+        per-pass overhead on large fabrics, while small circuits fuse
+        whole batches.
+        """
+        groups = (
+            compiled.cover_groups
+            if symmetric and compiled.cover_groups is not None
+            else compiled.groups
+        )
+        if not groups:
+            return max(1, _BATCH_FUSION_TARGET_BYTES // max(1, 16 * num_points))
+        cells_per_wavelength = sum(
+            group.num_edges
+            + (group.num_rows + group.max_push_edges) * group.workspace_cols
+            for group in groups
+        ) + 2 * compiled.num_external * compiled.num_external
+        per_sample_bytes = 16 * num_points * max(1, cells_per_wavelength)
+        return max(1, _BATCH_FUSION_TARGET_BYTES // per_sample_bytes)
 
     def compile(
         self,
@@ -294,6 +657,21 @@ class CircuitSolver:
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
+    def _choose_backend(self, compiled: CompiledCircuit, chosen: str) -> str:
+        """Resolve ``auto`` and the multi-partner fallback for one plan."""
+        if chosen == "auto":
+            chosen = (
+                "dense"
+                if not compiled.supports_cascade
+                or compiled.num_ports <= _AUTO_DENSE_MAX_PORTS
+                else "cascade"
+            )
+        if chosen == "cascade" and not compiled.supports_cascade:
+            # A port wired to several partners cannot occur on a validated
+            # netlist; fall back to the general dense formulation.
+            chosen = "dense"
+        return chosen
+
     def _execute(
         self,
         compiled: CompiledCircuit,
@@ -301,8 +679,15 @@ class CircuitSolver:
         num_wavelengths: int,
         chosen: str,
         symmetric: bool,
+        *,
+        memo_stacks: bool = True,
     ) -> np.ndarray:
-        """Run the chosen executor, bounding the wavelength axis if configured."""
+        """Run the chosen executor, bounding the wavelength axis if configured.
+
+        ``memo_stacks=False`` skips the stacked-matrix memo: batch-fused
+        matrices are freshly allocated per call, so memoising them would only
+        pin dead ``B``-times-larger copies in the LRU.
+        """
         chunk = self.max_wavelength_chunk
         if chosen == "cascade":
             # The cascade executor blocks the wavelength axis internally
@@ -313,7 +698,7 @@ class CircuitSolver:
                 num_wavelengths,
                 max_block=chunk,
                 symmetric=symmetric,
-                stacks=self._stacks_for(compiled, matrices),
+                stacks=self._stacks_for(compiled, matrices) if memo_stacks else None,
             )
         if chunk is None or num_wavelengths <= chunk:
             return execute_dense(compiled, matrices, num_wavelengths)
@@ -455,12 +840,15 @@ class CircuitSolver:
         """
         ref = netlist.models.get(inst.component, inst.component)
         memo_key = (ref, self.registry.version)
+        # Lock-free read: dict.get is atomic under the GIL and a stale miss
+        # only recomputes; writes (and the clear-on-overflow) stay locked.
         func_id = self._func_id_memo.get(memo_key)
         if func_id is None:
             func_id = func_identity(self.registry.get(ref).func)
-            if len(self._func_id_memo) >= _MEMO_MAX_ENTRIES:
-                self._func_id_memo.clear()
-            self._func_id_memo[memo_key] = func_id
+            with self._memo_lock:
+                if len(self._func_id_memo) >= _MEMO_MAX_ENTRIES:
+                    self._func_id_memo.clear()
+                self._func_id_memo[memo_key] = func_id
         return ref, func_id
 
     def _settings_fp(self, inst: Instance) -> str:
@@ -474,7 +862,7 @@ class CircuitSolver:
         function of content).
         """
         memo = self._settings_memo
-        entry = memo.get(id(inst))
+        entry = memo.get(id(inst))  # lock-free read (see _instance_key)
         if entry is not None:
             try:
                 if bool(entry[0] == inst.settings):
@@ -484,9 +872,75 @@ class CircuitSolver:
                 # equality is non-boolean) just skip the memo.
                 pass
         fingerprint = settings_fingerprint(inst.settings)
-        if len(memo) >= _MEMO_MAX_ENTRIES:
-            memo.clear()
-        memo[id(inst)] = (copy.deepcopy(inst.settings), fingerprint)
+        snapshot = copy.deepcopy(inst.settings)
+        with self._memo_lock:
+            if len(memo) >= _MEMO_MAX_ENTRIES:
+                memo.clear()
+            memo[id(inst)] = (snapshot, fingerprint)
+        return fingerprint
+
+    def _merged_one(
+        self,
+        inst: Instance,
+        override: Optional[Mapping[str, object]],
+        merge: bool,
+    ) -> Dict[str, object]:
+        """One sample's effective settings for one instance."""
+        return merge_settings(inst.settings, override, merge)
+
+    def _merged_settings_fp(
+        self,
+        inst: Instance,
+        override: Optional[Mapping[str, object]],
+        merge: bool,
+    ) -> str:
+        """Compositional settings fingerprint of one (instance, override) pair.
+
+        Composed from the instance's memoised base fingerprint and the
+        override mapping's memoised fingerprint instead of serialising the
+        merged dict: the composition is injective on *content* (equal
+        (base, override, merge) contents always produce equal strings), so
+        batched instance-cache keys are stable and deduplicate across calls
+        -- two different compositions that happen to merge to the same
+        settings merely occupy two cache entries, they can never serve
+        wrong data.
+        """
+        if override is None or (merge and not override):
+            # No override, or an empty merge: the effective settings are the
+            # instance's own.  An empty override with merge=False is NOT
+            # equivalent -- it replaces the settings with the model
+            # defaults -- and must keep its own composite fingerprint.
+            return self._settings_fp(inst)
+        return "\x1d".join(
+            (self._settings_fp(inst), self._override_fp(override), "m" if merge else "r")
+        )
+
+    def _override_fp(self, override: Mapping[str, object]) -> str:
+        """Memoised fingerprint of one override mapping.
+
+        Keyed by the mapping's object id with a value-equality guard.  Only
+        mappings whose values are all immutable scalars are memoised -- a
+        shallow snapshot then fully captures the content, so in-place
+        mutation and id reuse are both detected by the guard.
+        """
+        memo = self._override_fp_memo
+        entry = memo.get(id(override))  # lock-free read (see _instance_key)
+        if entry is not None:
+            try:
+                if bool(entry[0] == override):
+                    return entry[1]
+            except (TypeError, ValueError):
+                pass  # non-boolean equality (numpy values): skip the memo
+        fingerprint = settings_fingerprint(override)
+        if all(
+            value is None or isinstance(value, (str, int, float, bool))
+            for value in override.values()
+        ):
+            snapshot = dict(override)
+            with self._memo_lock:
+                if len(memo) >= _MEMO_MAX_ENTRIES:
+                    memo.clear()
+                memo[id(override)] = (snapshot, fingerprint)
         return fingerprint
 
     def _evaluate_instance(
@@ -506,6 +960,12 @@ class CircuitSolver:
                 f"instance {name!r} (model {ref!r}) rejected its settings "
                 f"{inst.settings!r}: {exc}"
             ) from exc
+        return self._record_from_smatrix(smatrix, key)
+
+    def _record_from_smatrix(
+        self, smatrix: SMatrix, key: Tuple[str, str, str, bytes]
+    ) -> _InstanceRecord:
+        """Derive the cached record (mask, symmetry) of one device evaluation."""
         mask = structural_masks([smatrix.data])[0]
         record = _InstanceRecord(
             smatrix=smatrix,

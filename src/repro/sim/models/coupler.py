@@ -26,12 +26,15 @@ def coupler(wavelengths: np.ndarray, *, coupling: float = 0.5) -> SMatrix:
     coupling:
         Power coupling ratio into the cross port, between 0 and 1.  The
         through (bar) amplitude is ``sqrt(1 - coupling)``; the cross amplitude
-        is ``1j * sqrt(coupling)``.
+        is ``1j * sqrt(coupling)``.  A per-wavelength array is accepted (the
+        batched executor evaluates parameter stacks through the tiled
+        wavelength axis).
     """
-    if not 0.0 <= coupling <= 1.0:
+    values = np.asarray(coupling, dtype=float)
+    if np.any((values < 0.0) | (values > 1.0)):
         raise ValueError(f"coupling must be within [0, 1], got {coupling}")
-    thru = np.sqrt(1.0 - coupling)
-    cross = 1j * np.sqrt(coupling)
+    thru = np.sqrt(1.0 - values)
+    cross = 1j * np.sqrt(values)
     return sdict_to_smatrix(
         wavelengths,
         ("I1", "I2", "O1", "O2"),

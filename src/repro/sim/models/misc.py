@@ -17,13 +17,18 @@ __all__ = ["crossing", "switch1x2", "switch2x1", "switch2x2", "terminator"]
 _VALID_2X2_STATES = ("bar", "cross")
 
 
-def _leak_amplitude(extinction_db: float) -> float:
-    """Field amplitude leaking into the blocked path of a switch."""
-    if extinction_db < 0:
+def _leak_amplitude(extinction_db):
+    """Field amplitude leaking into the blocked path of a switch.
+
+    Accepts a scalar or a per-wavelength array (the batched executor passes
+    parameter stacks through the tiled wavelength axis); the scalar result
+    is numerically identical to the historical scalar-only implementation.
+    """
+    values = np.asarray(extinction_db, dtype=float)
+    if np.any(values < 0):
         raise ValueError(f"extinction_db must be non-negative, got {extinction_db}")
-    if extinction_db == 0:
-        return 0.0
-    return 10.0 ** (-extinction_db / 20.0)
+    leak = np.where(values == 0.0, 0.0, 10.0 ** (-values / 20.0))
+    return float(leak) if np.ndim(extinction_db) == 0 else leak
 
 
 def crossing(wavelengths: np.ndarray, *, loss_db: float = 0.0) -> SMatrix:
@@ -38,9 +43,9 @@ def crossing(wavelengths: np.ndarray, *, loss_db: float = 0.0) -> SMatrix:
     loss_db:
         Insertion loss per pass in dB (power).
     """
-    if loss_db < 0:
+    if np.any(np.asarray(loss_db) < 0):
         raise ValueError(f"loss_db must be non-negative, got {loss_db}")
-    amp = 10.0 ** (-loss_db / 20.0)
+    amp = 10.0 ** (-np.asarray(loss_db, dtype=float) / 20.0)
     return sdict_to_smatrix(
         wavelengths,
         ("I1", "I2", "O1", "O2"),

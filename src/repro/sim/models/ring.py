@@ -31,16 +31,22 @@ __all__ = ["mrr_allpass", "mrr_adddrop", "ring_round_trip"]
 
 def ring_round_trip(
     wavelengths: np.ndarray,
-    radius: float,
-    neff: float,
-    ng: float,
-    wl0: float,
-    loss_db_cm: float,
-) -> tuple[np.ndarray, float]:
-    """Return the ring round-trip phase spectrum and amplitude transmission."""
-    circumference = 2.0 * np.pi * radius
+    radius,
+    neff,
+    ng,
+    wl0,
+    loss_db_cm,
+):
+    """Return the ring round-trip phase spectrum and amplitude transmission.
+
+    Elementwise over array parameters (for batched parameter stacks); scalar
+    inputs keep the historical float amplitude.
+    """
+    circumference = 2.0 * np.pi * np.asarray(radius, dtype=float)
     phase = propagation_phase(wavelengths, circumference, neff, ng, wl0)
-    amplitude = float(np.exp(-db_per_cm_to_neper_per_um(loss_db_cm) * circumference))
+    amplitude = np.exp(-db_per_cm_to_neper_per_um(loss_db_cm) * circumference)
+    if np.ndim(radius) == 0 and np.ndim(loss_db_cm) == 0:
+        amplitude = float(amplitude)
     return phase, amplitude
 
 
@@ -68,10 +74,11 @@ def mrr_allpass(
         Ring propagation loss in dB/cm; some loss is required for the notch
         to have finite extinction.
     """
-    if not 0.0 <= coupling <= 1.0:
+    coupling_values = np.asarray(coupling, dtype=float)
+    if np.any((coupling_values < 0.0) | (coupling_values > 1.0)):
         raise ValueError(f"coupling must be within [0, 1], got {coupling}")
     phase, amplitude = ring_round_trip(wavelengths, radius, neff, ng, wl0, loss_db_cm)
-    t = np.sqrt(1.0 - coupling)
+    t = np.sqrt(1.0 - coupling_values)
     z = amplitude * np.exp(-1j * phase)
     through = (t - z) / (1.0 - t * z)
     return sdict_to_smatrix(wavelengths, ("I1", "O1"), {("O1", "I1"): through})
@@ -105,13 +112,14 @@ def mrr_adddrop(
         Power coupling ratios of the input-side and drop-side couplers.
     """
     for name, value in (("coupling_in", coupling_in), ("coupling_out", coupling_out)):
-        if not 0.0 <= value <= 1.0:
+        values = np.asarray(value, dtype=float)
+        if np.any((values < 0.0) | (values > 1.0)):
             raise ValueError(f"{name} must be within [0, 1], got {value}")
     phase, amplitude = ring_round_trip(wavelengths, radius, neff, ng, wl0, loss_db_cm)
-    t1 = np.sqrt(1.0 - coupling_in)
-    t2 = np.sqrt(1.0 - coupling_out)
-    k1 = np.sqrt(coupling_in)
-    k2 = np.sqrt(coupling_out)
+    t1 = np.sqrt(1.0 - np.asarray(coupling_in, dtype=float))
+    t2 = np.sqrt(1.0 - np.asarray(coupling_out, dtype=float))
+    k1 = np.sqrt(np.asarray(coupling_in, dtype=float))
+    k2 = np.sqrt(np.asarray(coupling_out, dtype=float))
     z = amplitude * np.exp(-1j * phase)
     half_z = np.sqrt(amplitude) * np.exp(-1j * phase / 2.0)
     denom = 1.0 - t1 * t2 * z

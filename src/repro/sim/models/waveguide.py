@@ -42,9 +42,17 @@ def propagation_phase(
     return 2.0 * np.pi * neff_wl * length / wavelengths
 
 
-def propagation_amplitude(length: float, loss_db_cm: float = DEFAULT_LOSS_DB_PER_CM) -> float:
-    """Field amplitude transmission of a waveguide of ``length`` microns."""
-    return float(np.exp(-db_per_cm_to_neper_per_um(loss_db_cm) * length))
+def propagation_amplitude(length, loss_db_cm=DEFAULT_LOSS_DB_PER_CM):
+    """Field amplitude transmission of a waveguide of ``length`` microns.
+
+    Elementwise over array inputs (for batched parameter stacks); scalar
+    inputs return a plain float, numerically identical to the historical
+    scalar-only implementation.
+    """
+    amplitude = np.exp(-db_per_cm_to_neper_per_um(loss_db_cm) * np.asarray(length, dtype=float))
+    if np.ndim(length) == 0 and np.ndim(loss_db_cm) == 0:
+        return float(amplitude)
+    return amplitude
 
 
 def waveguide(

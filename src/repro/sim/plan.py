@@ -84,6 +84,10 @@ _MAX_COLUMN_GROUPS = 16
 #: for tiny circuits one batched pass beats several restricted ones.
 _MIN_CELLS_FOR_GROUPING = 1024
 
+#: Wavelength points per block of the reciprocity-mirror transpose (keeps
+#: the strided read/write pair cache-resident on batch-fused grids).
+_MIRROR_BLOCK = 256
+
 #: Target size (bytes) of the cascade executor's per-block workspace.  The
 #: wavelength axis is processed in blocks small enough that the whole
 #: ``(rows, block, cols)`` group workspace -- and the contribution buffer --
@@ -1155,8 +1159,18 @@ def _execute_group(
     num_wavelengths: int,
     out: np.ndarray,
     max_block: Optional[int],
+    stack_positions: Optional[Sequence[np.ndarray]] = None,
+    flat_stacks: Optional[Sequence[Optional[np.ndarray]]] = None,
 ) -> None:
-    """Run one column group's schedule, writing its columns of ``out``."""
+    """Run one column group's schedule, writing its columns of ``out``.
+
+    ``stack_positions`` optionally remaps each coefficient gather's member
+    positions into rows of a deduplicated stack (see
+    :func:`repro.sim.batch.fuse_sample_stacks`); ``None`` means the stacks
+    are member-aligned, as :func:`build_stacks` produces them.
+    ``flat_stacks`` optionally holds element-major flattened views of the
+    deduplicated stacks for the fast contiguous-row coefficient gather.
+    """
     num_cols = group.workspace_cols
     block = _auto_block(group, num_wavelengths)
     if max_block is not None:
@@ -1171,9 +1185,24 @@ def _execute_group(
     if group.num_edges:
         coef = np.empty((group.num_edges, num_wavelengths), dtype=complex)
         for gather in group.coef_gathers:
-            coef[gather.positions] = stacks[gather.stack][
-                gather.pos, :, gather.m_rows, gather.m_cols
-            ]
+            if stack_positions is None:
+                coef[gather.positions] = stacks[gather.stack][
+                    gather.pos, :, gather.m_rows, gather.m_cols
+                ]
+                continue
+            pos = stack_positions[gather.stack][gather.pos]
+            flat = None if flat_stacks is None else flat_stacks[gather.stack]
+            if flat is not None:
+                # Deduplicated stack: gather whole contiguous rows of the
+                # flattened (u*n*n, W) element view -- a memcpy-speed row
+                # take instead of one strided vector copy per edge.
+                size = stacks[gather.stack].shape[2]
+                flat_index = (pos * size + gather.m_rows) * size + gather.m_cols
+                coef[gather.positions] = np.take(flat, flat_index, axis=0)
+            else:
+                coef[gather.positions] = stacks[gather.stack][
+                    pos, :, gather.m_rows, gather.m_cols
+                ]
         # One reusable contribution buffer sized for the largest level.
         buffer = np.empty((group.max_push_edges, block, num_cols), dtype=complex)
 
@@ -1275,6 +1304,7 @@ def execute_cascade(
     max_block: Optional[int] = None,
     symmetric: bool = False,
     stacks: Optional[List[np.ndarray]] = None,
+    stack_positions: Optional[Sequence[np.ndarray]] = None,
 ) -> np.ndarray:
     """Level-batched evaluation of a compiled circuit.
 
@@ -1300,18 +1330,55 @@ def execute_cascade(
     num_external = compiled.num_external
     if stacks is None:
         stacks = build_stacks(compiled, matrices)
+    flat_stacks: Optional[List[Optional[np.ndarray]]] = None
+    if stack_positions is not None:
+        # Element-major flattened copies of the deduplicated stacks power
+        # the contiguous-row coefficient gather; only built where the
+        # deduplication actually collapsed rows (the flatten itself is a
+        # strided copy of the whole stack, which must stay small).
+        flat_stacks = []
+        for stack, positions in zip(stacks, stack_positions):
+            rows, _, size = stack.shape[0], stack.shape[1], stack.shape[2]
+            if rows * size * size <= 2 * positions.size:
+                flat_stacks.append(
+                    stack.transpose(0, 2, 3, 1).reshape(rows * size * size, -1)
+                )
+            else:
+                flat_stacks.append(None)
     if symmetric and compiled.cover_groups is not None:
         out = np.zeros((num_wavelengths, num_external, num_external), dtype=complex)
         for group in compiled.cover_groups:
-            _execute_group(group, matrices, stacks, num_wavelengths, out, max_block)
+            _execute_group(
+                group,
+                matrices,
+                stacks,
+                num_wavelengths,
+                out,
+                max_block,
+                stack_positions,
+                flat_stacks,
+            )
         mirror = compiled.cover_mirror
         # S[i, j] = S[j, i] for the dropped columns; their remaining
         # (dropped x dropped) block is structurally zero by construction.
-        out[:, :, mirror] = out[:, mirror, :].transpose(0, 2, 1)
+        # Blocked along the wavelength axis so the transpose-assign stays
+        # cache-resident on long (batch-fused) grids.
+        for lo in range(0, num_wavelengths, _MIRROR_BLOCK):
+            hi = min(lo + _MIRROR_BLOCK, num_wavelengths)
+            out[lo:hi, :, mirror] = out[lo:hi, mirror, :].transpose(0, 2, 1)
         return out
     out = np.empty((num_wavelengths, num_external, num_external), dtype=complex)
     for group in compiled.groups:
-        _execute_group(group, matrices, stacks, num_wavelengths, out, max_block)
+        _execute_group(
+            group,
+            matrices,
+            stacks,
+            num_wavelengths,
+            out,
+            max_block,
+            stack_positions,
+            flat_stacks,
+        )
     return out
 
 

@@ -12,13 +12,17 @@ Runs the solver-scaling problems (the same set as
 * the compiled level-batched cascade with a **cold** plan cache (compile +
   execute on every call) and a **warm** one (the repeated-evaluation hot
   path),
+* **batched versus looped settings-sample evaluation**: ``--batch-samples``
+  settings variants of each problem evaluated as one fused
+  ``evaluate_batch`` call versus the per-sample ``evaluate`` loop (both
+  warm, both settings-mutating -- the pass@k / Monte-Carlo workload shape),
 
 records best-of-N wall times, the compile-versus-execute split, plan-cache
 hit rates, the plan structure (feedback clusters, levels, column groups) and
-the max absolute dense/cascade deviation over *every* registered pack
-problem, and appends everything as one run to a JSON trajectory file
-(``BENCH_solver.json`` at the repository root by default) so the perf
-history is versioned alongside the code.
+the max absolute dense/cascade *and* batched/looped deviations over *every*
+registered pack problem, and appends everything as one run to a JSON
+trajectory file (``BENCH_solver.json`` at the repository root by default) so
+the perf history is versioned alongside the code.
 
 Examples
 --------
@@ -31,7 +35,8 @@ CI perf smoke (small grid, subset, non-zero exit on regression)::
     python tools/bench_to_json.py --wavelengths 41 --repeats 1 \\
         --problems mzi_ps benes_8x8 spanke_8x8 \\
         --output /tmp/bench_solver.json --assert-speedup spanke_8x8=1.0 \\
-        --assert-warm-speedup spanke_8x8=1.0
+        --assert-warm-speedup spanke_8x8=1.0 \\
+        --assert-batch-speedup spanke_8x8=1.0
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ from repro.bench import get_problem  # noqa: E402
 from repro.bench.packs import get_pack, pack_names  # noqa: E402
 from repro.constants import default_wavelength_grid  # noqa: E402
 from repro.netlist.validation import validate_netlist  # noqa: E402
-from repro.sim import CircuitSolver  # noqa: E402
+from repro.sim import CircuitSolver, apply_settings  # noqa: E402
 from repro.sim.cascade import cascade_solve  # noqa: E402
 
 #: Problems timed by default (mirrors benchmarks/bench_ablation_solver_scaling.py).
@@ -78,6 +83,104 @@ def _best_of(fn, repeats: int) -> Dict[str, object]:
     return {"best_s": min(runs), "mean_s": sum(runs) / len(runs), "runs_s": runs}
 
 
+def _settings_perturbations(netlist, count, salt=0):
+    """Settings overrides modelling a process-corner sample stack.
+
+    Per sample, a global fabrication-corner scale factor (deterministic in
+    ``(sample, salt)``) is applied to every instance's float settings --
+    the classic slow/fast process-corner shape, and the shape of pass@k
+    candidate drafts that retune a design parameter throughout (zeros stay
+    zero, so structural masks -- and therefore the compiled plan -- are
+    shared by all samples).  Devices without numeric settings get the
+    corner applied to an ``extinction_db`` / ``loss_db``-style knob their
+    model accepts.  A fresh ``salt`` yields entirely fresh draws: corner
+    samples never repeat, so timings must not be served by warm per-variant
+    instance-cache entries.
+    """
+    from repro.sim import default_registry
+
+    registry = default_registry()
+    batch = []
+    for sample in range(count):
+        factor = 1.0 - 1e-6 * (1.0 + (sample * 131 + salt * 7919) % 1000)
+        overrides = {}
+        # One shared dict per distinct perturbation content: instances of
+        # the same device type share the override object, which the
+        # solver's id-keyed fingerprint memo turns into one serialisation.
+        shared: Dict[tuple, Dict[str, float]] = {}
+        for name, inst in netlist.instances.items():
+            perturbed = {
+                key: value * factor
+                for key, value in inst.settings.items()
+                if isinstance(value, float) and not isinstance(value, bool)
+            }
+            if not perturbed:
+                # Settings-free instances (switch fabrics): perturb a knob
+                # their model accepts so the sample is a real variant.
+                ref = netlist.models.get(inst.component, inst.component)
+                if ref in registry:
+                    parameters = registry.get(ref).parameters
+                    for knob in ("extinction_db", "loss_db"):
+                        if knob in parameters:
+                            perturbed[knob] = float(parameters[knob]) * factor
+                            break
+            if perturbed:
+                content = tuple(sorted(perturbed.items()))
+                overrides[name] = shared.setdefault(content, perturbed)
+        batch.append(overrides)
+    return batch
+
+
+def _time_settings_batch(solver, netlist, wavelengths, batch_samples, repeats):
+    """Batched-vs-looped timing of one problem's settings-sample stack.
+
+    Models the Monte-Carlo / pass@k workload faithfully: every timed
+    repetition evaluates a *fresh* stack of draws (real sample settings
+    never repeat, so per-variant instance-cache warmth would be fiction),
+    while the structure work stays warm (the plan cache serves the shared
+    topology, exactly as in a real sweep).  ``looped`` is the pre-batching
+    pipeline -- build each sample's derived netlist and evaluate it --
+    and ``batched`` is one ``evaluate_batch`` call over the same draws.
+    """
+    # Correctness first: batched must match the per-sample loop exactly.
+    check = _settings_perturbations(netlist, batch_samples, salt=0)
+    looped_results = [
+        solver.evaluate(apply_settings(netlist, overrides), wavelengths)
+        for overrides in check
+    ]
+    batched_results = solver.evaluate_batch(netlist, check, wavelengths)
+    max_abs_diff = max(
+        float(np.max(np.abs(a.data - b.data))) if a.data.size else 0.0
+        for a, b in zip(batched_results, looped_results)
+    )
+
+    salt_counter = {"next": 1}
+
+    def fresh_batch():
+        """A never-seen-before stack of draws (new salt per invocation)."""
+        salt = salt_counter["next"]
+        salt_counter["next"] += 1
+        return _settings_perturbations(netlist, batch_samples, salt=salt)
+
+    looped = _best_of(
+        lambda: [
+            solver.evaluate(apply_settings(netlist, overrides), wavelengths)
+            for overrides in fresh_batch()
+        ],
+        repeats,
+    )
+    batched = _best_of(
+        lambda: solver.evaluate_batch(netlist, fresh_batch(), wavelengths), repeats
+    )
+    return {
+        "batch_samples": batch_samples,
+        "max_abs_diff_vs_looped": max_abs_diff,
+        "looped": looped,
+        "batched": batched,
+        "batched_speedup_vs_looped": looped["best_s"] / max(batched["best_s"], 1e-12),
+    }
+
+
 def _pr3_reference_evaluate(solver, netlist, wavelengths, compiled, matrices):
     """One evaluation along the PR 3 cold path.
 
@@ -100,11 +203,18 @@ def _pr3_reference_evaluate(solver, netlist, wavelengths, compiled, matrices):
 
 
 def _equivalence_sweep(num_wavelengths: int) -> Dict[str, object]:
-    """Max |dense - compiled cascade| over every registered pack problem."""
+    """Max backend and batched/looped deviations over every registered pack problem.
+
+    Checks two invariants per problem: |dense - compiled cascade| on the
+    golden netlist, and |batched - per-sample loop| over a small perturbed
+    settings batch (the batched-executor acceptance criterion).
+    """
     wavelengths = default_wavelength_grid(num_wavelengths)
     solver = CircuitSolver()
     worst = 0.0
     worst_problem = None
+    batch_worst = 0.0
+    batch_worst_problem = None
     checked = 0
     for pack_name in pack_names():
         for problem in get_pack(pack_name).build_problems():
@@ -116,22 +226,36 @@ def _equivalence_sweep(num_wavelengths: int) -> Dict[str, object]:
                 if dense.data.size
                 else 0.0
             )
+            batch = _settings_perturbations(netlist, 3)
+            batched = solver.evaluate_batch(netlist, batch, wavelengths)
+            batch_diff = 0.0
+            for overrides, result in zip(batch, batched):
+                loop = solver.evaluate(apply_settings(netlist, overrides), wavelengths)
+                if result.data.size:
+                    batch_diff = max(
+                        batch_diff, float(np.max(np.abs(result.data - loop.data)))
+                    )
             checked += 1
             if diff > worst:
                 worst, worst_problem = diff, f"{pack_name}:{problem.name}"
+            if batch_diff > batch_worst:
+                batch_worst = batch_diff
+                batch_worst_problem = f"{pack_name}:{problem.name}"
     return {
         "problems_checked": checked,
         "max_abs_diff": worst,
         "worst_problem": worst_problem,
+        "batched_vs_looped_max_abs_diff": batch_worst,
+        "batched_vs_looped_worst_problem": batch_worst_problem,
     }
 
 
 def run_benchmark(
-    problems: Sequence[str], num_wavelengths: int, repeats: int
+    problems: Sequence[str], num_wavelengths: int, repeats: int, batch_samples: int
 ) -> Dict[str, object]:
     """Time every scenario on every problem and assemble one trajectory run."""
     wavelengths = default_wavelength_grid(num_wavelengths)
-    solver = CircuitSolver()
+    solver = CircuitSolver(instance_cache_entries=8192)
     results: List[Dict[str, object]] = []
     for name in problems:
         netlist = get_problem(name).golden_netlist()
@@ -180,6 +304,10 @@ def run_benchmark(
         compile_timing = _best_of(cold_compile, repeats)
         solver.evaluate(netlist, wavelengths, backend="cascade")  # re-warm
 
+        settings_batch = _time_settings_batch(
+            solver, netlist, wavelengths, batch_samples, repeats
+        )
+
         warm = timings["cascade_warm_plan"]["best_s"]
         entry = {
             "problem": name,
@@ -204,6 +332,10 @@ def run_benchmark(
             / warm,
             "warm_plan_speedup_vs_cold_plan": timings["cascade_cold_plan"]["best_s"]
             / warm,
+            "settings_batch": settings_batch,
+            "batched_settings_speedup_vs_looped": settings_batch[
+                "batched_speedup_vs_looped"
+            ],
         }
         results.append(entry)
         print(
@@ -212,6 +344,7 @@ def run_benchmark(
             f"cold={timings['cascade_cold_plan']['best_s']:.4f}s "
             f"warm={warm:.4f}s "
             f"warm-vs-pr3={entry['warm_plan_speedup_vs_pr3_cold']:.1f}x "
+            f"batched-vs-looped={entry['batched_settings_speedup_vs_looped']:.1f}x "
             f"diff={max_abs_diff:.1e}",
             file=sys.stderr,
         )
@@ -222,9 +355,12 @@ def run_benchmark(
         "config": {
             "num_wavelengths": num_wavelengths,
             "repeats": repeats,
+            "batch_samples": batch_samples,
             "timing": "best of repeats; per-device instance cache warm; "
             "'warm' keeps the compiled-plan cache, 'cold' clears it per run; "
-            "'cascade_pr3_reference' is the retained per-port PR 3 path",
+            "'cascade_pr3_reference' is the retained per-port PR 3 path; "
+            "'settings_batch' times one fused evaluate_batch call vs the "
+            "per-sample evaluate loop over the same settings-mutating stack",
         },
         "environment": {
             "python": platform.python_version(),
@@ -233,6 +369,7 @@ def run_benchmark(
         },
         "plan_cache": plan_stats.as_dict(),
         "plan_cache_hit_rate": plan_stats.hit_rate,
+        "batch_stats": solver.batch_stats().as_dict(),
         "equivalence": _equivalence_sweep(num_wavelengths),
         "results": results,
     }
@@ -324,6 +461,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--repeats", type=int, default=3, help="timed repetitions per scenario (best-of)"
     )
     parser.add_argument(
+        "--batch-samples",
+        type=int,
+        default=64,
+        help="settings samples of the batched-vs-looped timing (default: 64, "
+        "a typical Monte-Carlo draw count)",
+    )
+    parser.add_argument(
         "--fresh",
         action="store_true",
         help="start a new trajectory instead of appending to an existing file",
@@ -345,14 +489,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "FACTOR times faster than the cold (compile-every-call) path on "
         "PROBLEM (repeatable; 1.0 = 'no slower')",
     )
+    parser.add_argument(
+        "--assert-batch-speedup",
+        action="append",
+        default=None,
+        metavar="PROBLEM=FACTOR",
+        help="exit non-zero unless one fused evaluate_batch call is at least "
+        "FACTOR times faster than the per-sample evaluate loop on PROBLEM "
+        "(repeatable; 1.0 = 'no slower')",
+    )
     args = parser.parse_args(argv)
     # Validate flags that would otherwise only fail after minutes of timing.
     speedup_assertions = _parse_assertions(args.assert_speedup, "--assert-speedup")
     warm_assertions = _parse_assertions(args.assert_warm_speedup, "--assert-warm-speedup")
+    batch_assertions = _parse_assertions(args.assert_batch_speedup, "--assert-batch-speedup")
     if args.repeats < 1:
         raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+    if args.batch_samples < 1:
+        raise SystemExit(f"--batch-samples must be >= 1, got {args.batch_samples}")
 
-    run = run_benchmark(args.problems, args.wavelengths, args.repeats)
+    run = run_benchmark(args.problems, args.wavelengths, args.repeats, args.batch_samples)
     payload = merge_trajectory(args.output, run, args.fresh)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -371,6 +527,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         warm_assertions,
         "warm_plan_speedup_vs_cold_plan",
         "warm-plan speedup",
+        failures,
+    )
+    _check_assertions(
+        by_problem,
+        batch_assertions,
+        "batched_settings_speedup_vs_looped",
+        "batched-settings speedup",
         failures,
     )
     if failures:
