@@ -1,0 +1,152 @@
+"""Cross-process file locking for shared on-disk caches.
+
+Process-sharded sweeps (:mod:`repro.engine.procpool`) point every worker at
+one shared cache directory: the simulation cache's ``.npz`` artefacts and the
+solver's spilled compiled plans are written by whichever worker computes them
+first.  The writes themselves are atomic (temp file + ``os.replace``), so
+readers can never observe a partial file -- but without coordination two
+workers computing the same key race each other through the temp-write path,
+doubling I/O and churning the directory with redundant temp files.
+
+:class:`FileLock` serialises those writers with the portable ``O_EXCL``
+lockfile protocol:
+
+* ``acquire`` atomically creates ``<name>.lock`` with
+  ``O_CREAT | O_EXCL`` -- exactly one process can succeed -- and writes its
+  pid into the file for debuggability.
+* A lock whose file is older than ``stale_timeout`` seconds is considered
+  abandoned (its holder crashed between create and unlink) and is broken:
+  the breaker unlinks it and retries the atomic create.  Stale takeover can
+  race benignly -- the net effect is that at least one waiter proceeds, and
+  the payload write underneath remains atomic either way.
+* ``acquire`` is best-effort by design: on timeout it returns ``False``
+  rather than raising, because every caller in this codebase uses the lock
+  to *suppress duplicate work* around an already-atomic write -- proceeding
+  without the lock is always safe, just potentially redundant.
+
+The lock is advisory and cooperative: it only coordinates processes that use
+:class:`FileLock` on the same path.  That is exactly the sweep-worker
+scenario it exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from types import TracebackType
+from typing import Optional, Type
+
+__all__ = ["FileLock"]
+
+#: Seconds between acquisition attempts while another process holds the lock.
+_POLL_INTERVAL = 0.005
+
+
+class FileLock:
+    """An advisory ``O_EXCL``-lockfile mutex with stale-lock takeover.
+
+    Parameters
+    ----------
+    path:
+        Path of the lockfile itself (by convention ``<target>.lock`` next to
+        the file whose writers it serialises).
+    timeout:
+        Maximum seconds :meth:`acquire` waits before giving up and returning
+        ``False``.  ``0`` makes acquisition a single non-blocking attempt.
+    stale_timeout:
+        A lockfile older than this many seconds is treated as abandoned by a
+        crashed holder and is broken.  Must comfortably exceed the longest
+        critical section the lock protects.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        *,
+        timeout: float = 10.0,
+        stale_timeout: float = 60.0,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.stale_timeout = float(stale_timeout)
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._held
+
+    def _try_create(self) -> bool:
+        """One atomic creation attempt."""
+        try:
+            handle = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable/removed parent: behave like an unacquirable lock;
+            # callers degrade to their (atomic) unlocked path.
+            return False
+        try:
+            os.write(handle, f"{os.getpid()}\n".encode("ascii"))
+        except OSError:
+            pass
+        finally:
+            os.close(handle)
+        self._held = True
+        return True
+
+    def _break_if_stale(self) -> None:
+        """Unlink the lockfile when its holder looks dead (mtime too old)."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # already released (or broken by another waiter)
+        if age < self.stale_timeout:
+            return
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # lost the takeover race: another waiter broke it first
+
+    def acquire(self) -> bool:
+        """Try to take the lock, waiting up to ``timeout`` seconds.
+
+        Returns ``True`` on success.  ``False`` means another live process
+        holds the lock for the whole window -- callers should either skip
+        the duplicate work or proceed through their own atomic write path.
+        """
+        if self._held:
+            raise RuntimeError(f"lock {str(self.path)!r} is already held")
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_create():
+                return True
+            self._break_if_stale()
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(_POLL_INTERVAL)
+
+    def release(self) -> None:
+        """Release the lock (no-op when not held)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # broken as stale by a waiter: nothing left to release
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()

@@ -17,7 +17,13 @@ higher layers depend on it, never the other way around.
 """
 
 from .cache import CacheStats, LRUCache, SimulationCache
-from .engine import EngineBatchStats, EngineConfig, ExecutionEngine, default_engine
+from .engine import (
+    EXECUTION_MODES,
+    EngineBatchStats,
+    EngineConfig,
+    ExecutionEngine,
+    default_engine,
+)
 from .fingerprint import (
     grid_fingerprint,
     netlist_fingerprint,
@@ -27,16 +33,29 @@ from .fingerprint import (
     simulation_key,
     stable_hash,
 )
+from .procpool import (
+    ProcessScheduler,
+    UnitFailure,
+    WorkerSpec,
+    aggregate_engine_stats,
+    resolve_processes,
+)
 from .scheduler import TaskScheduler, resolve_workers
 
 __all__ = [
     "CacheStats",
     "LRUCache",
     "SimulationCache",
+    "EXECUTION_MODES",
     "EngineBatchStats",
     "EngineConfig",
     "ExecutionEngine",
     "default_engine",
+    "ProcessScheduler",
+    "UnitFailure",
+    "WorkerSpec",
+    "aggregate_engine_stats",
+    "resolve_processes",
     "TaskScheduler",
     "resolve_workers",
     "stable_hash",

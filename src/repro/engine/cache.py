@@ -23,9 +23,14 @@ from typing import Optional
 import numpy as np
 
 from .._cache import CacheStats, LRUCache
+from .._locks import FileLock
 from ..sim.sparams import SMatrix
 
 __all__ = ["CacheStats", "LRUCache", "SimulationCache"]
+
+#: Seconds a disk-cache writer waits for another process's in-flight write of
+#: the same key before falling back to its own (atomic, redundant) write.
+_WRITE_LOCK_TIMEOUT = 5.0
 
 
 class SimulationCache:
@@ -103,16 +108,43 @@ class SimulationCache:
         return smatrix
 
     def put(self, key: str, smatrix: SMatrix) -> None:
-        """Store one simulated result in every configured tier."""
+        """Store one simulated result in every configured tier.
+
+        Disk writes are coordinated across processes by an advisory
+        ``<entry>.lock`` file: concurrent sweep workers computing the same
+        content-addressed key serialise on it, and whoever arrives second
+        finds the entry already on disk and skips the redundant write.  The
+        lock is best-effort -- an unacquirable lock degrades to the plain
+        atomic temp-file + rename write, which is safe (just redundant)
+        because equal keys always carry equal content.
+        """
         self._memory.put(key, smatrix)
         path = self._disk_path(key)
         if path is None:
             return
         # Mid-run disk trouble (directory removed, disk full) must not fail
         # the simulation itself: degrade to memory-only caching.
-        tmp_name = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return
+        lock = FileLock(path.with_suffix(".lock"), timeout=_WRITE_LOCK_TIMEOUT)
+        locked = lock.acquire()
+        try:
+            if locked and path.exists():
+                # Another worker finished this key while we waited: the
+                # content-addressed entry is already valid.
+                return
+            self._write_entry(path, smatrix)
+        finally:
+            if locked:
+                lock.release()
+
+    @staticmethod
+    def _write_entry(path: Path, smatrix: SMatrix) -> None:
+        """Atomically persist one entry (temp file + rename)."""
+        tmp_name = None
+        try:
             handle, tmp_name = tempfile.mkstemp(
                 prefix=path.stem, suffix=".tmp", dir=str(path.parent)
             )

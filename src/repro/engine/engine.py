@@ -36,7 +36,16 @@ from .cache import SimulationCache
 from .fingerprint import grid_fingerprint, netlist_fingerprint, registry_fingerprint, stable_hash
 from .scheduler import TaskScheduler
 
-__all__ = ["EngineBatchStats", "EngineConfig", "ExecutionEngine", "default_engine"]
+__all__ = [
+    "EXECUTION_MODES",
+    "EngineBatchStats",
+    "EngineConfig",
+    "ExecutionEngine",
+    "default_engine",
+]
+
+#: Recognised parallel execution tiers (see :attr:`EngineConfig.execution_mode`).
+EXECUTION_MODES: Tuple[str, ...] = ("thread", "process")
 
 
 @dataclass
@@ -111,6 +120,26 @@ class EngineConfig:
         only caps their chunk size when > 1.  Purely a performance knob:
         results -- and simulation cache keys -- are identical for any batch
         size.
+    execution_mode:
+        Parallel execution tier of sweep-shaped work: ``"thread"`` (the
+        default) runs work units on this engine's thread pool; ``"process"``
+        shards them across worker *processes* (see
+        :mod:`repro.engine.procpool`), each rebuilding its engine from a
+        picklable spec and sharing the on-disk caches through ``cache_dir``.
+        The engine itself always evaluates in-process -- the tier is
+        consumed by the sweep layer (``run_sweep``/``run_model``), which is
+        where work units are spec-shaped.  Results are byte-identical
+        across tiers.
+    processes:
+        Worker-process count of the ``"process"`` tier; ``0`` or negative
+        means one per CPU core.  Ignored under ``"thread"``.
+    plan_dir:
+        Optional directory for the solver's disk-backed compiled-plan spill
+        (see :class:`repro.sim.circuit.CircuitSolver`).  Defaults to
+        ``<cache_dir>/plans`` when ``cache_dir`` is set -- warm structure
+        work is then shared across processes and runs exactly like ``.npz``
+        simulation artefacts.  Pass an explicit path to relocate it; the
+        spill is off when both are ``None``.
     """
 
     workers: int = 1
@@ -120,6 +149,24 @@ class EngineConfig:
     plan_cache_entries: int = 128
     wavelength_chunk: Optional[int] = None
     batch_size: int = 1
+    execution_mode: str = "thread"
+    processes: int = 0
+    plan_dir: Optional[Path | str] = None
+
+    def __post_init__(self) -> None:
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.execution_mode!r}; "
+                f"choose one of {list(EXECUTION_MODES)}"
+            )
+
+    def resolved_plan_dir(self) -> Optional[Path]:
+        """The effective plan-spill directory (``cache_dir/plans`` default)."""
+        if self.plan_dir is not None:
+            return Path(self.plan_dir)
+        if self.cache_dir is not None:
+            return Path(self.cache_dir) / "plans"
+        return None
 
 
 class ExecutionEngine:
@@ -141,6 +188,7 @@ class ExecutionEngine:
                 backend=self.config.solver_backend,
                 plan_cache_entries=self.config.plan_cache_entries,
                 max_wavelength_chunk=self.config.wavelength_chunk,
+                plan_dir=self.config.resolved_plan_dir(),
             )
         )
         self.cache = SimulationCache(
@@ -437,6 +485,7 @@ class ExecutionEngine:
         solver_batch = self.solver.batch_stats()
         return {
             "workers": self.workers,
+            "execution_mode": self.config.execution_mode,
             "batch_size": self.config.batch_size,
             "simulation_cache": self.cache.stats.as_dict(),
             "simulation_hit_rate": self.cache.stats.hit_rate,
@@ -460,6 +509,8 @@ def default_engine(
     plan_cache_entries: int = 128,
     wavelength_chunk: Optional[int] = None,
     batch_size: int = 1,
+    execution_mode: str = "thread",
+    processes: int = 0,
 ) -> ExecutionEngine:
     """Convenience constructor mirroring the CLI's engine flags."""
     return ExecutionEngine(
@@ -470,6 +521,8 @@ def default_engine(
             plan_cache_entries=plan_cache_entries,
             wavelength_chunk=wavelength_chunk,
             batch_size=batch_size,
+            execution_mode=execution_mode,
+            processes=processes,
         ),
         registry=registry,
     )

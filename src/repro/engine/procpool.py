@@ -1,0 +1,404 @@
+"""Process-sharded work-unit execution (the sweep's multi-core tier).
+
+The thread scheduler (:mod:`repro.engine.scheduler`) parallelises I/O and
+releases-the-GIL numpy sections, but a sweep dominated by pure-Python
+evaluation code gains nothing from more threads.  This module adds the
+process tier: work units are sharded across ``multiprocessing`` workers,
+each of which rebuilds its execution context from a small picklable *spec*
+-- never from live objects -- and the parent merges shard results back in
+submission order, so process-sharded runs are byte-identical to sequential
+ones whenever each unit's result is a pure function of its task spec.
+
+Layering: this module knows nothing about the harness.  Callers describe
+their worker-side code as dotted ``"module:function"`` references, which the
+worker resolves by import -- the references travel as strings, so the spec
+stays picklable under both ``fork`` and ``spawn`` start methods:
+
+``builder_ref(payload) -> context``
+    Runs once per worker process and builds whatever live state the units
+    need (engine, caches, clients).  Workers of one sweep share the on-disk
+    simulation cache and compiled-plan spill through the engine's
+    ``cache_dir`` / ``plan_dir``.
+``runner_ref(context, task) -> result``
+    Runs one task (``per_task=True``), or ``runner_ref(context, tasks) ->
+    results`` for a whole shard at once (``per_task=False`` -- used when the
+    shard should be fused, e.g. the batched evaluation path).
+``stats_ref(context) -> dict``
+    Optional per-worker counters snapshot, collected after each shard and
+    merged with :func:`aggregate_engine_stats`.
+
+Failure isolation: an exception inside a unit is captured and returned as a
+:class:`UnitFailure` for that unit only.  A worker *crash* (segfault,
+``os._exit``, OOM kill) breaks the whole pool; the affected shards are
+re-run one unit at a time on fresh single-worker pools, so exactly the
+units that keep killing their worker come back as crashed
+:class:`UnitFailure` entries while every other unit's result survives.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import pickle
+import traceback
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ProcessScheduler",
+    "UnitFailure",
+    "WorkerSpec",
+    "aggregate_engine_stats",
+    "resolve_processes",
+    "resolve_ref",
+]
+
+
+def resolve_processes(processes: int) -> int:
+    """Concrete worker-process count: ``> 0`` passes through, else one per core."""
+    if processes > 0:
+        return processes
+    return os.cpu_count() or 1
+
+
+def resolve_ref(ref: str) -> Callable:
+    """Resolve a dotted ``"module:qualname"`` reference to a callable."""
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"worker reference {ref!r} is not of the form 'module:function'")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise TypeError(f"worker reference {ref!r} resolved to a non-callable")
+    return obj
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Picklable description of how a worker process builds its context.
+
+    ``payload`` must contain only picklable values (names, parameters,
+    seeds, configuration dataclasses) -- never engines, caches, locks or
+    open handles.  The worker resolves ``builder_ref`` and calls it once
+    with ``payload``; the returned context is process-local.
+    """
+
+    builder_ref: str
+    payload: Any = None
+
+
+@dataclass
+class UnitFailure:
+    """Outcome of a unit whose worker raised (``crashed=False``) or died.
+
+    ``exception`` carries the original exception object when it survived
+    pickling back to the parent; ``traceback_text`` always carries the
+    worker-side traceback for diagnostics.
+    """
+
+    message: str
+    crashed: bool = False
+    traceback_text: str = ""
+    exception: Optional[BaseException] = None
+
+
+# ----------------------------------------------------------------------
+# Worker-side entry points (module-level: picklable under spawn)
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: Any = None
+
+
+def _worker_init(builder_ref: str, payload: Any) -> None:
+    """Pool initializer: build this process's context from the spec."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = resolve_ref(builder_ref)(payload)
+
+
+def _capture_failure(exc: BaseException) -> UnitFailure:
+    """Wrap a worker-side exception so it pickles back to the parent."""
+    carried: Optional[BaseException] = exc
+    try:
+        pickle.dumps(exc)
+    except Exception:  # noqa: BLE001 - any pickling trouble drops the object
+        carried = None
+    return UnitFailure(
+        message=f"{type(exc).__name__}: {exc}",
+        traceback_text=traceback.format_exc(),
+        exception=carried,
+    )
+
+
+def _worker_run_shard(
+    runner_ref: str,
+    tasks: List[Any],
+    per_task: bool,
+    stats_ref: Optional[str],
+) -> Tuple[List[Any], Optional[Dict[str, object]]]:
+    """Run one shard of tasks; each slot is a result or a UnitFailure."""
+    runner = resolve_ref(runner_ref)
+    results: List[Any] = []
+    if per_task:
+        for task in tasks:
+            try:
+                results.append(runner(_WORKER_CONTEXT, task))
+            except Exception as exc:  # noqa: BLE001 - isolated per unit
+                results.append(_capture_failure(exc))
+    else:
+        try:
+            values = list(runner(_WORKER_CONTEXT, list(tasks)))
+            if len(values) != len(tasks):
+                raise RuntimeError(
+                    f"shard runner returned {len(values)} results for {len(tasks)} tasks"
+                )
+            results = values
+        except Exception as exc:  # noqa: BLE001 - isolated per shard
+            failure = _capture_failure(exc)
+            results = [failure] * len(tasks)
+    stats: Optional[Dict[str, object]] = None
+    if stats_ref is not None:
+        try:
+            stats = resolve_ref(stats_ref)(_WORKER_CONTEXT)
+        except Exception:  # noqa: BLE001 - stats are best-effort
+            stats = None
+    return results, stats
+
+
+# ----------------------------------------------------------------------
+# Parent-side scheduler
+# ----------------------------------------------------------------------
+class ProcessScheduler:
+    """Shards tasks over a process pool with order-preserving merge.
+
+    Parameters
+    ----------
+    spec:
+        How each worker builds its context (see :class:`WorkerSpec`).
+    processes:
+        Worker-process count; ``0`` means one per core.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default,
+        ``fork`` on Linux; pass ``"spawn"`` to exercise the stricter
+        pickling path).
+    shards_per_worker:
+        Target number of shards per worker.  More shards give better load
+        balancing and finer crash blast-radius; fewer amortise per-shard
+        dispatch better.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        *,
+        processes: int = 0,
+        start_method: Optional[str] = None,
+        shards_per_worker: int = 4,
+    ) -> None:
+        self.spec = spec
+        self.processes = resolve_processes(processes)
+        self.start_method = start_method
+        self.shards_per_worker = max(1, int(shards_per_worker))
+
+    # ------------------------------------------------------------------
+    def _context(self):
+        if self.start_method is None:
+            return multiprocessing.get_context()
+        return multiprocessing.get_context(self.start_method)
+
+    def _pool(self, mp_context, max_workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=mp_context,
+            initializer=_worker_init,
+            initargs=(self.spec.builder_ref, self.spec.payload),
+        )
+
+    @staticmethod
+    def shard_bounds(count: int, shards: int) -> List[Tuple[int, int]]:
+        """Split ``range(count)`` into at most ``shards`` contiguous spans.
+
+        Contiguity matters: the harness orders units so that one shard holds
+        whole (problem x sample-group) runs, which keeps the batched
+        evaluation path's fusion opportunities intact.
+        """
+        shards = max(1, min(shards, count))
+        base, extra = divmod(count, shards)
+        bounds: List[Tuple[int, int]] = []
+        lo = 0
+        for index in range(shards):
+            hi = lo + base + (1 if index < extra else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        runner_ref: str,
+        tasks: Sequence[Any],
+        *,
+        per_task: bool = True,
+        stats_ref: Optional[str] = None,
+    ) -> Tuple[List[Any], List[Dict[str, object]]]:
+        """Run every task; slot ``i`` of the result is task ``i``'s outcome.
+
+        Returns ``(results, stats)``: ``results[i]`` is the runner's return
+        value or a :class:`UnitFailure`; ``stats`` collects one snapshot per
+        completed shard when ``stats_ref`` is given.  The merge is by task
+        index, so the output order never depends on worker scheduling.
+        """
+        tasks = list(tasks)
+        results: List[Any] = [None] * len(tasks)
+        stats_list: List[Dict[str, object]] = []
+        if not tasks:
+            return results, stats_list
+        processes = min(self.processes, len(tasks))
+        bounds = self.shard_bounds(len(tasks), processes * self.shards_per_worker)
+        mp_context = self._context()
+        retry_spans: List[Tuple[int, int]] = []
+        pool = self._pool(mp_context, processes)
+        try:
+            future_spans = {}
+            for lo, hi in bounds:
+                try:
+                    future = pool.submit(
+                        _worker_run_shard, runner_ref, tasks[lo:hi], per_task, stats_ref
+                    )
+                except BrokenProcessPool:
+                    retry_spans.append((lo, hi))
+                    continue
+                future_spans[future] = (lo, hi)
+            for future in as_completed(future_spans):
+                lo, hi = future_spans[future]
+                try:
+                    shard_results, stats = future.result()
+                except BrokenProcessPool:
+                    # A worker died mid-shard; every unit of the shard is
+                    # suspect and gets retried in isolation below.
+                    retry_spans.append((lo, hi))
+                else:
+                    results[lo:hi] = shard_results
+                    if stats is not None:
+                        stats_list.append(stats)
+        finally:
+            pool.shutdown(wait=True)
+        if retry_spans:
+            self._retry_singly(
+                retry_spans, runner_ref, tasks, per_task, stats_ref, results, stats_list, mp_context
+            )
+        return results, stats_list
+
+    def _retry_singly(
+        self,
+        spans: List[Tuple[int, int]],
+        runner_ref: str,
+        tasks: List[Any],
+        per_task: bool,
+        stats_ref: Optional[str],
+        results: List[Any],
+        stats_list: List[Dict[str, object]],
+        mp_context,
+    ) -> None:
+        """Re-run crashed shards one unit at a time on fresh pools.
+
+        Only the unit that actually kills its worker is marked as a crashed
+        :class:`UnitFailure`; its shard-mates complete normally.  Each crash
+        costs one fresh single-worker pool (context rebuild included), which
+        is the price of not losing the rest of the shard.
+        """
+        indices = sorted(i for lo, hi in spans for i in range(lo, hi))
+        position = 0
+        while position < len(indices):
+            pool = self._pool(mp_context, 1)
+            broken = False
+            try:
+                while position < len(indices):
+                    index = indices[position]
+                    try:
+                        future = pool.submit(
+                            _worker_run_shard, runner_ref, [tasks[index]], per_task, stats_ref
+                        )
+                        shard_results, stats = future.result()
+                    except BrokenProcessPool:
+                        results[index] = UnitFailure(
+                            message=(
+                                "worker process crashed while running this unit "
+                                "(twice, counting the original shard)"
+                            ),
+                            crashed=True,
+                        )
+                        position += 1
+                        broken = True
+                        break
+                    results[index] = shard_results[0]
+                    if stats is not None:
+                        stats_list.append(stats)
+                    position += 1
+            finally:
+                pool.shutdown(wait=True)
+            if not broken:
+                break
+
+
+# ----------------------------------------------------------------------
+# Stats aggregation
+# ----------------------------------------------------------------------
+#: Descriptive (non-counter) keys of ``ExecutionEngine.stats()`` snapshots:
+#: identical across workers, kept as-is instead of summed.
+_DESCRIPTIVE_KEYS = ("workers", "execution_mode", "batch_size")
+
+#: Hit-rate keys and the counter sub-dict each is recomputed from.
+_HIT_RATE_SOURCES = {
+    "simulation_hit_rate": "simulation_cache",
+    "instance_hit_rate": "instance_cache",
+    "plan_hit_rate": "plan_cache",
+    "batch_hit_rate": "batch",
+}
+
+
+def _merge_counters(dst: Dict[str, object], src: Dict[str, object]) -> None:
+    for key, value in src.items():
+        if isinstance(value, dict):
+            node = dst.setdefault(key, {})
+            if isinstance(node, dict):
+                _merge_counters(node, value)
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            dst[key] = value
+        elif key in _DESCRIPTIVE_KEYS or key.endswith("_rate"):
+            dst[key] = value  # rates are recomputed from merged counters below
+        else:
+            dst[key] = dst.get(key, 0) + value
+
+
+def aggregate_engine_stats(
+    stats_list: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Merge per-worker ``ExecutionEngine.stats()`` snapshots into one.
+
+    Integer counters sum across workers (nested dicts recursively); the
+    descriptive keys keep their per-worker value (identical everywhere);
+    every derived rate is recomputed from the merged counters rather than
+    averaged, so the aggregate reads exactly like a single engine that did
+    all the work.
+    """
+    merged: Dict[str, object] = {}
+    for stats in stats_list:
+        if isinstance(stats, dict):
+            _merge_counters(merged, stats)
+    for rate_key, counters_key in _HIT_RATE_SOURCES.items():
+        counters = merged.get(counters_key)
+        if isinstance(counters, dict):
+            hits = counters.get("hits", 0)
+            lookups = hits + counters.get("misses", 0)
+            merged[rate_key] = hits / lookups if lookups else 0.0
+    solver_batch = merged.get("solver_batch")
+    if isinstance(solver_batch, dict):
+        samples = solver_batch.get("samples", 0)
+        passes = solver_batch.get("executor_passes", 0)
+        rate = 1.0 - passes / samples if samples else 0.0
+        solver_batch["fusion_rate"] = rate
+        merged["batch_fusion_rate"] = rate
+    return merged

@@ -10,7 +10,7 @@ each (model, restrictions) pair exactly once.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -18,12 +18,14 @@ from ..bench.golden import GoldenStore
 from ..bench.packs import CORE_PACK_NAME, PackParams, get_pack
 from ..bench.problem import Problem
 from ..bench.suite import all_problems
-from ..engine.engine import EngineConfig, ExecutionEngine
+from ..engine.engine import EXECUTION_MODES, EngineConfig, ExecutionEngine
+from ..engine.procpool import ProcessScheduler, UnitFailure, WorkerSpec, aggregate_engine_stats
 from ..evalkit.evaluator import EvaluationConfig, Evaluator
-from ..evalkit.outcome import EvalReport
+from ..evalkit.outcome import AttemptRecord, EvalReport, SampleResult
 from ..llm.base import LLMClient
 from ..llm.profiles import DEFAULT_PROFILES, DesignerProfile
 from ..llm.simulated import SimulatedDesigner
+from ..netlist.errors import ErrorCategory
 from ..prompts.system_prompt import PromptConfig
 
 __all__ = ["SweepConfig", "SweepResult", "run_model", "run_sweep"]
@@ -62,6 +64,16 @@ class SweepConfig:
     netlists -- samples that differ only in instance settings -- are fused
     into shared batched executor passes of at most ``batch_size`` samples;
     reports are identical to the per-sample path).
+
+    ``execution_mode`` selects the parallel tier: ``"thread"`` (default)
+    runs work units on the engine's thread pool; ``"process"`` shards them
+    across ``processes`` worker processes (``0`` = one per core), each of
+    which rebuilds its engine and clients from a picklable spec and shares
+    the on-disk simulation cache and compiled-plan spill through
+    ``cache_dir``.  Results merge in unit order, so process-sharded sweeps
+    are byte-identical to sequential ones.  Process mode requires
+    spec-constructible clients (the bundled :class:`SimulatedDesigner`);
+    live API clients hold sockets that cannot cross a process boundary.
     """
 
     samples_per_problem: int = 5
@@ -77,6 +89,15 @@ class SweepConfig:
     plan_cache_entries: int = 128
     wavelength_chunk: Optional[int] = None
     batch_size: int = 1
+    execution_mode: str = "thread"
+    processes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution_mode {self.execution_mode!r}; "
+                f"choose one of {list(EXECUTION_MODES)}"
+            )
 
     def engine_config(self) -> EngineConfig:
         """Build the corresponding :class:`EngineConfig`."""
@@ -87,6 +108,8 @@ class SweepConfig:
             plan_cache_entries=self.plan_cache_entries,
             wavelength_chunk=self.wavelength_chunk,
             batch_size=self.batch_size,
+            execution_mode=self.execution_mode,
+            processes=self.processes,
         )
 
     def evaluation_config(self, *, include_restrictions: bool) -> EvaluationConfig:
@@ -126,10 +149,18 @@ class SweepConfig:
 
 @dataclass
 class SweepResult:
-    """Reports of a sweep, keyed by (model name, with_restrictions)."""
+    """Reports of a sweep, keyed by (model name, with_restrictions).
+
+    ``engine_stats`` is populated by process-mode sweeps: the per-worker
+    ``ExecutionEngine.stats()`` snapshots merged with
+    :func:`repro.engine.procpool.aggregate_engine_stats` (counters summed,
+    rates recomputed).  Thread-mode sweeps leave it ``None`` -- the caller
+    holds the live engine and can ask it directly.
+    """
 
     config: SweepConfig
     reports: Dict[Tuple[str, bool], EvalReport] = field(default_factory=dict)
+    engine_stats: Optional[Dict[str, object]] = None
 
     def report(self, model: str, *, with_restrictions: bool) -> EvalReport:
         """Look up one report."""
@@ -184,6 +215,178 @@ class SweepResult:
         return result
 
 
+# ----------------------------------------------------------------------
+# Process-sharded execution
+#
+# The parent never ships live objects to workers: each worker receives a
+# picklable payload (the SweepConfig, designer profiles, seeds) and rebuilds
+# its own engine, golden store, evaluators and clients once per process.
+# Work units are index tuples into the worker-rebuilt structures, and the
+# scheduler merges results back in unit order, so process-sharded sweeps are
+# byte-identical to sequential ones.
+# ----------------------------------------------------------------------
+def _client_specs(clients: Sequence[LLMClient]) -> List[Tuple[DesignerProfile, int]]:
+    """Picklable rebuild specs of the sweep's clients (process mode only)."""
+    specs: List[Tuple[DesignerProfile, int]] = []
+    for client in clients:
+        if not isinstance(client, SimulatedDesigner):
+            raise ValueError(
+                "execution_mode='process' requires spec-constructible clients "
+                f"(the bundled SimulatedDesigner); got {type(client).__name__}. "
+                "Run live API clients in thread mode."
+            )
+        specs.append((client.profile, client.base_seed))
+    return specs
+
+
+def _build_sweep_worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker initializer: rebuild one process's full evaluation context.
+
+    Runs once per worker process (resolved by dotted reference from
+    :class:`~repro.engine.procpool.WorkerSpec`).  The worker's engine is
+    single-threaded thread-mode -- parallelism lives at the process tier --
+    but shares the parent's ``cache_dir`` (simulation ``.npz`` entries and
+    the compiled-plan spill), so workers warm each other across the sweep.
+    """
+    config: SweepConfig = payload["config"]  # type: ignore[assignment]
+    engine = ExecutionEngine(
+        replace(config.engine_config(), execution_mode="thread", workers=1, processes=0)
+    )
+    golden_store = GoldenStore(
+        num_wavelengths=config.num_wavelengths,
+        engine=engine,
+        pack=config.pack,
+        pack_params=config.pack_params,
+    )
+    restriction_settings: Tuple[bool, ...] = tuple(payload["restrictions"])  # type: ignore[arg-type]
+    return {
+        "config": config,
+        "engine": engine,
+        "problems": config.select_problems(),
+        "clients": [
+            SimulatedDesigner(profile, base_seed=seed)
+            for profile, seed in payload["clients"]  # type: ignore[union-attr]
+        ],
+        "evaluators": {
+            include_restrictions: Evaluator(
+                config.evaluation_config(include_restrictions=include_restrictions),
+                golden_store=golden_store,
+                engine=engine,
+            )
+            for include_restrictions in restriction_settings
+        },
+        "prompt_configs": {
+            include_restrictions: config.prompt_config(
+                include_restrictions=include_restrictions
+            )
+            for include_restrictions in restriction_settings
+        },
+    }
+
+
+def _run_sweep_unit(context: Dict[str, object], unit: Tuple[bool, int, int, int]):
+    """Worker runner: one (restrictions, client, problem, sample) trajectory."""
+    include_restrictions, client_index, problem_index, sample_index = unit
+    return context["evaluators"][include_restrictions].run_sample(  # type: ignore[index]
+        context["clients"][client_index],  # type: ignore[index]
+        context["problems"][problem_index],  # type: ignore[index]
+        sample_index,
+        prompt_config=context["prompt_configs"][include_restrictions],  # type: ignore[index]
+    )
+
+
+def _run_sweep_shard(context: Dict[str, object], units: List[Tuple[bool, int, int, int]]):
+    """Worker shard runner for ``batch_size > 1``: fuse the shard's units.
+
+    Contiguous runs of the shard sharing one restriction setting advance in
+    lockstep through ``run_samples_batched``, preserving the batch-fusion
+    wins of PR 5 inside each shard.  Each trajectory is a pure function of
+    its own history, so any sharding yields the same per-unit results.
+    """
+    results = []
+    lo = 0
+    while lo < len(units):
+        include_restrictions = units[lo][0]
+        hi = lo
+        while hi < len(units) and units[hi][0] == include_restrictions:
+            hi += 1
+        results.extend(
+            context["evaluators"][include_restrictions].run_samples_batched(  # type: ignore[index]
+                [
+                    (
+                        context["clients"][client_index],  # type: ignore[index]
+                        context["problems"][problem_index],  # type: ignore[index]
+                        sample_index,
+                    )
+                    for _, client_index, problem_index, sample_index in units[lo:hi]
+                ],
+                prompt_config=context["prompt_configs"][include_restrictions],  # type: ignore[index]
+            )
+        )
+        lo = hi
+    return results
+
+
+def _sweep_worker_stats(context: Dict[str, object]) -> Dict[str, object]:
+    """Worker stats snapshot, merged in the parent across all workers."""
+    return context["engine"].stats()  # type: ignore[union-attr]
+
+
+def _crashed_sample(problem_name: str, sample_index: int, failure: UnitFailure) -> SampleResult:
+    """Synthesize the failure record of a unit whose worker died or raised."""
+    detail = (
+        "worker process crashed while evaluating this unit"
+        if failure.crashed
+        else f"worker failed to evaluate this unit: {failure.message}"
+    )
+    sample = SampleResult(problem=problem_name, sample_index=sample_index)
+    sample.attempts.append(
+        AttemptRecord(
+            iteration=0,
+            syntax_ok=False,
+            functional_ok=False,
+            error_category=ErrorCategory.OTHER_SYNTAX,
+            error_detail=detail,
+        )
+    )
+    return sample
+
+
+def _map_units_process(
+    config: SweepConfig,
+    client_specs: List[Tuple[DesignerProfile, int]],
+    restriction_settings: Tuple[bool, ...],
+    units: List[Tuple[bool, int, int, int]],
+    problems: List[Problem],
+) -> Tuple[List[SampleResult], Dict[str, object]]:
+    """Run unit specs on a process pool; returns ordered samples and stats."""
+    spec = WorkerSpec(
+        builder_ref="repro.harness.runner:_build_sweep_worker",
+        payload={
+            "config": config,
+            "clients": client_specs,
+            "restrictions": restriction_settings,
+        },
+    )
+    scheduler = ProcessScheduler(spec, processes=config.processes)
+    per_task = config.batch_size <= 1
+    raw, stats_list = scheduler.map(
+        "repro.harness.runner:_run_sweep_unit"
+        if per_task
+        else "repro.harness.runner:_run_sweep_shard",
+        units,
+        per_task=per_task,
+        stats_ref="repro.harness.runner:_sweep_worker_stats",
+    )
+    samples: List[SampleResult] = []
+    for unit, outcome in zip(units, raw):
+        if isinstance(outcome, UnitFailure):
+            samples.append(_crashed_sample(problems[unit[2]].name, unit[3], outcome))
+        else:
+            samples.append(outcome)
+    return samples, aggregate_engine_stats(stats_list)
+
+
 def run_model(
     client: LLMClient,
     *,
@@ -192,8 +395,36 @@ def run_model(
     golden_store: Optional[GoldenStore] = None,
     engine: Optional[ExecutionEngine] = None,
 ) -> EvalReport:
-    """Evaluate one client over the suite under one prompt configuration."""
+    """Evaluate one client over the suite under one prompt configuration.
+
+    With ``config.execution_mode == "process"`` (and no live ``engine`` /
+    ``golden_store``, which cannot cross process boundaries) the problem x
+    sample units are sharded across worker processes; the report is
+    byte-identical to the thread-mode run.
+    """
     config = config if config is not None else SweepConfig()
+    if config.execution_mode == "process" and engine is None and golden_store is None:
+        client_specs = _client_specs([client])
+        problems = config.select_problems()
+        units = [
+            (include_restrictions, 0, problem_index, sample_index)
+            for problem_index in range(len(problems))
+            for sample_index in range(config.samples_per_problem)
+        ]
+        samples, _ = _map_units_process(
+            config, client_specs, (include_restrictions,), units, problems
+        )
+        packs = {problem.pack for problem in problems}
+        report = EvalReport(
+            model=getattr(client, "name", type(client).__name__),
+            with_restrictions=include_restrictions,
+            samples_per_problem=config.samples_per_problem,
+            max_feedback_iterations=config.max_feedback_iterations,
+            pack=packs.pop() if len(packs) == 1 else "mixed",
+        )
+        for sample in samples:
+            report.add(sample)
+        return report
     if engine is None and golden_store is None:
         engine = ExecutionEngine(config.engine_config())
     if golden_store is None:
@@ -235,6 +466,39 @@ def run_sweep(
         profiles = list(profiles) if profiles is not None else list(DEFAULT_PROFILES)
         clients = [SimulatedDesigner(profile, base_seed=config.base_seed) for profile in profiles]
     clients = list(clients)
+    if config.execution_mode == "process":
+        # Process tier: ship picklable specs, rebuild everything worker-side.
+        # A caller-provided engine cannot cross the process boundary and is
+        # ignored here; workers share its on-disk tiers via cache_dir.
+        client_specs = _client_specs(clients)
+        problems = config.select_problems()
+        restriction_settings = tuple(restriction_settings)
+        unit_specs = [
+            (include_restrictions, client_index, problem_index, sample_index)
+            for include_restrictions in restriction_settings
+            for client_index in range(len(clients))
+            for problem_index in range(len(problems))
+            for sample_index in range(config.samples_per_problem)
+        ]
+        samples, engine_stats = _map_units_process(
+            config, client_specs, restriction_settings, unit_specs, problems
+        )
+        result = SweepResult(config=config, engine_stats=engine_stats)
+        for (include_restrictions, client_index, _, _), sample in zip(unit_specs, samples):
+            client = clients[client_index]
+            model = getattr(client, "name", type(client).__name__)
+            report = result.reports.get((model, include_restrictions))
+            if report is None:
+                report = EvalReport(
+                    model=model,
+                    with_restrictions=include_restrictions,
+                    samples_per_problem=config.samples_per_problem,
+                    max_feedback_iterations=config.max_feedback_iterations,
+                    pack=config.pack,
+                )
+                result.reports[(model, include_restrictions)] = report
+            report.add(sample)
+        return result
     if engine is None:
         engine = ExecutionEngine(config.engine_config())
     golden_store = GoldenStore(

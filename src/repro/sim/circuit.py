@@ -47,14 +47,19 @@ workspace by splitting the solve over the wavelength axis.
 from __future__ import annotations
 
 import copy
+import os
+import pickle
+import tempfile
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._cache import CacheStats, LRUCache
 from .._fingerprint import func_identity, settings_fingerprint
+from .._locks import FileLock
 from ..constants import normalize_wavelengths
 from ..netlist.errors import OtherSyntaxError
 from ..netlist.schema import Instance, Netlist
@@ -94,6 +99,13 @@ _AUTO_DENSE_MAX_PORTS = 12
 #: settings fingerprints); exceeding it clears the memo, it never grows past
 #: this size.
 _MEMO_MAX_ENTRIES = 8192
+
+#: Filename prefix of spilled compiled plans under ``plan_dir``.
+_PLAN_PREFIX = "plan-"
+
+#: Seconds a plan-spill writer waits for a concurrent writer of the same
+#: topology before falling back to its own (atomic, redundant) write.
+_PLAN_LOCK_TIMEOUT = 5.0
 
 #: Target bytes of one fused executor pass's working set (coefficient
 #: array, workspace, contribution buffer, output block).  Batched execution
@@ -177,6 +189,17 @@ class CircuitSolver:
         P)`` workspace on large grids.  ``None`` (default) solves the whole
         grid at once.  Purely a memory/performance knob: results are
         identical.
+    plan_dir:
+        Optional directory for the disk-backed plan-cache spill: every
+        compiled plan is additionally pickled (atomically, under an advisory
+        cross-process file lock) to ``plan_dir/plan-<fingerprint>.pkl``, and
+        a memory-tier miss tries the spill before recompiling.  This is what
+        lets process-sharded sweep workers share structure work: topology
+        fingerprints are content-derived and model identities are
+        ``module.qualname`` strings, so a plan spilled by one process is
+        valid in any other process running the same code.  The directory is
+        trusted (pickle is loaded from it) -- point it only at paths this
+        run controls, like the sweep's cache directory.
     """
 
     def __init__(
@@ -188,11 +211,20 @@ class CircuitSolver:
         backend: str = "auto",
         plan_cache_entries: int = 128,
         max_wavelength_chunk: Optional[int] = None,
+        plan_dir: Optional[Path | str] = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.validate = validate
         self.backend = _check_backend(backend)
         self.max_wavelength_chunk = _check_chunk(max_wavelength_chunk)
+        self.plan_dir = Path(plan_dir) if plan_dir is not None else None
+        if self.plan_dir is not None:
+            try:
+                self.plan_dir.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as exc:
+                raise ValueError(
+                    f"plan_dir {str(self.plan_dir)!r} exists and is not a directory"
+                ) from exc
         self._instance_cache: LRUCache[Tuple[str, str, str, bytes], _InstanceRecord] = (
             LRUCache(max_entries=instance_cache_entries)
         )
@@ -244,10 +276,77 @@ class CircuitSolver:
     def clear_plan_cache(self) -> None:
         """Drop every compiled plan, cached validation verdict and stacked
         matrices (stats are kept); used by benchmarks to time the cold
-        structure path."""
+        structure path.  Spilled plans on disk (``plan_dir``) are left in
+        place -- they belong to the shared directory, not this solver."""
         self._plan_cache.clear()
         self._validated.clear()
         self._stack_memo.clear()
+
+    # ------------------------------------------------------------------
+    # Plan cache: memory tier + optional disk spill
+    # ------------------------------------------------------------------
+    def _plan_path(self, fingerprint: str) -> Optional[Path]:
+        if self.plan_dir is None:
+            return None
+        return self.plan_dir / f"{_PLAN_PREFIX}{fingerprint}.pkl"
+
+    def _plan_lookup(self, fingerprint: str) -> Optional[CompiledCircuit]:
+        """Fetch a compiled plan: memory first, then the disk spill."""
+        compiled = self._plan_cache.get(fingerprint)
+        if compiled is not None:
+            return compiled
+        path = self._plan_path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                compiled = pickle.load(handle)
+        except Exception:  # noqa: BLE001 - corrupt/truncated spill: recompile
+            return None
+        if not isinstance(compiled, CompiledCircuit) or compiled.fingerprint != fingerprint:
+            return None  # foreign or stale file under the expected name
+        with self._memo_lock:
+            self._plan_cache.stats.disk_hits += 1
+        self._plan_cache.put(fingerprint, compiled)
+        return compiled
+
+    def _plan_store(self, fingerprint: str, compiled: CompiledCircuit) -> None:
+        """Cache a freshly compiled plan in memory and spill it to disk."""
+        self._plan_cache.put(fingerprint, compiled)
+        path = self._plan_path(fingerprint)
+        if path is None:
+            return
+        # Same protocol as the simulation cache's .npz writes: serialise
+        # concurrent same-key writers on an advisory lock, skip the write
+        # when another process finished it first, and degrade to the plain
+        # atomic write when the lock cannot be taken.  Disk trouble must
+        # never fail the evaluation -- the memory tier already has the plan.
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return
+        lock = FileLock(path.with_suffix(".lock"), timeout=_PLAN_LOCK_TIMEOUT)
+        locked = lock.acquire()
+        try:
+            if locked and path.exists():
+                return
+            tmp_name = None
+            try:
+                handle, tmp_name = tempfile.mkstemp(
+                    prefix=_PLAN_PREFIX, suffix=".tmp", dir=str(path.parent)
+                )
+                with os.fdopen(handle, "wb") as tmp:
+                    pickle.dump(compiled, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except (OSError, pickle.PicklingError):
+                if tmp_name is not None:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+        finally:
+            if locked:
+                lock.release()
 
     # ------------------------------------------------------------------
     # Public API
@@ -505,7 +604,7 @@ class CircuitSolver:
         out: List[Optional[SMatrix]] = [None] * num_samples
         executor_passes = 0
         for fingerprint, sample_ids in groups.items():
-            compiled = self._plan_cache.get(fingerprint)
+            compiled = self._plan_lookup(fingerprint)
             if compiled is None:
                 first = sample_ids[0]
                 compiled = compile_netlist(
@@ -519,7 +618,7 @@ class CircuitSolver:
                     instance_refs=tuple(ref for _, _, ref, _ in meta),
                     func_identities=tuple(func_id for _, _, _, func_id in meta),
                 )
-                self._plan_cache.put(fingerprint, compiled)
+                self._plan_store(fingerprint, compiled)
             chosen = self._choose_backend(compiled, chosen_base)
             symmetric = all_symmetric or all(
                 record_of(index, sample).symmetric
@@ -817,7 +916,7 @@ class CircuitSolver:
         if validate_needed:
             self._validated.put((fingerprint, spec_key), True)
 
-        compiled = self._plan_cache.get(fingerprint)
+        compiled = self._plan_lookup(fingerprint)
         if compiled is None:
             compiled = compile_netlist(
                 netlist,
@@ -827,7 +926,7 @@ class CircuitSolver:
                 instance_refs=tuple(refs),
                 func_identities=tuple(func_ids),
             )
-            self._plan_cache.put(fingerprint, compiled)
+            self._plan_store(fingerprint, compiled)
         return compiled, [record.smatrix.data for record in records], symmetric
 
     def _instance_key(self, netlist: Netlist, inst: Instance) -> Tuple[str, str]:
@@ -983,6 +1082,7 @@ class CircuitSolver:
 # Module-level default solver
 # ----------------------------------------------------------------------
 _DEFAULT_SOLVER: Optional[CircuitSolver] = None
+_DEFAULT_SOLVER_PID: Optional[int] = None
 _DEFAULT_SOLVER_LOCK = threading.Lock()
 
 
@@ -993,11 +1093,19 @@ def default_solver() -> CircuitSolver:
     registry, so repeated convenience-API calls hit one warm per-device
     instance cache -- and one warm compiled-plan cache -- instead of
     rebuilding an empty solver each time.
+
+    The singleton is pinned to the creating process id and lazily rebuilt in
+    any other process: a forked sweep worker must not keep mutating memo
+    state it shares (copy-on-write) with its siblings' history, and a
+    spawn-mode worker must never need the solver to be picklable.  Each
+    worker therefore gets its own fresh solver on first use.
     """
-    global _DEFAULT_SOLVER
+    global _DEFAULT_SOLVER, _DEFAULT_SOLVER_PID
+    pid = os.getpid()
     with _DEFAULT_SOLVER_LOCK:
-        if _DEFAULT_SOLVER is None:
+        if _DEFAULT_SOLVER is None or _DEFAULT_SOLVER_PID != pid:
             _DEFAULT_SOLVER = CircuitSolver()
+            _DEFAULT_SOLVER_PID = pid
         return _DEFAULT_SOLVER
 
 

@@ -1,0 +1,283 @@
+"""Optional JIT kernels for the compiled cascade executor's inner loops.
+
+The level-batched executor (:mod:`repro.sim.plan`) spends nearly all of its
+time in three gather/scatter-shaped inner loops:
+
+``pull_level``
+    One topological level's accumulation: gather every edge's source row,
+    multiply by the edge coefficient, segment-sum into the level's
+    contiguous receiving rows.  The numpy path materialises a ``(edges,
+    block, cols)`` contribution buffer and walks it several times (take,
+    multiply, segment adds); the kernel fuses all of it into one pass with
+    no temporary.
+``cluster_fill``
+    Assembling a feedback cluster's ``I - M`` system: a fancy-indexed
+    scatter of strided matrix elements into the ``(W, n, n)`` system block.
+``gather_coef``
+    The flat-row edge-coefficient gather (see
+    :func:`repro.sim.batch.fuse_sample_stacks`): one coefficient row per
+    edge, pulled out of the stacked instance matrices.
+
+Each kernel exists as a plain-Python nested-loop implementation at module
+scope; when `numba <https://numba.pydata.org>`_ is importable the same
+functions are wrapped with ``@numba.njit`` (the OptiCommPy pattern of
+JIT-ing DSP inner loops behind an optional import).  Nothing here imports
+numba unconditionally -- environments without it fall back to the executor's
+vectorised numpy path automatically.
+
+Dispatch is decided **once, at plan compile time**:
+:func:`resolve_kernel_mode` stamps the active mode onto the
+:class:`~repro.sim.plan.CompiledCircuit`, and execution asks
+:func:`get_kernels` for that mode's callables.  A plan compiled (or spilled
+to disk) under one mode and executed in a process where that mode is
+unavailable degrades safely to numpy -- ``get_kernels`` simply returns
+``None``.
+
+Modes (settable via :func:`set_kernel_mode` or the ``REPRO_KERNELS``
+environment variable, read at import):
+
+``auto`` (default)
+    ``numba`` when importable, else the numpy path.
+``numba``
+    Require the JIT kernels (raises at selection time when numba is absent).
+``python``
+    The pure-Python kernel bodies, uncompiled.  Orders of magnitude slower
+    than numpy -- exists so the kernel *logic* is testable byte-for-byte on
+    machines without numba.
+``numpy``
+    Force the executor's vectorised numpy path (kernels off).
+
+All modes agree with the numpy path to well below 1e-12: the kernels
+evaluate the same sums with at most a different floating-point association
+order inside each (short) edge segment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "KERNEL_MODES",
+    "Kernels",
+    "get_kernels",
+    "kernel_status",
+    "resolve_kernel_mode",
+    "set_kernel_mode",
+    "warmup",
+]
+
+try:  # optional dependency: never required, never installed implicitly
+    import numba  # type: ignore
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - import errors only without numba
+    numba = None  # type: ignore[assignment]
+    HAVE_NUMBA = False
+
+#: Recognised kernel dispatch modes.
+KERNEL_MODES = ("auto", "numba", "python", "numpy")
+
+
+# ----------------------------------------------------------------------
+# Kernel bodies (plain Python; numba-wrapped below when available)
+# ----------------------------------------------------------------------
+def _pull_level(ws, src, coef, edge_start, wave_lo, starts, row_lo, assign):
+    """Fused gather + multiply + segment-sum of one pull level.
+
+    ``ws`` is the ``(rows, block, cols)`` group workspace (a view), ``src``
+    the level's source rows, ``coef`` the full ``(edges, W)`` coefficient
+    array (this level's edges start at ``edge_start``, this block's
+    wavelengths at ``wave_lo``), ``starts`` the per-receiving-row segment
+    boundaries, ``row_lo`` the first receiving row.  ``assign`` writes the
+    segment sum (seed-free rows); otherwise it accumulates.
+    """
+    num_segments = starts.shape[0]
+    count = src.shape[0]
+    width = ws.shape[1]
+    cols = ws.shape[2]
+    for segment in range(num_segments):
+        row = row_lo + segment
+        lo = starts[segment]
+        hi = starts[segment + 1] if segment + 1 < num_segments else count
+        for t in range(width):
+            for c in range(cols):
+                acc = 0.0 + 0.0j
+                for e in range(lo, hi):
+                    acc += coef[edge_start + e, wave_lo + t] * ws[src[e], t, c]
+                if assign:
+                    ws[row, t, c] = acc
+                else:
+                    ws[row, t, c] += acc
+
+
+def _cluster_fill(system, matrix, sys_rows, sys_cols, m_rows, m_cols, wave_lo):
+    """Scatter ``-matrix[wave_lo + t, m_rows, m_cols]`` into the cluster system."""
+    width = system.shape[0]
+    count = sys_rows.shape[0]
+    for k in range(count):
+        row = sys_rows[k]
+        col = sys_cols[k]
+        m_row = m_rows[k]
+        m_col = m_cols[k]
+        for t in range(width):
+            system[t, row, col] = -matrix[wave_lo + t, m_row, m_col]
+
+
+def _gather_rows(coef, flat, flat_index, positions):
+    """Contiguous-row coefficient gather: ``coef[positions] = flat[flat_index]``."""
+    count = positions.shape[0]
+    num_wavelengths = flat.shape[1]
+    for k in range(count):
+        dst = positions[k]
+        row = flat_index[k]
+        for w in range(num_wavelengths):
+            coef[dst, w] = flat[row, w]
+
+
+def _gather_strided(coef, stack, pos, m_rows, m_cols, positions):
+    """Strided coefficient gather: ``coef[positions] = stack[pos, :, m_rows, m_cols]``."""
+    count = positions.shape[0]
+    num_wavelengths = stack.shape[1]
+    for k in range(count):
+        dst = positions[k]
+        member = pos[k]
+        m_row = m_rows[k]
+        m_col = m_cols[k]
+        for w in range(num_wavelengths):
+            coef[dst, w] = stack[member, w, m_row, m_col]
+
+
+class Kernels:
+    """One dispatch table of the three executor kernels."""
+
+    __slots__ = ("mode", "pull_level", "cluster_fill", "gather_rows", "gather_strided")
+
+    def __init__(
+        self,
+        mode: str,
+        pull_level: Callable,
+        cluster_fill: Callable,
+        gather_rows: Callable,
+        gather_strided: Callable,
+    ) -> None:
+        self.mode = mode
+        self.pull_level = pull_level
+        self.cluster_fill = cluster_fill
+        self.gather_rows = gather_rows
+        self.gather_strided = gather_strided
+
+
+_PYTHON_KERNELS = Kernels(
+    "python", _pull_level, _cluster_fill, _gather_rows, _gather_strided
+)
+
+_NUMBA_KERNELS: Optional[Kernels] = None
+if HAVE_NUMBA:
+    # fastmath stays off: the ≤1e-12 agreement with the numpy path relies on
+    # IEEE-faithful complex arithmetic.  cache=True persists the compiled
+    # machine code next to this module, so sweep workers (and later runs)
+    # skip the first-call compilation.
+    _jit = numba.njit(cache=True, fastmath=False)
+    _NUMBA_KERNELS = Kernels(
+        "numba",
+        _jit(_pull_level),
+        _jit(_cluster_fill),
+        _jit(_gather_rows),
+        _jit(_gather_strided),
+    )
+
+
+# ----------------------------------------------------------------------
+# Mode selection
+# ----------------------------------------------------------------------
+def _initial_mode() -> str:
+    mode = os.environ.get("REPRO_KERNELS", "auto").strip().lower()
+    return mode if mode in KERNEL_MODES else "auto"
+
+
+_MODE = _initial_mode()
+
+
+def set_kernel_mode(mode: str) -> None:
+    """Select the kernel dispatch mode for subsequently *compiled* plans.
+
+    Existing compiled plans keep the mode they were stamped with (dispatch
+    is a compile-time decision); clear the solver's plan cache to recompile
+    under the new mode.  Selecting ``"numba"`` without numba installed
+    raises immediately.
+    """
+    global _MODE
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; choose one of {list(KERNEL_MODES)}"
+        )
+    if mode == "numba" and not HAVE_NUMBA:
+        raise RuntimeError("kernel mode 'numba' requested but numba is not installed")
+    _MODE = mode
+
+
+def resolve_kernel_mode() -> Optional[str]:
+    """The concrete mode newly compiled plans are stamped with.
+
+    ``None`` means the numpy path (no kernels); otherwise ``"numba"`` or
+    ``"python"``.
+    """
+    if _MODE == "numpy":
+        return None
+    if _MODE == "numba":
+        return "numba"
+    if _MODE == "python":
+        return "python"
+    return "numba" if HAVE_NUMBA else None
+
+
+def get_kernels(mode: Optional[str]) -> Optional[Kernels]:
+    """Dispatch table for a plan's stamped mode; ``None`` = numpy path.
+
+    Unsatisfiable modes (a plan stamped ``"numba"`` loaded from the shared
+    plan spill in a process without numba) degrade to ``None`` rather than
+    raising: kernel availability must never change results, only speed.
+    """
+    if mode == "numba":
+        return _NUMBA_KERNELS  # None when numba is absent: numpy fallback
+    if mode == "python":
+        return _PYTHON_KERNELS
+    return None
+
+
+def kernel_status() -> Dict[str, object]:
+    """Introspection snapshot (for benchmarks and logs)."""
+    return {
+        "have_numba": HAVE_NUMBA,
+        "mode": _MODE,
+        "resolved": resolve_kernel_mode(),
+    }
+
+
+def warmup() -> bool:
+    """Trigger the one-time JIT compilation on tiny inputs.
+
+    Returns ``True`` when the numba kernels are present and compiled.  Useful
+    before timing runs and in process workers, so the first real evaluation
+    does not pay the compile.
+    """
+    kernels = _NUMBA_KERNELS
+    if kernels is None:
+        return False
+    ws = np.zeros((2, 1, 1), dtype=complex)
+    coef = np.ones((1, 1), dtype=complex)
+    starts = np.zeros(1, dtype=np.int64)
+    src = np.zeros(1, dtype=np.int64)
+    kernels.pull_level(ws, src, coef, 0, 0, starts, 1, True)
+    system = np.zeros((1, 1, 1), dtype=complex)
+    index = np.zeros(1, dtype=np.int64)
+    kernels.cluster_fill(system, ws, index, index, index, index, 0)
+    kernels.gather_rows(coef, np.ones((1, 1), dtype=complex), index, index)
+    kernels.gather_strided(
+        coef, np.ones((1, 1, 1, 1), dtype=complex), index, index, index, index
+    )
+    return True

@@ -108,6 +108,7 @@ class TestDocsFiles:
             "--assert-speedup",
             "--assert-warm-speedup",
             "--assert-batch-speedup",
+            "--assert-process-speedup",
         )
         for text in (authoring_text, architecture_text):
             for flag in re.findall(r"--[a-z-]+\b", text):

@@ -1,0 +1,175 @@
+"""Tests of the optional JIT kernels of the compiled cascade executor.
+
+The kernel *logic* is exercised on every machine through the ``"python"``
+mode (the same function bodies numba would compile, run uncompiled); the
+numba legs re-run the equivalence assertions under the actual JIT and are
+skipped cleanly when numba is not installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.sim import CircuitSolver
+from repro.sim.kernels import (
+    HAVE_NUMBA,
+    KERNEL_MODES,
+    get_kernels,
+    kernel_status,
+    resolve_kernel_mode,
+    set_kernel_mode,
+    warmup,
+)
+from test_properties_batch import REGISTRY, WAVELENGTHS, two_rail_cases
+
+#: The kernels recompute the numpy path's sums with at most a different
+#: floating-point association order, so agreement is near machine precision.
+KERNEL_ATOL = 1e-12
+
+
+@pytest.fixture
+def kernel_mode():
+    """Restore the process-global kernel mode after each test."""
+    before = kernel_status()["mode"]
+    yield set_kernel_mode
+    set_kernel_mode(before)
+
+
+def _evaluate_under_mode(mode, netlist, batch):
+    """Compile + evaluate under one kernel mode with a fresh solver.
+
+    A fresh solver per mode matters: dispatch is stamped at compile time,
+    so a shared plan cache would replay the first mode's kernels.
+    """
+    set_kernel_mode(mode)
+    solver = CircuitSolver(registry=REGISTRY)
+    single = solver.evaluate(netlist, WAVELENGTHS, backend="cascade")
+    batched = solver.evaluate_batch(netlist, batch, WAVELENGTHS, backend="cascade")
+    return single, batched
+
+
+@given(two_rail_cases())
+@settings(max_examples=25, deadline=None)
+def test_python_kernels_match_numpy_path(case):
+    """Pure-Python kernel bodies agree with the vectorised numpy executor."""
+    netlist, batch = case
+    before = kernel_status()["mode"]
+    try:
+        numpy_single, numpy_batched = _evaluate_under_mode("numpy", netlist, batch)
+        python_single, python_batched = _evaluate_under_mode("python", netlist, batch)
+    finally:
+        set_kernel_mode(before)
+    assert float(np.max(np.abs(python_single.data - numpy_single.data))) <= KERNEL_ATOL
+    for numpy_result, python_result in zip(numpy_batched, python_batched):
+        delta = float(np.max(np.abs(python_result.data - numpy_result.data)))
+        assert delta <= KERNEL_ATOL
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba is not installed")
+@given(two_rail_cases())
+@settings(max_examples=10, deadline=None)
+def test_numba_kernels_match_numpy_path(case):
+    """The JIT-compiled kernels agree with the vectorised numpy executor."""
+    netlist, batch = case
+    before = kernel_status()["mode"]
+    try:
+        numpy_single, numpy_batched = _evaluate_under_mode("numpy", netlist, batch)
+        numba_single, numba_batched = _evaluate_under_mode("numba", netlist, batch)
+    finally:
+        set_kernel_mode(before)
+    assert float(np.max(np.abs(numba_single.data - numpy_single.data))) <= KERNEL_ATOL
+    for numpy_result, numba_result in zip(numpy_batched, numba_batched):
+        delta = float(np.max(np.abs(numba_result.data - numpy_result.data)))
+        assert delta <= KERNEL_ATOL
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba is not installed")
+def test_warmup_compiles_kernels():
+    assert warmup() is True
+
+
+def test_warmup_without_numba_reports_false():
+    if HAVE_NUMBA:
+        pytest.skip("numba is installed")
+    assert warmup() is False
+
+
+def test_feedback_cluster_under_python_kernels(kernel_mode):
+    """Ring (feedback-cluster) circuits route through the cluster_fill kernel."""
+    from repro.netlist import Instance, Netlist
+
+    netlist = Netlist(
+        instances={
+            "cp": Instance("coupler", {"coupling": 0.3}),
+            "loop": Instance("waveguide", {"length": 42.0, "loss_db_cm": 1.5}),
+        },
+        connections={"cp,O2": "loop,I1", "loop,O1": "cp,I2"},
+        ports={"I1": "cp,I1", "O1": "cp,O1"},
+        models={"coupler": "coupler", "waveguide": "waveguide"},
+    )
+    batch = [{"cp": {"coupling": c}} for c in (0.1, 0.5, 0.9)]
+    numpy_single, numpy_batched = _evaluate_under_mode("numpy", netlist, batch)
+    python_single, python_batched = _evaluate_under_mode("python", netlist, batch)
+    assert np.allclose(python_single.data, numpy_single.data, atol=KERNEL_ATOL, rtol=0)
+    for a, b in zip(numpy_batched, python_batched):
+        assert np.allclose(a.data, b.data, atol=KERNEL_ATOL, rtol=0)
+
+
+# ----------------------------------------------------------------------
+# Mode selection and stamping
+# ----------------------------------------------------------------------
+def test_mode_is_stamped_on_compiled_plans(kernel_mode):
+    from repro.netlist import Instance, Netlist
+
+    netlist = Netlist(
+        instances={"wg": Instance("waveguide", {"length": 10.0})},
+        connections={},
+        ports={"I1": "wg,I1", "O1": "wg,O1"},
+        models={"waveguide": "waveguide"},
+    )
+    set_kernel_mode("python")
+    solver = CircuitSolver()
+    compiled = solver.compile(netlist, WAVELENGTHS)
+    assert compiled.kernel_mode == "python"
+    set_kernel_mode("numpy")
+    assert CircuitSolver().compile(netlist, WAVELENGTHS).kernel_mode is None
+
+
+def test_resolve_kernel_mode_matrix(kernel_mode):
+    set_kernel_mode("numpy")
+    assert resolve_kernel_mode() is None
+    set_kernel_mode("python")
+    assert resolve_kernel_mode() == "python"
+    set_kernel_mode("auto")
+    assert resolve_kernel_mode() == ("numba" if HAVE_NUMBA else None)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown kernel mode"):
+        set_kernel_mode("fortran")
+
+
+def test_numba_mode_without_numba_raises():
+    if HAVE_NUMBA:
+        pytest.skip("numba is installed")
+    with pytest.raises(RuntimeError, match="numba is not installed"):
+        set_kernel_mode("numba")
+
+
+def test_get_kernels_degrades_when_unsatisfiable():
+    """A plan stamped 'numba' (e.g. from the shared spill) falls back cleanly."""
+    kernels = get_kernels("numba")
+    if HAVE_NUMBA:
+        assert kernels is not None and kernels.mode == "numba"
+    else:
+        assert kernels is None
+    assert get_kernels(None) is None
+    assert get_kernels("python").mode == "python"
+
+
+def test_kernel_status_shape():
+    status = kernel_status()
+    assert set(status) == {"have_numba", "mode", "resolved"}
+    assert status["mode"] in KERNEL_MODES

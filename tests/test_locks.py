@@ -1,0 +1,148 @@
+"""Tests of the cross-process advisory file lock and its cache integration."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro._locks import FileLock
+from repro.engine.cache import SimulationCache
+from repro.sim.sparams import SMatrix
+
+
+# ----------------------------------------------------------------------
+# Single-process semantics
+# ----------------------------------------------------------------------
+def test_acquire_release_cycle(tmp_path):
+    lock = FileLock(tmp_path / "x.lock")
+    assert lock.acquire()
+    assert lock.held
+    assert (tmp_path / "x.lock").exists()
+    lock.release()
+    assert not lock.held
+    assert not (tmp_path / "x.lock").exists()
+
+
+def test_context_manager(tmp_path):
+    path = tmp_path / "x.lock"
+    with FileLock(path) as lock:
+        assert lock.held
+        assert path.exists()
+    assert not path.exists()
+
+
+def test_contended_acquire_times_out(tmp_path):
+    path = tmp_path / "x.lock"
+    holder = FileLock(path)
+    assert holder.acquire()
+    contender = FileLock(path, timeout=0.05)
+    start = time.monotonic()
+    assert not contender.acquire()
+    assert time.monotonic() - start >= 0.05
+    holder.release()
+    assert contender.acquire()
+    contender.release()
+
+
+def test_reacquire_by_same_instance_raises(tmp_path):
+    lock = FileLock(tmp_path / "x.lock")
+    assert lock.acquire()
+    with pytest.raises(RuntimeError):
+        lock.acquire()
+    lock.release()
+
+
+def test_stale_lock_is_broken(tmp_path):
+    """A lock file left by a dead process is taken over after stale_timeout."""
+    path = tmp_path / "x.lock"
+    path.write_text("99999999")
+    old = time.time() - 3600.0
+    os.utime(path, (old, old))
+    lock = FileLock(path, timeout=1.0, stale_timeout=60.0)
+    assert lock.acquire()
+    lock.release()
+
+
+def test_fresh_foreign_lock_is_respected(tmp_path):
+    """A recent lock file (live writer) is not stolen before stale_timeout."""
+    path = tmp_path / "x.lock"
+    path.write_text("12345")
+    lock = FileLock(path, timeout=0.05, stale_timeout=60.0)
+    assert not lock.acquire()
+    assert path.exists()
+
+
+def test_release_without_acquire_is_noop(tmp_path):
+    lock = FileLock(tmp_path / "x.lock")
+    lock.release()  # must not raise
+    assert not lock.held
+
+
+# ----------------------------------------------------------------------
+# Multi-process stress
+# ----------------------------------------------------------------------
+def _locked_increment(lock_path: str, counter_path: str, rounds: int) -> None:
+    """Read-modify-write a counter file under the lock (racy without it)."""
+    for _ in range(rounds):
+        with FileLock(Path(lock_path), timeout=30.0):
+            value = int(Path(counter_path).read_text())
+            time.sleep(0.001)  # widen the race window
+            Path(counter_path).write_text(str(value + 1))
+
+
+def test_lock_serialises_processes(tmp_path):
+    counter = tmp_path / "counter"
+    counter.write_text("0")
+    rounds, workers = 5, 4
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(
+            target=_locked_increment,
+            args=(str(tmp_path / "c.lock"), str(counter), rounds),
+        )
+        for _ in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    assert int(counter.read_text()) == rounds * workers
+
+
+def _cache_put_worker(cache_dir: str, worker_index: int, keys: int) -> None:
+    """Hammer the shared on-disk cache with same-key writes from one process."""
+    cache = SimulationCache(max_entries=4, cache_dir=cache_dir)
+    wavelengths = np.linspace(1.51, 1.59, 5)
+    for round_index in range(3):
+        for key_index in range(keys):
+            data = np.full((5, 2, 2), complex(key_index + 1), dtype=complex)
+            cache.put(f"key{key_index}", SMatrix(wavelengths, ("I1", "O1"), data))
+
+
+def test_concurrent_cache_puts_stay_consistent(tmp_path):
+    """Concurrent same-key .npz writers never corrupt the entries."""
+    workers, keys = 4, 3
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(target=_cache_put_worker, args=(str(tmp_path), index, keys))
+        for index in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    # Every entry must be readable and carry the content its key implies.
+    fresh = SimulationCache(max_entries=0, cache_dir=str(tmp_path))
+    for key_index in range(keys):
+        entry = fresh.get(f"key{key_index}")
+        assert entry is not None
+        assert np.all(entry.data == complex(key_index + 1))
+    # No lock files are left behind once every writer has finished.
+    assert not list(tmp_path.glob("*.lock"))

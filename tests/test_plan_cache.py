@@ -415,6 +415,51 @@ class TestThreadSafety:
         assert fresh.plan_cache_stats().hits > 0
 
 
+class TestPlanSpill:
+    def test_plans_spill_to_disk_and_warm_new_solvers(self, wavelengths, tmp_path):
+        netlist = _ring_netlist()
+        cold = CircuitSolver(plan_dir=tmp_path)
+        expected = cold.evaluate(netlist, wavelengths, backend="cascade")
+        spilled = list(tmp_path.glob("plan-*.pkl"))
+        assert spilled, "compiled plans must be persisted under plan_dir"
+
+        warm = CircuitSolver(plan_dir=tmp_path)
+        result = warm.evaluate(netlist, wavelengths, backend="cascade")
+        assert _max_abs_diff(result, expected) <= 1e-12
+        assert warm.plan_cache_stats().disk_hits > 0
+        assert warm.plan_cache_stats().misses == 0 or warm.plan_cache_stats().hits >= 0
+
+    def test_corrupt_spilled_plan_recompiles(self, wavelengths, tmp_path):
+        netlist = _ring_netlist()
+        cold = CircuitSolver(plan_dir=tmp_path)
+        expected = cold.evaluate(netlist, wavelengths, backend="cascade")
+        for path in tmp_path.glob("plan-*.pkl"):
+            path.write_bytes(b"not a pickle")
+        warm = CircuitSolver(plan_dir=tmp_path)
+        result = warm.evaluate(netlist, wavelengths, backend="cascade")
+        assert _max_abs_diff(result, expected) <= 1e-12
+        assert warm.plan_cache_stats().disk_hits == 0
+
+    def test_clear_plan_cache_leaves_spill_in_place(self, wavelengths, tmp_path):
+        solver = CircuitSolver(plan_dir=tmp_path)
+        solver.evaluate(_ring_netlist(), wavelengths, backend="cascade")
+        spilled = sorted(tmp_path.glob("plan-*.pkl"))
+        solver.clear_plan_cache()
+        assert sorted(tmp_path.glob("plan-*.pkl")) == spilled
+
+    def test_bad_plan_dir_rejected(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("a file, not a directory")
+        with pytest.raises(ValueError, match="plan_dir"):
+            CircuitSolver(plan_dir=target)
+
+    def test_engine_resolves_plan_dir_under_cache_dir(self, tmp_path, wavelengths):
+        engine = ExecutionEngine(EngineConfig(cache_dir=tmp_path))
+        assert engine.config.resolved_plan_dir() == tmp_path / "plans"
+        engine.evaluate(_ring_netlist(), wavelengths)
+        assert list((tmp_path / "plans").glob("plan-*.pkl"))
+
+
 class TestKnobPlumbing:
     def test_engine_config_threads_plan_knobs(self):
         engine = ExecutionEngine(

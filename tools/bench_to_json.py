@@ -16,6 +16,11 @@ Runs the solver-scaling problems (the same set as
   settings variants of each problem evaluated as one fused
   ``evaluate_batch`` call versus the per-sample ``evaluate`` loop (both
   warm, both settings-mutating -- the pass@k / Monte-Carlo workload shape),
+* **thread-mode versus process-sharded sweep execution**: one small sweep
+  per registered pack timed on the sequential thread tier and sharded
+  across ``--processes`` worker processes, with the byte-identity of the
+  two reports asserted (``--assert-process-speedup`` gates the speedup on
+  multi-core CI hosts),
 
 records best-of-N wall times, the compile-versus-execute split, plan-cache
 hit rates, the plan structure (feedback clusters, levels, column groups) and
@@ -43,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -57,9 +63,12 @@ import numpy as np  # noqa: E402  (after the path insert, like the other tools)
 from repro.bench import get_problem  # noqa: E402
 from repro.bench.packs import get_pack, pack_names  # noqa: E402
 from repro.constants import default_wavelength_grid  # noqa: E402
+from repro.engine.procpool import resolve_processes  # noqa: E402
+from repro.harness.runner import SweepConfig, run_sweep  # noqa: E402
 from repro.netlist.validation import validate_netlist  # noqa: E402
 from repro.sim import CircuitSolver, apply_settings  # noqa: E402
 from repro.sim.cascade import cascade_solve  # noqa: E402
+from repro.sim.kernels import kernel_status  # noqa: E402
 
 #: Problems timed by default (mirrors benchmarks/bench_ablation_solver_scaling.py).
 DEFAULT_PROBLEMS = (
@@ -181,6 +190,100 @@ def _time_settings_batch(solver, netlist, wavelengths, batch_samples, repeats):
     }
 
 
+#: Small per-pack sweep shapes of the thread-vs-process execution timing
+#: (subsets / shrunk parameters keep one sweep to a few seconds).
+SWEEP_TIMING_CASES = {
+    "core": dict(
+        problems=(
+            "clements_4x4",
+            "reck_4x4",
+            "nls",
+            "direct_modulator",
+            "wdm_mux",
+            "mzi_ps",
+        )
+    ),
+    "variability": dict(pack_params={"corners": 2}),
+    "wdm-links": dict(pack_params={"channels": (2, 4)}),
+}
+
+
+def _sweep_execution_benchmark(processes: int, repeats: int) -> Dict[str, object]:
+    """Thread-mode vs process-mode all-pack sweep timing.
+
+    Runs the same small sweep over every registered pack once on the thread
+    tier (``workers=1``, the sequential baseline) and once sharded across
+    ``processes`` worker processes, recording wall times, the speedup, and a
+    byte-identity check of the two reports.  The process column includes the
+    full fixed overhead (pool start-up, per-worker context rebuild), which
+    is exactly what a user pays; expect speedups only on multi-core hosts
+    and sweeps that amortise that overhead.
+    """
+    resolved = resolve_processes(processes)
+    packs: List[Dict[str, object]] = []
+    thread_total = 0.0
+    process_total = 0.0
+    identical_everywhere = True
+    for pack_name in pack_names():
+        case = SWEEP_TIMING_CASES.get(pack_name, {})
+
+        def build_config(**overrides):
+            return SweepConfig(
+                samples_per_problem=2,
+                max_feedback_iterations=1,
+                num_wavelengths=11,
+                pack=pack_name,
+                **case,
+                **overrides,
+            )
+
+        def run_thread():
+            return run_sweep(build_config(), restriction_settings=(False, True))
+
+        def run_process():
+            return run_sweep(
+                build_config(execution_mode="process", processes=resolved),
+                restriction_settings=(False, True),
+            )
+
+        thread_result = run_thread()
+        process_result = run_process()
+        identical = json.dumps(thread_result.to_dict(), sort_keys=True) == json.dumps(
+            process_result.to_dict(), sort_keys=True
+        )
+        identical_everywhere = identical_everywhere and identical
+        thread_timing = _best_of(run_thread, repeats)
+        process_timing = _best_of(run_process, repeats)
+        thread_total += thread_timing["best_s"]
+        process_total += process_timing["best_s"]
+        packs.append(
+            {
+                "pack": pack_name,
+                "byte_identical": identical,
+                "thread": thread_timing,
+                "process": process_timing,
+                "process_speedup_vs_thread": thread_timing["best_s"]
+                / max(process_timing["best_s"], 1e-12),
+            }
+        )
+        print(
+            f"sweep[{pack_name}]: thread={thread_timing['best_s']:.3f}s "
+            f"process({resolved})={process_timing['best_s']:.3f}s "
+            f"speedup={packs[-1]['process_speedup_vs_thread']:.2f}x "
+            f"identical={identical}",
+            file=sys.stderr,
+        )
+    return {
+        "processes": resolved,
+        "cpu_count": os.cpu_count(),
+        "byte_identical": identical_everywhere,
+        "thread_total_best_s": thread_total,
+        "process_total_best_s": process_total,
+        "process_speedup_vs_thread": thread_total / max(process_total, 1e-12),
+        "packs": packs,
+    }
+
+
 def _pr3_reference_evaluate(solver, netlist, wavelengths, compiled, matrices):
     """One evaluation along the PR 3 cold path.
 
@@ -251,7 +354,11 @@ def _equivalence_sweep(num_wavelengths: int) -> Dict[str, object]:
 
 
 def run_benchmark(
-    problems: Sequence[str], num_wavelengths: int, repeats: int, batch_samples: int
+    problems: Sequence[str],
+    num_wavelengths: int,
+    repeats: int,
+    batch_samples: int,
+    processes: int = 0,
 ) -> Dict[str, object]:
     """Time every scenario on every problem and assemble one trajectory run."""
     wavelengths = default_wavelength_grid(num_wavelengths)
@@ -366,11 +473,14 @@ def run_benchmark(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "kernels": kernel_status(),
         },
         "plan_cache": plan_stats.as_dict(),
         "plan_cache_hit_rate": plan_stats.hit_rate,
         "batch_stats": solver.batch_stats().as_dict(),
         "equivalence": _equivalence_sweep(num_wavelengths),
+        "sweep_execution": _sweep_execution_benchmark(processes, repeats),
         "results": results,
     }
 
@@ -468,6 +578,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "a typical Monte-Carlo draw count)",
     )
     parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker-process count of the thread-vs-process sweep timing "
+        "(default 0 = one per core)",
+    )
+    parser.add_argument(
         "--fresh",
         action="store_true",
         help="start a new trajectory instead of appending to an existing file",
@@ -498,6 +616,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "FACTOR times faster than the per-sample evaluate loop on PROBLEM "
         "(repeatable; 1.0 = 'no slower')",
     )
+    parser.add_argument(
+        "--assert-process-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit non-zero unless the process-sharded all-pack sweep is at "
+        "least FACTOR times faster than the thread-mode baseline (meaningful "
+        "on multi-core hosts only; byte-identity of the two reports is "
+        "always asserted)",
+    )
     args = parser.parse_args(argv)
     # Validate flags that would otherwise only fail after minutes of timing.
     speedup_assertions = _parse_assertions(args.assert_speedup, "--assert-speedup")
@@ -508,7 +636,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.batch_samples < 1:
         raise SystemExit(f"--batch-samples must be >= 1, got {args.batch_samples}")
 
-    run = run_benchmark(args.problems, args.wavelengths, args.repeats, args.batch_samples)
+    run = run_benchmark(
+        args.problems, args.wavelengths, args.repeats, args.batch_samples, args.processes
+    )
     payload = merge_trajectory(args.output, run, args.fresh)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -536,6 +666,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batched-settings speedup",
         failures,
     )
+    sweep_execution = run["sweep_execution"]
+    if not sweep_execution["byte_identical"]:
+        failures.append("process-sharded sweep reports are not byte-identical")
+    if args.assert_process_speedup is not None:
+        speedup = sweep_execution["process_speedup_vs_thread"]
+        if speedup < args.assert_process_speedup:
+            failures.append(
+                f"process sweep speedup {speedup:.2f}x < required "
+                f"{args.assert_process_speedup:.2f}x "
+                f"({sweep_execution['processes']} processes, "
+                f"{sweep_execution['cpu_count']} cores)"
+            )
     if failures:
         print("speedup assertions FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
         return 1
