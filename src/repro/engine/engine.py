@@ -42,6 +42,7 @@ __all__ = [
     "EngineConfig",
     "ExecutionEngine",
     "default_engine",
+    "stats_delta",
 ]
 
 #: Recognised parallel execution tiers (see :attr:`EngineConfig.execution_mode`).
@@ -498,6 +499,46 @@ class ExecutionEngine:
             "solver_batch": solver_batch.as_dict(),
             "batch_fusion_rate": solver_batch.fusion_rate,
         }
+
+
+def stats_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """What one slice of work added to an engine's :meth:`~ExecutionEngine.stats`.
+
+    Long-running services share one engine across many jobs, so absolute
+    counters conflate every job that ever ran; the delta of two snapshots
+    isolates a single job's cache behaviour (e.g. "did job 2 get warm
+    plan-cache hits?").  Numeric leaves are subtracted recursively; rate
+    leaves (``*rate*`` keys) are recomputed from the sibling hit/miss
+    deltas where possible and dropped otherwise (a rate of deltas is not
+    the delta of rates); non-numeric leaves keep their ``after`` value.
+    """
+    delta: Dict[str, object] = {}
+    for key, after_value in after.items():
+        before_value = before.get(key)
+        if isinstance(after_value, dict):
+            delta[key] = stats_delta(
+                before_value if isinstance(before_value, dict) else {}, after_value
+            )
+        elif (
+            isinstance(after_value, bool)
+            or not isinstance(after_value, (int, float))
+            or key in ("workers", "batch_size", "processes")
+        ):
+            # Configuration leaves are not counters: keep the current value.
+            delta[key] = after_value
+        elif "rate" in key:
+            continue  # recomputed below when the numerators are present
+        else:
+            base = before_value if isinstance(before_value, (int, float)) else 0
+            delta[key] = after_value - base
+    for key, value in delta.items():
+        if isinstance(value, dict) and "hits" in value and "misses" in value:
+            hits, misses = value["hits"], value["misses"]
+            total = (hits or 0) + (misses or 0)  # type: ignore[operator]
+            value["hit_rate"] = (hits or 0) / total if total else 0.0  # type: ignore[operator]
+    return delta
 
 
 def default_engine(

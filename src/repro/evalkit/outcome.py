@@ -128,6 +128,25 @@ class EvalReport:
         except ValueError:
             raise ValueError("the report contains no evaluated samples") from None
 
+    def problem_pass_at_k(
+        self, problem: str, k: int, *, metric: str = "syntax", max_feedback: int = 0
+    ) -> float:
+        """Pass@k (in percent) of a single problem of this report.
+
+        The single-problem restriction of :meth:`pass_at_k` (same clamping
+        and percentage conventions); this is the value the evaluation
+        service's regression diff compares per problem between runs.
+        Raises ``KeyError`` for unknown problems and ``ValueError`` when the
+        problem has no evaluated samples.
+        """
+        samples = self.results[problem]
+        n = len(samples)
+        c = sum(1 for s in samples if s.passed_within(metric, max_feedback))
+        try:
+            return _mean_pass_percent([(n, c)], k)
+        except ValueError:
+            raise ValueError(f"problem {problem!r} has no evaluated samples") from None
+
     def error_breakdown(self) -> Dict[ErrorCategory, int]:
         """Histogram of error categories across every failed attempt."""
         histogram: Dict[ErrorCategory, int] = {}

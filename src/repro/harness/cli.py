@@ -21,6 +21,11 @@ Work with problem packs::
     python -m repro.harness --list-packs
     python -m repro.harness table1 --pack wdm-links
     python -m repro.harness sweep --pack wdm-links --pack-param "channels=[2, 4]"
+
+Run the evaluation service (forwarded to :mod:`repro.service.cli`)::
+
+    python -m repro.harness serve --db results.db --port 7341
+    python -m repro.harness jobs --port 7341 submit --pack core --wait
 """
 
 from __future__ import annotations
@@ -227,6 +232,14 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.harness``."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] in ("serve", "jobs"):
+        # Service verbs forward to the evaluation-service CLI, so the
+        # harness front door covers both one-shot sweeps and the daemon:
+        # ``python -m repro.harness serve ...`` / ``... jobs submit ...``.
+        from ..service.cli import main as service_main
+
+        return service_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
 

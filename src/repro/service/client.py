@@ -1,0 +1,118 @@
+"""Client of the service daemon's line-JSON protocol.
+
+:class:`ServiceClient` opens one connection per request (the protocol is a
+single request/response line, so connection reuse buys nothing and
+per-request connections keep the client trivially thread-safe).  Error
+responses (``ok: false``) raise :class:`ServiceError` with the daemon's
+message, so callers never have to inspect raw payloads for failures.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Optional
+
+from .spec import JobSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An ``ok: false`` response from the daemon."""
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.daemon.ServiceDaemon`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one request line; returns the parsed ``ok: true`` response."""
+        payload = {"op": op, **fields}
+        with socket.create_connection((self.host, self.port), timeout=self.timeout) as sock:
+            sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            handle = sock.makefile("r", encoding="utf-8")
+            line = handle.readline()
+        if not line:
+            raise ServiceError("the daemon closed the connection without responding")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown service error")))
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        """Liveness probe."""
+        return self.request("ping")
+
+    def submit(
+        self, spec: JobSpec, *, priority: int = 0, dedupe: bool = False
+    ) -> str:
+        """Submit a job; returns its id."""
+        response = self.request(
+            "submit", spec=spec.to_dict(), priority=priority, dedupe=dedupe
+        )
+        return str(response["job_id"])
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """One job record snapshot."""
+        return self.request("status", job_id=job_id)["job"]  # type: ignore[return-value]
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True when the request was accepted."""
+        return bool(self.request("cancel", job_id=job_id)["cancelled"])
+
+    def jobs(self) -> list:
+        """Every job record."""
+        return self.request("jobs")["jobs"]  # type: ignore[return-value]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The stored run of a DONE job."""
+        return self.request("result", job_id=job_id)
+
+    def runs(self, spec_fingerprint: Optional[str] = None) -> list:
+        """Stored run summaries."""
+        fields: Dict[str, object] = {}
+        if spec_fingerprint is not None:
+            fields["spec_fingerprint"] = spec_fingerprint
+        return self.request("runs", **fields)["runs"]  # type: ignore[return-value]
+
+    def diff(
+        self, baseline: str, candidate: str, *, tolerance: float = 0.0
+    ) -> Dict[str, object]:
+        """Regression-diff two stored runs (JSON report + markdown)."""
+        return self.request(
+            "diff", baseline=baseline, candidate=candidate, tolerance=tolerance
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters."""
+        return self.request("stats")["stats"]  # type: ignore[return-value]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop."""
+        self.request("shutdown")
+
+    def poll(
+        self, job_id: str, *, timeout: float = 300.0, interval: float = 0.1
+    ) -> Dict[str, object]:
+        """Poll a job until it reaches a terminal state; returns the record.
+
+        Raises ``TimeoutError`` when the job is still live after ``timeout``
+        seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(interval)

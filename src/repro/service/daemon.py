@@ -1,0 +1,243 @@
+"""The service daemon: a line-delimited-JSON protocol over a local socket.
+
+One request per line, one JSON response per line; a connection may pipeline
+any number of requests.  Every response carries ``"ok"``; errors come back
+as ``{"ok": false, "error": "..."}`` and never kill the connection (a
+malformed line is answered and the handler keeps reading).
+
+Operations
+----------
+``ping``                     liveness probe (returns the protocol version).
+``submit``                   ``{spec, priority?, dedupe?}`` -> ``{job_id}``.
+``status``                   ``{job_id}`` -> the job record snapshot.
+``cancel``                   ``{job_id}`` -> ``{cancelled}``.
+``jobs``                     every job record, submission order.
+``result``                   ``{job_id}`` -> the job's stored run (reports inline).
+``runs``                     ``{spec_fingerprint?}`` -> stored run summaries.
+``diff``                     ``{baseline, candidate, tolerance?}`` -> JSON report
+                             (+ rendered markdown).
+``stats``                    service/engine/store counters.
+``shutdown``                 stop the daemon after responding.
+
+The daemon binds ``127.0.0.1`` (an ephemeral port by default) -- it is a
+*local* service front door, not an internet-facing server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Dict, Optional, Tuple
+
+from .queue import JobState
+from .report import json_report, markdown_report
+from .service import EvalService
+from .spec import JobSpec
+
+__all__ = ["PROTOCOL_VERSION", "ServiceDaemon"]
+
+#: Version tag answered by ``ping`` (bump on incompatible protocol changes).
+PROTOCOL_VERSION = 1
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines, answer JSON lines."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver plumbing
+        daemon: "ServiceDaemon" = self.server.daemon  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("a request must be a JSON object")
+                response = daemon.dispatch(request)
+            except Exception as error:  # noqa: BLE001 - protocol error surface
+                response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            stopping = bool(response.pop("_shutdown", False))
+            self.wfile.write(
+                (json.dumps(response, default=repr) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+            if stopping:
+                daemon.stop_async()
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    """Threading TCP server with fast restart and daemonic handlers."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServiceDaemon:
+    """Serve an :class:`EvalService` over the line-JSON protocol.
+
+    ``start()`` binds and serves in a background thread and returns the
+    bound ``(host, port)``; ``stop()`` shuts the socket down.  The daemon
+    does not own the service's lifecycle -- callers close the service after
+    stopping the daemon (the CLI and tests use both as context managers).
+    """
+
+    def __init__(
+        self, service: EvalService, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); raises until :meth:`start` has run."""
+        if self._server is None:
+            raise RuntimeError("the daemon is not running")
+        return self._server.server_address[:2]  # type: ignore[return-value]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve in a background thread; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("the daemon is already running")
+        self._server = _Server((self._host, self._port), _Handler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-service-daemon", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._server = None
+        self._thread = None
+
+    def stop_async(self) -> None:
+        """Stop from inside a handler thread (used by the ``shutdown`` op)."""
+        threading.Thread(target=self.stop, daemon=True).start()
+
+    def serve_forever(self) -> None:
+        """Foreground serve (the CLI's ``serve`` loop): start, then block."""
+        if self._server is None:
+            self.start()
+        assert self._thread is not None
+        try:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        except KeyboardInterrupt:
+            self.stop()
+
+    def __enter__(self) -> "ServiceDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Protocol dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one protocol request (exceptions become error responses)."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if not isinstance(op, str) or handler is None:
+            raise ValueError(f"unknown op {op!r}")
+        return handler(request)
+
+    def _op_ping(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Liveness + protocol version."""
+        return {"ok": True, "protocol": PROTOCOL_VERSION}
+
+    def _op_submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Submit a job spec; returns its job id."""
+        spec_payload = request.get("spec")
+        if not isinstance(spec_payload, dict):
+            raise ValueError("submit needs a 'spec' object")
+        spec = JobSpec.from_dict(spec_payload)
+        job_id = self.service.submit(
+            spec,
+            priority=int(request.get("priority", 0)),  # type: ignore[arg-type]
+            dedupe=bool(request.get("dedupe", False)),
+        )
+        return {"ok": True, "job_id": job_id, "spec_fingerprint": spec.fingerprint()}
+
+    def _op_status(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Snapshot one job record."""
+        record = self.service.status(str(request["job_id"]))
+        return {"ok": True, "job": record.to_dict()}
+
+    def _op_cancel(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Request job cancellation."""
+        cancelled = self.service.cancel(str(request["job_id"]))
+        return {"ok": True, "cancelled": cancelled}
+
+    def _op_jobs(self, request: Dict[str, object]) -> Dict[str, object]:
+        """List every known job."""
+        return {"ok": True, "jobs": [job.to_dict() for job in self.service.queue.jobs()]}
+
+    def _op_result(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The stored run of a finished job (reports inline)."""
+        record = self.service.status(str(request["job_id"]))
+        if record.state is not JobState.DONE or record.run_id is None:
+            raise ValueError(
+                f"job {record.job_id} has no result (state: {record.state.value})"
+            )
+        run = self.service.store.load_run(record.run_id)
+        return {
+            "ok": True,
+            "run_id": run.run_id,
+            "spec": run.spec.to_dict(),
+            "engine_stats": run.engine_stats,
+            "reports": {
+                f"{model}|{'with' if restrictions else 'without'}_restrictions": (
+                    report.to_dict()
+                )
+                for (model, restrictions), report in run.reports.items()
+            },
+        }
+
+    def _op_runs(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Stored run summaries (optionally filtered by spec fingerprint)."""
+        fingerprint = request.get("spec_fingerprint")
+        runs = self.service.store.find_runs(
+            str(fingerprint) if fingerprint is not None else None
+        )
+        return {"ok": True, "runs": runs}
+
+    def _op_diff(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Regression-diff two stored runs."""
+        diff = self.service.diff(
+            str(request["baseline"]),
+            str(request["candidate"]),
+            tolerance=float(request.get("tolerance", 0.0)),  # type: ignore[arg-type]
+        )
+        return {
+            "ok": True,
+            "report": json_report(diff),
+            "markdown": markdown_report(diff),
+        }
+
+    def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Service/engine/store counters."""
+        return {"ok": True, "stats": self.service.stats()}
+
+    def _op_shutdown(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Stop the daemon (after this response is written)."""
+        return {"ok": True, "stopping": True, "_shutdown": True}
+
+
+def connect(host: str, port: int, timeout: float = 30.0) -> socket.socket:
+    """Open one client connection to a running daemon."""
+    return socket.create_connection((host, port), timeout=timeout)

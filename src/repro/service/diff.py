@@ -1,0 +1,254 @@
+"""Pass@k regression diffing between two evaluation runs.
+
+The diff compares every (model, restriction setting, pack, problem, metric,
+k, feedback budget) pass@k value of a *candidate* run against a *baseline*
+run and classifies each entry:
+
+``unchanged``
+    |delta| <= tolerance (in percentage points; the tolerance edge itself
+    counts as unchanged).
+``improved`` / ``regressed``
+    The candidate moved above / below the baseline by more than the
+    tolerance.
+``added`` / ``removed``
+    The entry exists in only one of the runs (new/retired problems, models
+    or restriction settings); these never trip the regression verdict on
+    their own.
+
+Entries cover both per-problem values and the pack-aggregate row (problem
+``None``), so a diff pinpoints *which* problem moved as well as whether the
+table-level number did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..evalkit.outcome import EvalReport
+from ..harness.runner import FEEDBACK_COLUMNS, PASS_AT
+from .store import ResultsStore, TRAJECTORY_METRICS
+
+__all__ = ["DiffEntry", "RunDiff", "VERDICTS", "diff_reports", "diff_runs"]
+
+#: Every verdict a diff entry can carry.
+VERDICTS: Tuple[str, ...] = ("unchanged", "improved", "regressed", "added", "removed")
+
+#: Key ordering of diff entries: (model, restrictions, pack, problem-or-"",
+#: metric, k, max_feedback).  Aggregate rows (problem None) sort first.
+DiffKey = Tuple[str, bool, str, Optional[str], str, int, int]
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared pass@k value."""
+
+    model: str
+    with_restrictions: bool
+    pack: str
+    problem: Optional[str]  # None = pack aggregate
+    metric: str
+    k: int
+    max_feedback: int
+    baseline: Optional[float]
+    candidate: Optional[float]
+    verdict: str
+
+    @property
+    def delta(self) -> Optional[float]:
+        """candidate - baseline, in percentage points (None when one-sided)."""
+        if self.baseline is None or self.candidate is None:
+            return None
+        return self.candidate - self.baseline
+
+    @property
+    def key(self) -> DiffKey:
+        """Stable sort/lookup key of the entry."""
+        return (
+            self.model,
+            self.with_restrictions,
+            self.pack,
+            self.problem if self.problem is not None else "",
+            self.metric,
+            self.k,
+            self.max_feedback,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (used by the JSON regression report)."""
+        return {
+            "model": self.model,
+            "with_restrictions": self.with_restrictions,
+            "pack": self.pack,
+            "problem": self.problem,
+            "metric": self.metric,
+            "k": self.k,
+            "max_feedback": self.max_feedback,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class RunDiff:
+    """The full diff between two runs (or two in-memory report sets)."""
+
+    baseline_id: str
+    candidate_id: str
+    tolerance: float
+    entries: List[DiffEntry] = field(default_factory=list)
+
+    def with_verdict(self, verdict: str) -> List[DiffEntry]:
+        """Entries carrying one verdict."""
+        return [entry for entry in self.entries if entry.verdict == verdict]
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        """Entries whose candidate value fell below tolerance."""
+        return self.with_verdict("regressed")
+
+    @property
+    def improvements(self) -> List[DiffEntry]:
+        """Entries whose candidate value rose above tolerance."""
+        return self.with_verdict("improved")
+
+    @property
+    def changed(self) -> List[DiffEntry]:
+        """Everything that is not ``unchanged`` (incl. added/removed)."""
+        return [entry for entry in self.entries if entry.verdict != "unchanged"]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two runs are indistinguishable (all unchanged)."""
+        return not self.changed
+
+    @property
+    def is_regression(self) -> bool:
+        """The CI gate: does the candidate regress anywhere?"""
+        return bool(self.regressions)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """Histogram of entry verdicts (stable key order)."""
+        return {
+            verdict: len(self.with_verdict(verdict))
+            for verdict in VERDICTS
+        }
+
+
+def _classify(baseline: float, candidate: float, tolerance: float) -> str:
+    """Verdict of one two-sided comparison."""
+    delta = candidate - baseline
+    if abs(delta) <= tolerance:
+        return "unchanged"
+    return "improved" if delta > 0 else "regressed"
+
+
+def _report_values(
+    reports: Dict[Tuple[str, bool], EvalReport],
+    metrics: Sequence[str],
+    ks: Sequence[int],
+    feedbacks: Sequence[int],
+) -> Dict[DiffKey, Tuple[str, Optional[str], float]]:
+    """Flatten report sets into {key: (pack, problem, value)} lookups."""
+    values: Dict[DiffKey, Tuple[str, Optional[str], float]] = {}
+    for (model, with_restrictions), report in reports.items():
+        problems: List[Optional[str]] = [None, *report.results.keys()]
+        for metric in metrics:
+            for k in ks:
+                for max_feedback in feedbacks:
+                    for problem in problems:
+                        if problem is None:
+                            value = report.pass_at_k(
+                                k, metric=metric, max_feedback=max_feedback
+                            )
+                        else:
+                            value = report.problem_pass_at_k(
+                                problem, k, metric=metric, max_feedback=max_feedback
+                            )
+                        key: DiffKey = (
+                            model,
+                            with_restrictions,
+                            report.pack,
+                            problem if problem is not None else "",
+                            metric,
+                            k,
+                            max_feedback,
+                        )
+                        values[key] = (report.pack, problem, value)
+    return values
+
+
+def diff_reports(
+    baseline: Dict[Tuple[str, bool], EvalReport],
+    candidate: Dict[Tuple[str, bool], EvalReport],
+    *,
+    tolerance: float = 0.0,
+    baseline_id: str = "baseline",
+    candidate_id: str = "candidate",
+    metrics: Sequence[str] = TRAJECTORY_METRICS,
+    ks: Sequence[int] = PASS_AT,
+    feedbacks: Sequence[int] = FEEDBACK_COLUMNS,
+) -> RunDiff:
+    """Diff two in-memory report sets (keyed by (model, with_restrictions)).
+
+    ``tolerance`` is in percentage points of pass@k and must be >= 0; the
+    edge case ``|delta| == tolerance`` is *unchanged* by definition, so a
+    tolerance of 0 flags every nonzero drift.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0 percentage points")
+    baseline_values = _report_values(baseline, metrics, ks, feedbacks)
+    candidate_values = _report_values(candidate, metrics, ks, feedbacks)
+    entries: List[DiffEntry] = []
+    for key in sorted(set(baseline_values) | set(candidate_values)):
+        model, with_restrictions, pack, _, metric, k, max_feedback = key
+        base = baseline_values.get(key)
+        cand = candidate_values.get(key)
+        problem = (base or cand)[1]  # type: ignore[index]
+        if base is not None and cand is not None:
+            verdict = _classify(base[2], cand[2], tolerance)
+        elif base is None:
+            verdict = "added"
+        else:
+            verdict = "removed"
+        entries.append(
+            DiffEntry(
+                model=model,
+                with_restrictions=with_restrictions,
+                pack=pack,
+                problem=problem,
+                metric=metric,
+                k=k,
+                max_feedback=max_feedback,
+                baseline=base[2] if base is not None else None,
+                candidate=cand[2] if cand is not None else None,
+                verdict=verdict,
+            )
+        )
+    return RunDiff(
+        baseline_id=baseline_id,
+        candidate_id=candidate_id,
+        tolerance=float(tolerance),
+        entries=entries,
+    )
+
+
+def diff_runs(
+    store: ResultsStore,
+    baseline_run: str,
+    candidate_run: str,
+    *,
+    tolerance: float = 0.0,
+) -> RunDiff:
+    """Diff two *stored* runs by id (the `repro jobs diff` backend)."""
+    baseline = store.load_run(baseline_run)
+    candidate = store.load_run(candidate_run)
+    return diff_reports(
+        baseline.reports,
+        candidate.reports,
+        tolerance=tolerance,
+        baseline_id=baseline_run,
+        candidate_id=candidate_run,
+    )

@@ -1,0 +1,114 @@
+"""CI-style regression reports over a :class:`~repro.service.diff.RunDiff`.
+
+Two renderers share one diff:
+
+* :func:`markdown_report` -- the human/CI page: a verdict headline, a
+  verdict histogram, and a table of every changed entry (regressions
+  first).  The output is fully deterministic -- entries are sorted, values
+  are fixed-precision, and no timestamps appear -- so golden-file tests can
+  compare it byte for byte.
+* :func:`json_report` -- the machine form consumed by the protocol's
+  ``diff`` op and the ``jobs diff --format json`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .diff import DiffEntry, RunDiff
+
+__all__ = ["json_report", "markdown_report"]
+
+#: Verdict -> table badge.
+_BADGES = {
+    "regressed": "❌ regressed",
+    "improved": "✅ improved",
+    "added": "➕ added",
+    "removed": "➖ removed",
+    "unchanged": "· unchanged",
+}
+
+
+def _fmt(value: object) -> str:
+    """Fixed-precision cell text ('-' for one-sided entries)."""
+    if value is None:
+        return "-"
+    return f"{float(value):.2f}"  # type: ignore[arg-type]
+
+
+def _entry_rank(entry: DiffEntry) -> tuple:
+    """Sort changed entries: regressions first, then by key."""
+    order = {"regressed": 0, "removed": 1, "added": 2, "improved": 3, "unchanged": 4}
+    return (order[entry.verdict], entry.key)
+
+
+def _row(entry: DiffEntry) -> str:
+    """One markdown table row."""
+    scope = entry.problem if entry.problem is not None else f"(pack: {entry.pack})"
+    return (
+        f"| {entry.model} | {'with' if entry.with_restrictions else 'without'} "
+        f"| {scope} | {entry.metric}@{entry.k} (EF{entry.max_feedback}) "
+        f"| {_fmt(entry.baseline)} | {_fmt(entry.candidate)} | {_fmt(entry.delta)} "
+        f"| {_BADGES[entry.verdict]} |"
+    )
+
+
+def markdown_report(diff: RunDiff, *, max_rows: int = 200) -> str:
+    """Render the diff as a deterministic CI markdown page.
+
+    ``max_rows`` bounds the changed-entry table (the summary always reports
+    the full counts, so truncation is visible, never silent).
+    """
+    counts = diff.verdict_counts()
+    if diff.is_regression:
+        headline = f"❌ REGRESSION: {counts['regressed']} pass@k value(s) dropped"
+    elif diff.is_empty:
+        headline = "✅ No differences: the runs are identical within tolerance"
+    else:
+        headline = "✅ No regressions"
+    lines: List[str] = [
+        "# Pass@k regression report",
+        "",
+        f"- baseline: `{diff.baseline_id}`",
+        f"- candidate: `{diff.candidate_id}`",
+        f"- tolerance: {diff.tolerance:.4f} percentage points",
+        "",
+        f"**{headline}**",
+        "",
+        "| verdict | entries |",
+        "|---|---:|",
+        *[f"| {_BADGES[v]} | {counts[v]} |" for v in counts],
+        "",
+    ]
+    changed = sorted(diff.changed, key=_entry_rank)
+    if changed:
+        lines += [
+            "## Changed entries",
+            "",
+            "| model | restrictions | problem | metric | baseline | candidate | delta | verdict |",
+            "|---|---|---|---|---:|---:|---:|---|",
+            *[_row(entry) for entry in changed[:max_rows]],
+        ]
+        if len(changed) > max_rows:
+            lines.append("")
+            lines.append(
+                f"... {len(changed) - max_rows} further changed entries omitted "
+                f"({len(changed)} total)."
+            )
+    else:
+        lines.append("No changed entries.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def json_report(diff: RunDiff) -> Dict[str, object]:
+    """The machine-readable regression report (JSON-ready containers)."""
+    return {
+        "baseline": diff.baseline_id,
+        "candidate": diff.candidate_id,
+        "tolerance": diff.tolerance,
+        "is_regression": diff.is_regression,
+        "is_empty": diff.is_empty,
+        "verdict_counts": diff.verdict_counts(),
+        "changed": [entry.to_dict() for entry in sorted(diff.changed, key=_entry_rank)],
+    }

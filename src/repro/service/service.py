@@ -1,0 +1,209 @@
+"""The evaluation service: job queue + results store + one shared engine.
+
+:class:`EvalService` is the in-process backend both the daemon and the
+tests drive.  It fixes the CLI's one-shot assumption: a single
+:class:`~repro.engine.engine.ExecutionEngine` (one compiled-plan cache, one
+simulation cache, one golden store per pack) outlives every job, so the
+second job on a structurally similar spec starts *warm* -- plan-cache and
+simulation-cache hits instead of cold recompiles.  Per-job engine-stats
+deltas (:func:`~repro.engine.engine.stats_delta`) make that observable and
+are persisted with each run.
+
+Thread-mode jobs run through :func:`~repro.harness.runner.run_model` on the
+shared engine; process-mode specs dispatch through the PR 6
+:class:`~repro.engine.procpool.ProcessScheduler` path (workers share the
+service's ``cache_dir`` disk tiers instead of its in-memory engine).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..bench.golden import GoldenStore
+from ..engine.engine import EngineConfig, ExecutionEngine, stats_delta
+from ..evalkit.outcome import EvalReport
+from ..harness.runner import run_model
+from ..llm.profiles import get_profile
+from ..llm.simulated import SimulatedDesigner
+from .diff import RunDiff, diff_runs
+from .queue import JobQueue, JobRecord, JobState
+from .spec import JobSpec
+from .store import ResultsStore
+
+__all__ = ["EvalService"]
+
+
+class EvalService:
+    """Long-running evaluation backend (queue + store + warm shared engine).
+
+    Parameters
+    ----------
+    db_path:
+        The SQLite results database (created on first open).
+    cache_dir:
+        Optional on-disk cache directory shared by every job -- thread-mode
+        jobs persist ``.npz``/plan artefacts there, and process-mode jobs'
+        workers warm each other through it.
+    job_workers:
+        Worker threads of the job queue = maximum concurrently RUNNING jobs.
+    engine_workers:
+        Thread-pool width of the shared engine (parallelism *within* one
+        thread-mode job).
+    """
+
+    def __init__(
+        self,
+        db_path: Path | str,
+        *,
+        cache_dir: Optional[Path | str] = None,
+        job_workers: int = 2,
+        engine_workers: int = 1,
+    ) -> None:
+        self.store = ResultsStore(db_path)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.engine = ExecutionEngine(
+            EngineConfig(workers=engine_workers, cache_dir=self.cache_dir)
+        )
+        self._golden_stores: Dict[Tuple[str, str, int], GoldenStore] = {}
+        self._golden_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.queue = JobQueue(
+            self._execute, workers=job_workers, on_update=self._persist_job
+        )
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, *, priority: int = 0, dedupe: bool = False) -> str:
+        """Enqueue one job; returns its id.
+
+        With ``dedupe=True`` a spec whose fingerprint already has a stored
+        run short-circuits: the job is recorded DONE immediately, pointing
+        at the existing run, and no evaluation work happens.
+        """
+        spec.validate()
+        if dedupe:
+            existing = self.store.latest_run(spec.fingerprint())
+            if existing is not None:
+                record = JobRecord(job_id=f"job-dedup-{existing[:12]}", spec=spec)
+                record.state = JobState.DONE
+                record.started_at = record.finished_at = time.time()
+                record.run_id = existing
+                record.deduplicated = True
+                self.queue.adopt(record)
+                self._persist_job(record)
+                return record.job_id
+        return self.queue.submit(spec, priority=priority)
+
+    def status(self, job_id: str) -> JobRecord:
+        """Live job record (falls back to the store for persisted-only jobs)."""
+        return self.queue.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation (see :meth:`JobQueue.cancel`)."""
+        return self.queue.cancel(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until the job is terminal (or timeout)."""
+        return self.queue.wait(job_id, timeout)
+
+    def diff(self, baseline_run: str, candidate_run: str, *, tolerance: float = 0.0) -> RunDiff:
+        """Regression-diff two stored runs."""
+        return diff_runs(self.store, baseline_run, candidate_run, tolerance=tolerance)
+
+    def stats(self) -> Dict[str, object]:
+        """Service-level snapshot: engine counters, queue sizes, store rows."""
+        jobs = self.queue.jobs()
+        return {
+            "uptime": time.time() - self.started_at,
+            "jobs": {
+                state.value: sum(1 for j in jobs if j.state is state)
+                for state in JobState
+            },
+            "engine": self.engine.stats(),
+            "store": self.store.counts(),
+        }
+
+    def close(self, *, wait: bool = True, timeout: Optional[float] = None) -> None:
+        """Drain the queue and stop accepting work."""
+        self.queue.shutdown(wait=wait, timeout=timeout)
+
+    def __enter__(self) -> "EvalService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(timeout=60.0)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _golden_store(self, spec: JobSpec) -> GoldenStore:
+        """One golden store per (pack, params, grid), on the shared engine.
+
+        Sharing the store across jobs keeps golden responses warm: job 2 of
+        a pack never re-simulates the pack's reference designs.
+        """
+        key = (
+            spec.pack,
+            repr(sorted((spec.pack_params or {}).items())),
+            spec.num_wavelengths,
+        )
+        with self._golden_lock:
+            store = self._golden_stores.get(key)
+            if store is None:
+                store = GoldenStore(
+                    num_wavelengths=spec.num_wavelengths,
+                    engine=self.engine,
+                    pack=spec.pack,
+                    pack_params=spec.pack_params,
+                )
+                self._golden_stores[key] = store
+            return store
+
+    def _execute(self, job: JobRecord) -> Dict[Tuple[str, bool], EvalReport]:
+        """Run one job: per-(model, restrictions) reports, persisted as a run.
+
+        Cancellation checkpoints sit between (restriction, model) pairs --
+        a cancel request lands at the next pair boundary.  Everything runs
+        on the shared engine (thread mode) or the shared disk caches
+        (process mode), and the per-job engine-stats delta is recorded on
+        the job and with the stored run.
+        """
+        spec = job.spec
+        config = spec.sweep_config(
+            cache_dir=self.cache_dir, workers=self.engine.config.workers
+        )
+        with self._stats_lock:
+            stats_before = self.engine.stats()
+        clients = {
+            model: SimulatedDesigner(get_profile(model), base_seed=spec.base_seed)
+            for model in spec.models
+        }
+        reports: Dict[Tuple[str, bool], EvalReport] = {}
+        use_shared_engine = spec.execution_mode == "thread"
+        golden_store = self._golden_store(spec) if use_shared_engine else None
+        for include_restrictions in spec.restrictions:
+            for model in spec.models:
+                job.checkpoint()
+                reports[(model, include_restrictions)] = run_model(
+                    clients[model],
+                    include_restrictions=include_restrictions,
+                    config=config,
+                    engine=self.engine if use_shared_engine else None,
+                    golden_store=golden_store,
+                )
+        with self._stats_lock:
+            job.engine_stats = stats_delta(stats_before, self.engine.stats())
+        run_id, _created = self.store.save_run(
+            spec, reports, engine_stats=job.engine_stats
+        )
+        job.run_id = run_id
+        return reports
+
+    def _persist_job(self, job: JobRecord) -> None:
+        """Queue hook: mirror every job state transition into the store."""
+        self.store.record_job(job.to_dict())

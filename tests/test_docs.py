@@ -98,12 +98,23 @@ class TestDocsFiles:
         assert "fused executor passes:" in out
 
     def test_doc_cli_commands_use_real_flags(self, authoring_text, architecture_text):
-        from repro.harness.cli import build_parser
+        import argparse
 
-        parser = build_parser()
-        known_flags = {
-            option for action in parser._actions for option in action.option_strings
-        }
+        from repro.harness.cli import build_parser
+        from repro.service.cli import build_parser as build_service_parser
+
+        def collect_flags(parser):
+            flags = set()
+            for action in parser._actions:
+                flags.update(action.option_strings)
+                if isinstance(action, argparse._SubParsersAction):
+                    for sub in action.choices.values():
+                        flags.update(collect_flags(sub))
+            return flags
+
+        known_flags = collect_flags(build_parser()) | collect_flags(
+            build_service_parser()
+        )
         bench_tool_flags = (  # tools/bench_to_json.py CLI, not the harness
             "--assert-speedup",
             "--assert-warm-speedup",

@@ -1,0 +1,310 @@
+"""Tests of the pass@k regression diff and its CI report renderers.
+
+Built on synthetic report pairs with hand-computable pass@k values
+(``samples=4, k=1`` -> multiples of 25 percentage points), so every delta
+and verdict is asserted *exactly*.  The markdown renderer is pinned with
+golden files under ``tests/golden/`` -- the output is deterministic by
+construction (sorted entries, fixed precision, no timestamps), so the
+comparison is byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evalkit.outcome import AttemptRecord, EvalReport, SampleResult
+from repro.service import (
+    JobSpec,
+    ResultsStore,
+    diff_reports,
+    diff_runs,
+    json_report,
+    markdown_report,
+)
+from repro.service.diff import VERDICTS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SPEC = JobSpec(
+    models=("GPT-4o",),
+    restrictions=(False,),
+    samples_per_problem=4,
+    max_feedback_iterations=3,
+    num_wavelengths=5,
+    problems=("mzi_ps",),
+)
+
+
+def make_report(problems: dict, *, model: str = "GPT-4o", with_restrictions: bool = False) -> EvalReport:
+    """Report from ``{problem: [pass-iteration or None, ...]}`` sample lists."""
+    report = EvalReport(
+        model=model,
+        with_restrictions=with_restrictions,
+        samples_per_problem=max(len(v) for v in problems.values()),
+        max_feedback_iterations=3,
+        pack="core",
+    )
+    for problem, passes in problems.items():
+        for index, pass_iteration in enumerate(passes):
+            sample = SampleResult(problem=problem, sample_index=index)
+            last = 3 if pass_iteration is None else pass_iteration
+            for iteration in range(last + 1):
+                ok = pass_iteration is not None and iteration == pass_iteration
+                sample.attempts.append(
+                    AttemptRecord(iteration=iteration, syntax_ok=ok, functional_ok=ok)
+                )
+            report.add(sample)
+    return report
+
+
+def entry_map(diff):
+    """Index a diff's entries by their stable key."""
+    return {entry.key: entry for entry in diff.entries}
+
+
+# ======================================================================
+# Verdict mechanics
+# ======================================================================
+def test_identical_reports_diff_empty():
+    reports = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, None, None]})}
+    diff = diff_reports(reports, reports)
+    assert diff.is_empty
+    assert not diff.is_regression
+    assert len(diff.entries) == 2 * 2 * 3 * 2, "all entries present, all unchanged"
+    assert all(entry.verdict == "unchanged" for entry in diff.entries)
+    assert all(entry.delta == 0.0 for entry in diff.entries)
+
+
+def test_known_exact_improvement_delta():
+    baseline = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, None, None]})}
+    candidate = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, 0, None]})}
+    diff = diff_reports(baseline, candidate)
+    entry = entry_map(diff)[("GPT-4o", False, "core", "mzi_ps", "syntax", 1, 0)]
+    assert entry.baseline == 50.0
+    assert entry.candidate == 75.0
+    assert entry.delta == 25.0, "2/4 -> 3/4 passes at k=1 is exactly +25 points"
+    assert entry.verdict == "improved"
+    assert not diff.is_regression
+
+
+def test_known_exact_regression_delta():
+    baseline = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, 0, None]})}
+    candidate = {("GPT-4o", False): make_report({"mzi_ps": [0, None, None, None]})}
+    diff = diff_reports(baseline, candidate)
+    entry = entry_map(diff)[("GPT-4o", False, "core", "mzi_ps", "syntax", 1, 0)]
+    assert entry.delta == -50.0, "3/4 -> 1/4 passes at k=1 is exactly -50 points"
+    assert entry.verdict == "regressed"
+    assert diff.is_regression
+    assert entry in diff.regressions
+
+
+def test_feedback_budget_splits_verdicts():
+    """A sample passing at iteration 1 counts for EF1/EF3 but not EF0."""
+    baseline = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, None, None]})}
+    candidate = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, 1, None]})}
+    diff = diff_reports(baseline, candidate)
+    entries = entry_map(diff)
+    ef0 = entries[("GPT-4o", False, "core", "mzi_ps", "syntax", 1, 0)]
+    ef1 = entries[("GPT-4o", False, "core", "mzi_ps", "syntax", 1, 1)]
+    assert ef0.verdict == "unchanged" and ef0.delta == 0.0
+    assert ef1.verdict == "improved" and ef1.delta == 25.0
+
+
+def test_tolerance_edge_is_unchanged():
+    baseline = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, None, None]})}
+    candidate = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, 0, None]})}
+    at_edge = diff_reports(baseline, candidate, tolerance=25.0)
+    assert at_edge.is_empty, "|delta| == tolerance counts as unchanged"
+    below_edge = diff_reports(baseline, candidate, tolerance=24.999)
+    assert not below_edge.is_empty, "just above tolerance must be flagged"
+
+
+def test_negative_tolerance_raises():
+    reports = {("GPT-4o", False): make_report({"mzi_ps": [0]})}
+    with pytest.raises(ValueError):
+        diff_reports(reports, reports, tolerance=-0.1)
+
+
+def test_added_and_removed_entries():
+    baseline = {
+        ("GPT-4o", False): make_report({"mzi_ps": [0, None], "y_branch": [0, 0]})
+    }
+    candidate = {
+        ("GPT-4o", False): make_report({"mzi_ps": [0, None], "ring_all_pass": [0, 0]})
+    }
+    diff = diff_reports(baseline, candidate)
+    entries = entry_map(diff)
+    removed = entries[("GPT-4o", False, "core", "y_branch", "syntax", 1, 0)]
+    added = entries[("GPT-4o", False, "core", "ring_all_pass", "syntax", 1, 0)]
+    assert removed.verdict == "removed"
+    assert removed.candidate is None and removed.delta is None
+    assert added.verdict == "added"
+    assert added.baseline is None and added.delta is None
+    # One-sided entries never trip the CI gate on their own ...
+    assert not diff.is_regression
+    # ... but they are visible in `changed` and the verdict histogram.
+    counts = diff.verdict_counts()
+    assert counts["added"] == counts["removed"] == 2 * 2 * 3
+
+
+def test_added_model_restriction_pair():
+    baseline = {("GPT-4o", False): make_report({"mzi_ps": [0, None]})}
+    candidate = {
+        ("GPT-4o", False): make_report({"mzi_ps": [0, None]}),
+        ("GPT-4o", True): make_report({"mzi_ps": [0, 0]}, with_restrictions=True),
+    }
+    diff = diff_reports(baseline, candidate)
+    added = [entry for entry in diff.entries if entry.with_restrictions]
+    assert added and all(entry.verdict == "added" for entry in added)
+
+
+def test_aggregate_row_tracks_pack_mean():
+    baseline = {
+        ("GPT-4o", False): make_report({"mzi_ps": [0, 0, None, None], "y_branch": [0, 0, 0, 0]})
+    }
+    candidate = {
+        ("GPT-4o", False): make_report({"mzi_ps": [0, 0, 0, None], "y_branch": [0, 0, 0, 0]})
+    }
+    diff = diff_reports(baseline, candidate)
+    aggregate = entry_map(diff)[("GPT-4o", False, "core", "", "syntax", 1, 0)]
+    assert aggregate.problem is None
+    assert aggregate.baseline == 75.0, "(50 + 100) / 2"
+    assert aggregate.candidate == 87.5, "(75 + 100) / 2"
+    assert aggregate.delta == 12.5
+    assert aggregate.verdict == "improved"
+
+
+def test_verdict_counts_cover_all_verdicts():
+    baseline = {("GPT-4o", False): make_report({"mzi_ps": [0, 0], "y_branch": [0]})}
+    candidate = {("GPT-4o", False): make_report({"mzi_ps": [0, None], "ring_all_pass": [0]})}
+    diff = diff_reports(baseline, candidate)
+    counts = diff.verdict_counts()
+    assert tuple(counts) == VERDICTS
+    assert sum(counts.values()) == len(diff.entries)
+    assert counts["regressed"] > 0 and counts["added"] > 0 and counts["removed"] > 0
+
+
+def test_entries_deterministically_ordered():
+    baseline = {
+        ("GPT-4o", False): make_report({"y_branch": [0], "mzi_ps": [0]}),
+        ("GPT-4", False): make_report({"mzi_ps": [0]}, model="GPT-4"),
+    }
+    first = diff_reports(baseline, baseline)
+    second = diff_reports(dict(reversed(list(baseline.items()))), baseline)
+    assert [entry.key for entry in first.entries] == sorted(
+        entry.key for entry in first.entries
+    )
+    assert [entry.key for entry in first.entries] == [
+        entry.key for entry in second.entries
+    ]
+
+
+# ======================================================================
+# Store-backed diff
+# ======================================================================
+def test_diff_runs_matches_diff_reports(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    baseline_reports = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, None, None]})}
+    candidate_reports = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, 0, None]})}
+    baseline_id, _ = store.save_run(SPEC, baseline_reports)
+    candidate_id, _ = store.save_run(SPEC, candidate_reports)
+    via_store = diff_runs(store, baseline_id, candidate_id, tolerance=1.0)
+    in_memory = diff_reports(baseline_reports, candidate_reports, tolerance=1.0)
+    assert via_store.entries == in_memory.entries
+    assert via_store.baseline_id == baseline_id
+    assert via_store.candidate_id == candidate_id
+
+
+def test_diff_runs_unknown_run_raises(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    run_id, _ = store.save_run(SPEC, {("GPT-4o", False): make_report({"mzi_ps": [0]})})
+    with pytest.raises(KeyError):
+        diff_runs(store, run_id, "run-missing")
+
+
+# ======================================================================
+# Report renderers (golden files)
+# ======================================================================
+def regression_diff():
+    """The fixed diff behind the golden files: one regression, one improvement."""
+    baseline = {
+        ("GPT-4o", False): make_report({"mzi_ps": [0, 0, 0, None], "y_branch": [0, 0, None, None]})
+    }
+    candidate = {
+        ("GPT-4o", False): make_report({"mzi_ps": [0, None, None, None], "y_branch": [0, 0, 0, None]})
+    }
+    return diff_reports(
+        baseline, candidate, tolerance=0.0, baseline_id="run-base", candidate_id="run-cand"
+    )
+
+
+def empty_diff():
+    reports = {("GPT-4o", False): make_report({"mzi_ps": [0, 0, None, None]})}
+    return diff_reports(reports, reports, baseline_id="run-base", candidate_id="run-base")
+
+
+def check_golden(name: str, rendered: str) -> None:
+    """Byte-compare against a golden file (regenerate by deleting the file)."""
+    golden_path = GOLDEN_DIR / name
+    if not golden_path.exists():  # pragma: no cover - regeneration path
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(rendered, encoding="utf-8")
+        pytest.fail(f"golden file {name} regenerated; re-run the test")
+    assert rendered == golden_path.read_text(encoding="utf-8")
+
+
+def test_markdown_golden_regression():
+    check_golden("diff_regression.md", markdown_report(regression_diff()))
+
+
+def test_markdown_golden_empty():
+    check_golden("diff_empty.md", markdown_report(empty_diff()))
+
+
+def test_markdown_headline_and_order():
+    page = markdown_report(regression_diff())
+    assert "❌ REGRESSION" in page.splitlines()[6]
+    rows = [line for line in page.splitlines() if line.startswith("| GPT-4o")]
+    badges = [row.rsplit("|", 2)[-2].strip() for row in rows]
+    regressed = [i for i, badge in enumerate(badges) if badge == "❌ regressed"]
+    improved = [i for i, badge in enumerate(badges) if badge == "✅ improved"]
+    assert regressed and improved
+    assert max(regressed) < min(improved), "regressions render first"
+
+
+def test_markdown_truncation_is_visible():
+    diff = regression_diff()
+    page = markdown_report(diff, max_rows=3)
+    assert "further changed entries omitted" in page
+    assert f"({len(diff.changed)} total)" in page
+    assert len([line for line in page.splitlines() if line.startswith("| GPT-4o")]) == 3
+
+
+def test_markdown_empty_has_no_table():
+    page = markdown_report(empty_diff())
+    assert "✅ No differences" in page
+    assert "No changed entries." in page
+    assert "## Changed entries" not in page
+
+
+def test_json_report_structure():
+    diff = regression_diff()
+    payload = json_report(diff)
+    assert payload["baseline"] == "run-base"
+    assert payload["candidate"] == "run-cand"
+    assert payload["is_regression"] is True
+    assert payload["verdict_counts"] == diff.verdict_counts()
+    assert len(payload["changed"]) == len(diff.changed)
+    assert payload["changed"][0]["verdict"] == "regressed", "regressions sort first"
+    json.dumps(payload)  # must be JSON-serialisable as-is
+
+
+def test_json_report_empty():
+    payload = json_report(empty_diff())
+    assert payload["is_empty"] is True
+    assert payload["is_regression"] is False
+    assert payload["changed"] == []
+    json.dumps(payload)

@@ -1,0 +1,530 @@
+"""Tests of the service's SQLite results store.
+
+Covers the storage contract end to end: byte-identical report round trips
+(including hypothesis-generated reports), content-fingerprint run dedup,
+trajectory derivation, job metadata persistence, the v1 -> v2 schema
+migration, refusal of newer-than-code databases, and concurrent writers
+(threads *and* forked processes) against one database file.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sqlite3
+import threading
+from contextlib import closing
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.evalkit.outcome import AttemptRecord, EvalReport, SampleResult
+from repro.harness.runner import FEEDBACK_COLUMNS, PASS_AT
+from repro.netlist.errors import ErrorCategory
+from repro.service import JobSpec, ResultsStore, SCHEMA_VERSION
+from repro.service.store import (
+    PACK_AGGREGATE,
+    TRAJECTORY_METRICS,
+    _SCHEMA_V1,
+    canonical_report_json,
+    run_fingerprint,
+    trajectory_rows,
+)
+
+SPEC = JobSpec(
+    models=("GPT-4o",),
+    restrictions=(False,),
+    samples_per_problem=2,
+    max_feedback_iterations=1,
+    num_wavelengths=5,
+    problems=("mzi_ps",),
+)
+
+
+def make_report(
+    *,
+    model: str = "GPT-4o",
+    with_restrictions: bool = False,
+    problems: dict | None = None,
+    pack: str = "core",
+) -> EvalReport:
+    """Build a report from ``{problem: [list of pass-iteration or None]}``.
+
+    Each sample either passes (syntax and functional) at the given feedback
+    iteration, or never passes (``None`` -> all attempts fail).
+    """
+    problems = problems if problems is not None else {"mzi_ps": [0, None]}
+    max_feedback = 3
+    report = EvalReport(
+        model=model,
+        with_restrictions=with_restrictions,
+        samples_per_problem=max(len(v) for v in problems.values()),
+        max_feedback_iterations=max_feedback,
+        pack=pack,
+    )
+    for problem, passes in problems.items():
+        for index, pass_iteration in enumerate(passes):
+            sample = SampleResult(problem=problem, sample_index=index)
+            last = max_feedback if pass_iteration is None else pass_iteration
+            for iteration in range(last + 1):
+                ok = pass_iteration is not None and iteration == pass_iteration
+                sample.attempts.append(
+                    AttemptRecord(
+                        iteration=iteration,
+                        syntax_ok=ok,
+                        functional_ok=ok,
+                        error_category=None if ok else ErrorCategory.OTHER_SYNTAX,
+                    )
+                )
+            report.add(sample)
+    return report
+
+
+# ======================================================================
+# Schema and round trips
+# ======================================================================
+def test_fresh_store_is_current_schema(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    assert store.schema_version == SCHEMA_VERSION == 2
+
+
+def test_reopen_existing_store(tmp_path):
+    path = tmp_path / "results.db"
+    ResultsStore(path).save_run(SPEC, {("GPT-4o", False): make_report()})
+    reopened = ResultsStore(path)
+    assert reopened.schema_version == SCHEMA_VERSION
+    assert reopened.counts()["runs"] == 1
+
+
+def test_report_round_trip_is_byte_identical(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    report = make_report(problems={"mzi_ps": [0, 1, None], "y_branch": [2]})
+    run_id, created = store.save_run(SPEC, {("GPT-4o", False): report})
+    assert created is True
+    stored_json = store.load_report_json(run_id, "GPT-4o", False)
+    assert stored_json == canonical_report_json(report)
+    rehydrated = store.load_run(run_id).reports[("GPT-4o", False)]
+    assert canonical_report_json(rehydrated) == stored_json
+    assert rehydrated == report
+
+
+def test_load_run_rehydrates_spec_and_stats(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    stats = {"plan_cache": {"hits": 3, "misses": 1, "hit_rate": 0.75}}
+    run_id, _ = store.save_run(
+        SPEC, {("GPT-4o", False): make_report()}, engine_stats=stats, created_at=123.0
+    )
+    run = store.load_run(run_id)
+    assert run.spec == SPEC
+    assert run.spec_fingerprint == SPEC.fingerprint()
+    assert run.engine_stats == stats
+    assert run.created_at == 123.0
+
+
+def test_engine_stats_none_round_trips(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    run_id, _ = store.save_run(SPEC, {("GPT-4o", False): make_report()})
+    assert store.load_run(run_id).engine_stats is None
+
+
+def test_multiple_reports_per_run(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    reports = {
+        ("GPT-4o", False): make_report(model="GPT-4o"),
+        ("GPT-4o", True): make_report(model="GPT-4o", with_restrictions=True),
+        ("GPT-4", False): make_report(model="GPT-4", problems={"mzi_ps": [1, None]}),
+    }
+    run_id, _ = store.save_run(replace(SPEC, models=("GPT-4o", "GPT-4")), reports)
+    run = store.load_run(run_id)
+    assert set(run.reports) == set(reports)
+    for key, report in reports.items():
+        assert run.reports[key] == report
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: arbitrary reports survive the store byte-identically
+# ----------------------------------------------------------------------
+CATEGORIES = st.sampled_from(list(ErrorCategory))
+
+
+@st.composite
+def reports(draw):
+    problems = draw(
+        st.dictionaries(
+            st.sampled_from(["mzi_ps", "y_branch", "ring_all_pass", "wdm_mux_2ch"]),
+            st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    report = EvalReport(
+        model=draw(st.sampled_from(["GPT-4o", "Claude 3.5 Sonnet"])),
+        with_restrictions=draw(st.booleans()),
+        samples_per_problem=max(len(v) for v in problems.values()),
+        max_feedback_iterations=3,
+        pack=draw(st.sampled_from(["core", "wdm-links"])),
+    )
+    for problem, sample_lengths in problems.items():
+        for index, attempts in enumerate(sample_lengths):
+            sample = SampleResult(problem=problem, sample_index=index)
+            for iteration in range(attempts + 1):
+                syntax_ok = draw(st.booleans())
+                functional_ok = syntax_ok and draw(st.booleans())
+                sample.attempts.append(
+                    AttemptRecord(
+                        iteration=iteration,
+                        syntax_ok=syntax_ok,
+                        functional_ok=functional_ok,
+                        error_category=None if functional_ok else draw(CATEGORIES),
+                    )
+                )
+            report.add(sample)
+    return report
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(report=reports())
+def test_hypothesis_report_round_trip(tmp_path, report):
+    store = ResultsStore(tmp_path / f"h-{abs(hash(canonical_report_json(report)))}.db")
+    run_id, _ = store.save_run(SPEC, {(report.model, report.with_restrictions): report})
+    stored_json = store.load_report_json(run_id, report.model, report.with_restrictions)
+    assert stored_json == canonical_report_json(report)
+    rehydrated = store.load_run(run_id).reports[(report.model, report.with_restrictions)]
+    assert canonical_report_json(rehydrated) == stored_json
+
+
+# ======================================================================
+# Content-fingerprint dedup
+# ======================================================================
+def test_identical_run_dedupes(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    reports = {("GPT-4o", False): make_report()}
+    first_id, created_first = store.save_run(SPEC, reports)
+    second_id, created_second = store.save_run(SPEC, reports)
+    assert first_id == second_id
+    assert created_first is True and created_second is False
+    assert store.counts()["runs"] == 1
+    assert store.counts()["reports"] == 1
+
+
+def test_run_fingerprint_is_content_sensitive(tmp_path):
+    base = {("GPT-4o", False): make_report()}
+    changed = {("GPT-4o", False): make_report(problems={"mzi_ps": [1, None]})}
+    assert run_fingerprint(SPEC, base) != run_fingerprint(SPEC, changed)
+    assert run_fingerprint(SPEC, base) != run_fingerprint(
+        replace(SPEC, base_seed=1), base
+    )
+    store = ResultsStore(tmp_path / "results.db")
+    id_a, _ = store.save_run(SPEC, base)
+    id_b, _ = store.save_run(SPEC, changed)
+    assert id_a != id_b
+    assert store.counts()["runs"] == 2
+
+
+def test_empty_reports_rejected(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    with pytest.raises(ValueError):
+        store.save_run(SPEC, {})
+
+
+# ======================================================================
+# Trajectories
+# ======================================================================
+def test_trajectory_row_count_formula(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    report = make_report(problems={"mzi_ps": [0, None], "y_branch": [1]})
+    run_id, _ = store.save_run(SPEC, {("GPT-4o", False): report})
+    rows = store.trajectories(run_id)
+    problems = 2
+    expected = len(TRAJECTORY_METRICS) * len(PASS_AT) * len(FEEDBACK_COLUMNS) * (1 + problems)
+    assert len(rows) == expected == 2 * 2 * 3 * 3
+
+
+def test_trajectories_match_pass_at_k(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    report = make_report(problems={"mzi_ps": [0, 1, None], "y_branch": [None, 2]})
+    run_id, _ = store.save_run(SPEC, {("GPT-4o", False): report})
+    values = {
+        (problem, metric, k, max_feedback): value
+        for _, _, _, problem, metric, k, max_feedback, value in store.trajectories(run_id)
+    }
+    for metric in TRAJECTORY_METRICS:
+        for k in PASS_AT:
+            for max_feedback in FEEDBACK_COLUMNS:
+                assert values[(PACK_AGGREGATE, metric, k, max_feedback)] == pytest.approx(
+                    report.pass_at_k(k, metric=metric, max_feedback=max_feedback)
+                )
+                for problem in report.results:
+                    assert values[(problem, metric, k, max_feedback)] == pytest.approx(
+                        report.problem_pass_at_k(
+                            problem, k, metric=metric, max_feedback=max_feedback
+                        )
+                    )
+
+
+def test_trajectory_rows_are_deterministic():
+    report = make_report(problems={"mzi_ps": [0, None], "y_branch": [1]})
+    first = list(trajectory_rows("run-x", "GPT-4o", False, report))
+    second = list(trajectory_rows("run-x", "GPT-4o", False, report))
+    assert first == second
+
+
+# ======================================================================
+# Run lookup
+# ======================================================================
+def test_find_runs_newest_first_and_filtered(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    other_spec = replace(SPEC, base_seed=9)
+    id_a, _ = store.save_run(SPEC, {("GPT-4o", False): make_report()}, created_at=10.0)
+    id_b, _ = store.save_run(
+        SPEC, {("GPT-4o", False): make_report(problems={"mzi_ps": [1]})}, created_at=20.0
+    )
+    id_c, _ = store.save_run(
+        other_spec, {("GPT-4o", False): make_report()}, created_at=30.0
+    )
+    assert [run["run_id"] for run in store.find_runs()] == [id_c, id_b, id_a]
+    assert [run["run_id"] for run in store.find_runs(SPEC.fingerprint())] == [id_b, id_a]
+    assert store.latest_run(SPEC.fingerprint()) == id_b
+    assert store.latest_run(other_spec.fingerprint()) == id_c
+    assert store.latest_run("no-such-fingerprint") is None
+
+
+def test_unknown_run_and_job_raise_keyerror(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    with pytest.raises(KeyError):
+        store.load_run("run-missing")
+    with pytest.raises(KeyError):
+        store.load_report_json("run-missing", "GPT-4o", False)
+    with pytest.raises(KeyError):
+        store.load_job("job-missing")
+
+
+# ======================================================================
+# Job metadata
+# ======================================================================
+def job_row(job_id: str, state: str, run_id: str | None = None) -> dict:
+    return {
+        "job_id": job_id,
+        "spec": SPEC.to_dict(),
+        "spec_fingerprint": SPEC.fingerprint(),
+        "priority": 0,
+        "state": state,
+        "submitted_at": 1.0,
+        "started_at": 2.0 if state != "queued" else None,
+        "finished_at": 3.0 if state in ("done", "failed", "cancelled") else None,
+        "error": "RuntimeError: boom" if state == "failed" else None,
+        "run_id": run_id,
+    }
+
+
+def test_job_record_persist_and_update(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    store.record_job(job_row("job-1", "queued"))
+    assert store.load_job("job-1")["state"] == "queued"
+    store.record_job(job_row("job-1", "done", run_id="run-xyz"))
+    row = store.load_job("job-1")
+    assert row["state"] == "done"
+    assert row["run_id"] == "run-xyz"
+    assert row["spec"] == SPEC.to_dict()
+    assert store.counts()["jobs"] == 1, "updates must not duplicate rows"
+
+
+def test_job_state_persistence_is_monotonic(tmp_path):
+    """A stale 'queued' snapshot must never roll back a terminal row.
+
+    The queue's update hook runs from the submitting thread *and* the
+    worker thread; on a fast job the worker's 'done' write can land before
+    the submitter's 'queued' write.  The store drops such out-of-order
+    snapshots.
+    """
+    store = ResultsStore(tmp_path / "results.db")
+    store.record_job(job_row("job-1", "done", run_id="run-xyz"))
+    store.record_job(job_row("job-1", "queued"))  # stale, late snapshot
+    row = store.load_job("job-1")
+    assert row["state"] == "done"
+    assert row["run_id"] == "run-xyz"
+    store.record_job(job_row("job-1", "running"))  # also stale
+    assert store.load_job("job-1")["state"] == "done"
+    # Equal-rank rewrites still apply (e.g. a terminal row gaining details).
+    store.record_job(job_row("job-1", "failed"))
+    assert store.load_job("job-1")["state"] == "failed"
+
+
+def test_jobs_listing_ordered_by_submission(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    for index, job_id in enumerate(["job-b", "job-a", "job-c"]):
+        row = job_row(job_id, "done")
+        row["submitted_at"] = float(index)
+        store.record_job(row)
+    assert [row["job_id"] for row in store.jobs()] == ["job-b", "job-a", "job-c"]
+
+
+def test_failed_job_keeps_error_text(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    store.record_job(job_row("job-f", "failed"))
+    assert store.load_job("job-f")["error"] == "RuntimeError: boom"
+
+
+# ======================================================================
+# Schema migration
+# ======================================================================
+def build_v1_database(path) -> str:
+    """Create a legacy v1 database with one stored run, return its run id."""
+    report = make_report(problems={"mzi_ps": [0, None], "y_branch": [1]})
+    run_id = run_fingerprint(SPEC, {("GPT-4o", False): report})
+    with closing(sqlite3.connect(path)) as conn, conn:
+        for statement in _SCHEMA_V1:
+            conn.execute(statement)
+        conn.execute("INSERT INTO meta VALUES ('schema_version', '1')")
+        conn.execute(
+            "INSERT INTO runs VALUES (?, ?, ?, ?, ?)",
+            (run_id, SPEC.fingerprint(), SPEC.canonical_json(), 42.0, None),
+        )
+        conn.execute(
+            "INSERT INTO reports VALUES (?, ?, ?, ?, ?)",
+            (run_id, "GPT-4o", 0, "core", canonical_report_json(report)),
+        )
+        conn.execute(
+            "INSERT INTO jobs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                "job-legacy", SPEC.fingerprint(), SPEC.canonical_json(),
+                0, "done", 1.0, 2.0, 3.0, None, run_id,
+            ),
+        )
+    return run_id
+
+
+def test_open_migrates_v1_to_v2_and_backfills(tmp_path):
+    path = tmp_path / "legacy.db"
+    run_id = build_v1_database(path)
+    store = ResultsStore(path)  # opening applies the migration
+    assert store.schema_version == 2
+    rows = store.trajectories(run_id)
+    assert len(rows) == 2 * 2 * 3 * (1 + 2), "trajectories backfilled from reports"
+    # The migrated data is fully readable through the current API.
+    run = store.load_run(run_id)
+    assert run.spec == SPEC
+    report = run.reports[("GPT-4o", False)]
+    aggregate = {
+        (problem, metric, k, fb): value
+        for _, _, _, problem, metric, k, fb, value in rows
+    }
+    assert aggregate[(PACK_AGGREGATE, "syntax", 1, 0)] == pytest.approx(
+        report.pass_at_k(1, metric="syntax", max_feedback=0)
+    )
+    assert store.load_job("job-legacy")["state"] == "done"
+
+
+def test_migration_is_idempotent_across_reopens(tmp_path):
+    path = tmp_path / "legacy.db"
+    run_id = build_v1_database(path)
+    first = ResultsStore(path)
+    rows_after_migration = first.trajectories(run_id)
+    second = ResultsStore(path)  # already v2: opening must not re-migrate
+    assert second.schema_version == 2
+    assert second.trajectories(run_id) == rows_after_migration
+
+
+def test_newer_schema_version_refused(tmp_path):
+    path = tmp_path / "future.db"
+    with closing(sqlite3.connect(path)) as conn, conn:
+        for statement in _SCHEMA_V1:
+            conn.execute(statement)
+        conn.execute(
+            "INSERT INTO meta VALUES ('schema_version', ?)", (str(SCHEMA_VERSION + 1),)
+        )
+    with pytest.raises(RuntimeError, match="newer"):
+        ResultsStore(path)
+
+
+def test_meta_without_version_refused(tmp_path):
+    path = tmp_path / "broken.db"
+    with closing(sqlite3.connect(path)) as conn, conn:
+        conn.execute(_SCHEMA_V1[0])  # meta table, but no schema_version row
+    with pytest.raises(RuntimeError, match="schema_version"):
+        ResultsStore(path)
+
+
+# ======================================================================
+# Concurrent writers
+# ======================================================================
+def test_concurrent_thread_writers(tmp_path):
+    path = tmp_path / "results.db"
+    store = ResultsStore(path)
+    errors = []
+
+    def writer(worker: int):
+        try:
+            for index in range(5):
+                spec = replace(SPEC, base_seed=worker * 100 + index)
+                report = make_report(problems={"mzi_ps": [worker % 3, None]})
+                store.save_run(spec, {("GPT-4o", False): report})
+                store.record_job(job_row(f"job-{worker}-{index}", "done"))
+        except Exception as error:  # noqa: BLE001 - surfaced via the list
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer, args=(n,)) for n in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    counts = store.counts()
+    assert counts["runs"] == 30
+    assert counts["jobs"] == 30
+    with closing(sqlite3.connect(path)) as conn:
+        assert conn.execute("PRAGMA integrity_check").fetchone()[0] == "ok"
+
+
+def _process_writer(path: str, worker: int) -> None:
+    """Child-process body of the cross-process writer test."""
+    store = ResultsStore(path)
+    for index in range(3):
+        spec = replace(SPEC, base_seed=worker * 1000 + index)
+        report = make_report(problems={"mzi_ps": [index % 2, None]})
+        store.save_run(spec, {("GPT-4o", False): report})
+
+
+def test_concurrent_process_writers(tmp_path):
+    path = tmp_path / "results.db"
+    ResultsStore(path)  # create the schema up front
+    context = multiprocessing.get_context("fork")
+    workers = [
+        context.Process(target=_process_writer, args=(str(path), worker))
+        for worker in range(4)
+    ]
+    for process in workers:
+        process.start()
+    for process in workers:
+        process.join(60.0)
+        assert process.exitcode == 0
+    store = ResultsStore(path)
+    assert store.counts()["runs"] == 12
+    with closing(sqlite3.connect(path)) as conn:
+        assert conn.execute("PRAGMA integrity_check").fetchone()[0] == "ok"
+
+
+def test_counts_tracks_every_table(tmp_path):
+    store = ResultsStore(tmp_path / "results.db")
+    assert store.counts() == {"runs": 0, "reports": 0, "trajectories": 0, "jobs": 0}
+    store.save_run(SPEC, {("GPT-4o", False): make_report()})
+    store.record_job(job_row("job-1", "done"))
+    counts = store.counts()
+    assert counts["runs"] == 1
+    assert counts["reports"] == 1
+    assert counts["trajectories"] == 2 * 2 * 3 * 2
+    assert counts["jobs"] == 1
+
+
+def test_canonical_json_is_sorted_and_compact():
+    report = make_report()
+    document = canonical_report_json(report)
+    payload = json.loads(document)
+    assert document == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    assert ": " not in document
