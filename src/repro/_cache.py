@@ -28,6 +28,8 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    disk_corrupt: int = 0
+    disk_retries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -47,6 +49,8 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "disk_corrupt": self.disk_corrupt,
+            "disk_retries": self.disk_retries,
         }
 
 

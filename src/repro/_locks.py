@@ -15,10 +15,14 @@ lockfile protocol:
   ``O_CREAT | O_EXCL`` -- exactly one process can succeed -- and writes its
   pid into the file for debuggability.
 * A lock whose file is older than ``stale_timeout`` seconds is considered
-  abandoned (its holder crashed between create and unlink) and is broken:
-  the breaker unlinks it and retries the atomic create.  Stale takeover can
-  race benignly -- the net effect is that at least one waiter proceeds, and
-  the payload write underneath remains atomic either way.
+  abandoned (its holder crashed between create and unlink) and is broken
+  via an atomic *rename* to a waiter-unique victim name: of all the waiters
+  observing the same stale lockfile, exactly one wins the rename (the rest
+  get ``ENOENT`` and fall back to the create race), so takeover never
+  multiplies owners.  Each lockfile carries its creator's pid plus a random
+  token, and ``release`` unlinks only when the file still holds its own
+  token -- a holder that was broken as stale can no longer delete the next
+  owner's lock out from under it.
 * ``acquire`` is best-effort by design: on timeout it returns ``False``
   rather than raising, because every caller in this codebase uses the lock
   to *suppress duplicate work* around an already-atomic write -- proceeding
@@ -33,9 +37,12 @@ from __future__ import annotations
 
 import os
 import time
+import uuid
 from pathlib import Path
 from types import TracebackType
 from typing import Optional, Type
+
+from .faults import fault_point
 
 __all__ = ["FileLock"]
 
@@ -71,6 +78,10 @@ class FileLock:
         self.timeout = float(timeout)
         self.stale_timeout = float(stale_timeout)
         self._held = False
+        # The lockfile's content: pid for debuggability, token for identity.
+        # `release` only unlinks a file still carrying this exact token, so
+        # a holder broken as stale can never delete its successor's lock.
+        self._token = f"{os.getpid()}:{uuid.uuid4().hex}"
 
     @property
     def held(self) -> bool:
@@ -80,17 +91,20 @@ class FileLock:
     def _try_create(self) -> bool:
         """One atomic creation attempt."""
         try:
+            fault_point("lock.acquire", key=str(self.path))
             handle = os.open(
                 self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
             )
         except FileExistsError:
             return False
         except OSError:
-            # Unwritable/removed parent: behave like an unacquirable lock;
-            # callers degrade to their (atomic) unlocked path.
+            # Unwritable/removed parent (or an injected acquisition fault):
+            # behave like an unacquirable lock this round; `acquire` keeps
+            # retrying until its deadline, and callers ultimately degrade to
+            # their (atomic) unlocked path.
             return False
         try:
-            os.write(handle, f"{os.getpid()}\n".encode("ascii"))
+            os.write(handle, f"{self._token}\n".encode("ascii"))
         except OSError:
             pass
         finally:
@@ -99,17 +113,28 @@ class FileLock:
         return True
 
     def _break_if_stale(self) -> None:
-        """Unlink the lockfile when its holder looks dead (mtime too old)."""
+        """Claim and remove the lockfile when its holder looks dead.
+
+        The claim is an atomic rename to a waiter-unique victim path: when
+        several waiters observe the same stale lockfile, exactly one rename
+        succeeds and the losers fall back to the (also atomic) create race
+        -- so breaking a stale lock can never yield two owners.
+        """
         try:
             age = time.time() - self.path.stat().st_mtime
         except OSError:
             return  # already released (or broken by another waiter)
         if age < self.stale_timeout:
             return
+        victim = self.path.with_name(f"{self.path.name}.stale-{self._token[-12:]}")
         try:
-            self.path.unlink()
+            os.rename(self.path, victim)
         except OSError:
-            pass  # lost the takeover race: another waiter broke it first
+            return  # lost the takeover race: another waiter claimed it first
+        try:
+            os.unlink(victim)
+        except OSError:
+            pass
 
     def acquire(self) -> bool:
         """Try to take the lock, waiting up to ``timeout`` seconds.
@@ -130,14 +155,26 @@ class FileLock:
             time.sleep(_POLL_INTERVAL)
 
     def release(self) -> None:
-        """Release the lock (no-op when not held)."""
+        """Release the lock (no-op when not held).
+
+        Identity-checked: the file is unlinked only while it still carries
+        this instance's token.  A holder that overstayed ``stale_timeout``
+        and was broken by a waiter finds someone else's token (or no file)
+        and leaves the successor's lock alone.
+        """
         if not self._held:
             return
         self._held = False
         try:
+            content = self.path.read_text(encoding="ascii", errors="replace")
+        except OSError:
+            return  # broken as stale by a waiter: nothing left to release
+        if content.strip() != self._token:
+            return  # the lock now belongs to a successor
+        try:
             self.path.unlink()
         except OSError:
-            pass  # broken as stale by a waiter: nothing left to release
+            pass
 
     def __enter__(self) -> "FileLock":
         self.acquire()

@@ -10,13 +10,23 @@ is also persisted as an ``.npz`` file under ``cache_dir`` so later processes
 Only *successful* simulations are cached: a classified
 :class:`~repro.netlist.errors.PICBenchError` always propagates to the caller
 uncached, so error semantics are identical with and without the cache.
+
+Disk-tier resilience: reads and writes run under a small
+:class:`~repro.faults.RetryPolicy` (transient ``OSError`` trouble is retried
+with backoff, counted in ``CacheStats.disk_retries``), and an entry whose
+*content* cannot be parsed is quarantined -- renamed to ``<entry>.corrupt``
+and counted in ``CacheStats.disk_corrupt`` -- instead of being silently
+re-read and re-failed forever.  The ``cache.disk_read`` / ``cache.disk_write``
+fault points make both paths testable deterministically.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 import threading
+import zipfile
 from pathlib import Path
 from typing import Optional
 
@@ -24,13 +34,25 @@ import numpy as np
 
 from .._cache import CacheStats, LRUCache
 from .._locks import FileLock
+from ..faults import RetryPolicy, fault_point, retry_call
 from ..sim.sparams import SMatrix
 
 __all__ = ["CacheStats", "LRUCache", "SimulationCache"]
 
+logger = logging.getLogger(__name__)
+
 #: Seconds a disk-cache writer waits for another process's in-flight write of
 #: the same key before falling back to its own (atomic, redundant) write.
 _WRITE_LOCK_TIMEOUT = 5.0
+
+#: Default disk-I/O retry: one quick retry, tiny backoff.  Real disk faults
+#: are either transient (NFS hiccup, AV scanner) or permanent; more attempts
+#: only slow the degrade-to-recompute path down.
+_DEFAULT_IO_RETRY = RetryPolicy(attempts=2, base_delay=0.02, max_delay=0.2)
+
+#: Errors meaning "the entry's content is corrupt" (quarantine + recompute),
+#: as opposed to transient OSError I/O trouble (retry, then recompute).
+_CORRUPT_ERRORS = (KeyError, ValueError, zipfile.BadZipFile)
 
 
 class SimulationCache:
@@ -44,6 +66,9 @@ class SimulationCache:
         Optional directory for ``.npz`` persistence.  Entries are written
         atomically (temp file + rename) so concurrent sweep workers sharing a
         directory never observe partial files.
+    retry_policy:
+        Retry behaviour for transient disk I/O errors on both the read and
+        the write path.  Defaults to one quick retry with a short backoff.
     """
 
     _DISK_PREFIX = "sim-"
@@ -52,9 +77,12 @@ class SimulationCache:
         self,
         max_entries: int = 2048,
         cache_dir: Optional[Path | str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._memory: LRUCache[str, SMatrix] = LRUCache(max_entries=max_entries)
         self._stats_lock = threading.Lock()
+        self._retry_policy = retry_policy or _DEFAULT_IO_RETRY
+        self._quarantined: set = set()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             # Fail fast with a clear error: a bad cache_dir discovered during
@@ -85,8 +113,47 @@ class SimulationCache:
             return None
         return self.cache_dir / f"{self._DISK_PREFIX}{key}.npz"
 
+    def _load_entry(self, key: str, path: Path) -> SMatrix:
+        """One disk-read attempt (fault-injectable, raises on failure)."""
+        fault_point("cache.disk_read", key=key, path=path)
+        with np.load(path) as payload:
+            return SMatrix(
+                wavelengths=payload["wavelengths"],
+                ports=tuple(str(p) for p in payload["ports"]),
+                data=payload["data"],
+            )
+
+    def _quarantine(self, key: str, path: Path, error: Exception) -> None:
+        """Move a corrupt entry aside so it is never re-read (and re-failed).
+
+        The rename is atomic, so concurrent readers either still see the
+        corrupt entry (and race us to quarantine it -- one rename wins) or
+        see a plain miss.  Logged once per key per cache instance.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return  # already quarantined (or removed) by a concurrent reader
+        with self._stats_lock:
+            self.stats.disk_corrupt += 1
+            first = key not in self._quarantined
+            self._quarantined.add(key)
+        if first:
+            logger.warning(
+                "quarantined corrupt cache entry %s (%s: %s)",
+                path.name,
+                type(error).__name__,
+                error,
+            )
+
     def get(self, key: str) -> Optional[SMatrix]:
-        """Look ``key`` up in memory first, then on disk (promoting to memory)."""
+        """Look ``key`` up in memory first, then on disk (promoting to memory).
+
+        Transient I/O errors are retried per the cache's retry policy;
+        unparseable entries are quarantined (renamed to ``*.corrupt``).
+        Either way a failed disk read degrades to a miss -- the caller
+        recomputes and overwrites.
+        """
         cached = self._memory.get(key)
         if cached is not None:
             return cached
@@ -94,18 +161,27 @@ class SimulationCache:
         if path is None or not path.exists():
             return None
         try:
-            with np.load(path) as payload:
-                smatrix = SMatrix(
-                    wavelengths=payload["wavelengths"],
-                    ports=tuple(str(p) for p in payload["ports"]),
-                    data=payload["data"],
-                )
-        except (OSError, KeyError, ValueError):
-            return None  # corrupt / truncated entry: recompute and overwrite
+            smatrix = retry_call(
+                lambda: self._load_entry(key, path),
+                policy=self._retry_policy,
+                seed=f"cache.disk_read:{key}",
+                on_retry=self._count_disk_retry,
+            )
+        except FileNotFoundError:
+            return None  # evicted/quarantined between the exists() probe and the read
+        except OSError:
+            return None  # persistent I/O trouble: recompute without quarantining
+        except _CORRUPT_ERRORS as exc:
+            self._quarantine(key, path, exc)
+            return None
         with self._stats_lock:
             self.stats.disk_hits += 1
         self._memory.put(key, smatrix)
         return smatrix
+
+    def _count_disk_retry(self, attempt: int, error: Exception) -> None:
+        with self._stats_lock:
+            self.stats.disk_retries += 1
 
     def put(self, key: str, smatrix: SMatrix) -> None:
         """Store one simulated result in every configured tier.
@@ -135,14 +211,22 @@ class SimulationCache:
                 # Another worker finished this key while we waited: the
                 # content-addressed entry is already valid.
                 return
-            self._write_entry(path, smatrix)
+            try:
+                retry_call(
+                    lambda: self._write_entry(path, smatrix),
+                    policy=self._retry_policy,
+                    seed=f"cache.disk_write:{key}",
+                    on_retry=self._count_disk_retry,
+                )
+            except OSError:
+                pass  # persistent disk trouble: degrade to memory-only caching
         finally:
             if locked:
                 lock.release()
 
     @staticmethod
     def _write_entry(path: Path, smatrix: SMatrix) -> None:
-        """Atomically persist one entry (temp file + rename)."""
+        """Atomically persist one entry (temp file + rename); raises OSError."""
         tmp_name = None
         try:
             handle, tmp_name = tempfile.mkstemp(
@@ -155,6 +239,10 @@ class SimulationCache:
                     ports=np.asarray(smatrix.ports, dtype=str),
                     data=np.asarray(smatrix.data, dtype=complex),
                 )
+            # The fault point sits between write and rename: a "corrupt" rule
+            # truncates the temp file that is about to become the live entry,
+            # reproducing a torn write that the read side must quarantine.
+            fault_point("cache.disk_write", key=path.name, path=Path(tmp_name))
             os.replace(tmp_name, path)
         except OSError:
             if tmp_name is not None:
@@ -162,6 +250,7 @@ class SimulationCache:
                     os.unlink(tmp_name)
                 except OSError:
                     pass
+            raise
 
     def clear_memory(self) -> None:
         """Drop the memory tier (disk entries, if any, remain valid)."""

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Ty
 import numpy as np
 
 from ..constants import normalize_wavelengths
+from ..faults import RetryPolicy, fault_point, fault_stats
 from ..netlist.schema import Netlist
 from ..netlist.validation import PortSpec
 from ..sim.batch import SettingsBatch, apply_settings, structural_key
@@ -141,6 +142,14 @@ class EngineConfig:
         work is then shared across processes and runs exactly like ``.npz``
         simulation artefacts.  Pass an explicit path to relocate it; the
         spill is off when both are ``None``.
+    io_retry_attempts:
+        Total attempts (first try included) for transient disk-cache I/O
+        errors on the ``.npz`` read and write paths.  ``1`` disables
+        retrying.  Purely a robustness knob: results are identical, failed
+        reads degrade to recomputation either way.
+    io_retry_backoff:
+        Base delay in seconds between disk-I/O retry attempts (exponential
+        with deterministic jitter; see :class:`repro.faults.RetryPolicy`).
     """
 
     workers: int = 1
@@ -153,6 +162,8 @@ class EngineConfig:
     execution_mode: str = "thread"
     processes: int = 0
     plan_dir: Optional[Path | str] = None
+    io_retry_attempts: int = 2
+    io_retry_backoff: float = 0.02
 
     def __post_init__(self) -> None:
         if self.execution_mode not in EXECUTION_MODES:
@@ -160,6 +171,14 @@ class EngineConfig:
                 f"unknown execution mode {self.execution_mode!r}; "
                 f"choose one of {list(EXECUTION_MODES)}"
             )
+        if self.io_retry_attempts < 1:
+            raise ValueError("io_retry_attempts must be >= 1")
+
+    def io_retry_policy(self) -> RetryPolicy:
+        """The disk-I/O retry policy these knobs describe."""
+        return RetryPolicy(
+            attempts=self.io_retry_attempts, base_delay=self.io_retry_backoff
+        )
 
     def resolved_plan_dir(self) -> Optional[Path]:
         """The effective plan-spill directory (``cache_dir/plans`` default)."""
@@ -193,7 +212,9 @@ class ExecutionEngine:
             )
         )
         self.cache = SimulationCache(
-            max_entries=self.config.cache_entries, cache_dir=self.config.cache_dir
+            max_entries=self.config.cache_entries,
+            cache_dir=self.config.cache_dir,
+            retry_policy=self.config.io_retry_policy(),
         )
         self.scheduler = TaskScheduler(workers=self.config.workers)
         self._registry_fp = registry_fingerprint(self.solver.registry)
@@ -264,11 +285,13 @@ class ExecutionEngine:
         """
         wavelengths = normalize_wavelengths(wavelengths)
         if not self.cache.enabled:
+            fault_point("solver.evaluate")
             return self.solver.evaluate(netlist, wavelengths, port_spec=port_spec)
         key = self.simulation_key(netlist, wavelengths, port_spec)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
+        fault_point("solver.evaluate", key=key)
         smatrix = self.solver.evaluate(netlist, wavelengths, port_spec=port_spec)
         self.cache.put(key, smatrix)
         return smatrix
@@ -498,6 +521,7 @@ class ExecutionEngine:
             "batch_hit_rate": self._batch_stats.hit_rate,
             "solver_batch": solver_batch.as_dict(),
             "batch_fusion_rate": solver_batch.fusion_rate,
+            "faults": fault_stats(),
         }
 
 

@@ -30,9 +30,15 @@ stays picklable under both ``fork`` and ``spawn`` start methods:
 Failure isolation: an exception inside a unit is captured and returned as a
 :class:`UnitFailure` for that unit only.  A worker *crash* (segfault,
 ``os._exit``, OOM kill) breaks the whole pool; the affected shards are
-re-run one unit at a time on fresh single-worker pools, so exactly the
-units that keep killing their worker come back as crashed
-:class:`UnitFailure` entries while every other unit's result survives.
+re-run one unit at a time on fresh single-worker pools under a budgeted
+:class:`~repro.faults.RetryPolicy`, so exactly the units that exhaust their
+retry budget come back as crashed :class:`UnitFailure` entries while every
+other unit's result survives.  An optional per-unit timeout arms a watchdog:
+a shard that stops making progress for ``unit_timeout`` seconds per
+remaining unit is declared hung, its worker processes are terminated, and
+its units go through the same single-unit retry path.  Retry / crash /
+timeout counters are exposed on :attr:`ProcessScheduler.counters` and merged
+into the sweep's engine stats.
 """
 
 from __future__ import annotations
@@ -41,11 +47,15 @@ import importlib
 import multiprocessing
 import os
 import pickle
+import time
 import traceback
-from concurrent.futures import as_completed
+from concurrent.futures import FIRST_COMPLETED, as_completed, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..faults import RetryPolicy, fault_point
 
 __all__ = [
     "ProcessScheduler",
@@ -97,13 +107,21 @@ class UnitFailure:
 
     ``exception`` carries the original exception object when it survived
     pickling back to the parent; ``traceback_text`` always carries the
-    worker-side traceback for diagnostics.
+    worker-side traceback for diagnostics.  ``timed_out`` marks units whose
+    worker was killed by the watchdog rather than dying on its own.
     """
 
     message: str
     crashed: bool = False
     traceback_text: str = ""
     exception: Optional[BaseException] = None
+    timed_out: bool = False
+
+
+#: Default per-unit retry budget of the crash/timeout recovery path: each
+#: suspect unit gets two isolated attempts (plus its original shard run)
+#: with a short backoff between them.
+_DEFAULT_UNIT_RETRY = RetryPolicy(attempts=2, base_delay=0.1, max_delay=1.0)
 
 
 # ----------------------------------------------------------------------
@@ -144,11 +162,13 @@ def _worker_run_shard(
     if per_task:
         for task in tasks:
             try:
+                fault_point("procpool.unit", key=repr(task))
                 results.append(runner(_WORKER_CONTEXT, task))
             except Exception as exc:  # noqa: BLE001 - isolated per unit
                 results.append(_capture_failure(exc))
     else:
         try:
+            fault_point("procpool.unit", key=repr(tasks[:1]))
             values = list(runner(_WORKER_CONTEXT, list(tasks)))
             if len(values) != len(tasks):
                 raise RuntimeError(
@@ -187,6 +207,16 @@ class ProcessScheduler:
         Target number of shards per worker.  More shards give better load
         balancing and finer crash blast-radius; fewer amortise per-shard
         dispatch better.
+    retry_policy:
+        Per-unit retry budget of the crash/timeout recovery path (attempts
+        count the *isolated* re-runs, not the original shard run).  Defaults
+        to two isolated attempts with a short backoff.
+    unit_timeout:
+        Optional seconds one unit may run before its worker is presumed
+        hung.  Arms the shard watchdog (budget: ``unit_timeout`` x units
+        still pending in the shard) and bounds each isolated retry; the
+        watchdog terminates the hung workers and routes their units through
+        the retry path.  ``None`` (the default) disables timeouts.
     """
 
     def __init__(
@@ -196,11 +226,23 @@ class ProcessScheduler:
         processes: int = 0,
         start_method: Optional[str] = None,
         shards_per_worker: int = 4,
+        retry_policy: Optional[RetryPolicy] = None,
+        unit_timeout: Optional[float] = None,
     ) -> None:
         self.spec = spec
         self.processes = resolve_processes(processes)
         self.start_method = start_method
         self.shards_per_worker = max(1, int(shards_per_worker))
+        self.retry_policy = retry_policy or _DEFAULT_UNIT_RETRY
+        self.unit_timeout = float(unit_timeout) if unit_timeout else None
+        #: Robustness counters, accumulated across this scheduler's ``map``
+        #: calls and merged into sweep engine stats under ``"procpool"``.
+        self.counters: Dict[str, int] = {
+            "unit_retries": 0,
+            "unit_crashes": 0,
+            "unit_timeouts": 0,
+            "shard_timeouts": 0,
+        }
 
     # ------------------------------------------------------------------
     def _context(self):
@@ -242,6 +284,7 @@ class ProcessScheduler:
         *,
         per_task: bool = True,
         stats_ref: Optional[str] = None,
+        on_result: Optional[Callable[[int, Any], None]] = None,
     ) -> Tuple[List[Any], List[Dict[str, object]]]:
         """Run every task; slot ``i`` of the result is task ``i``'s outcome.
 
@@ -249,6 +292,11 @@ class ProcessScheduler:
         value or a :class:`UnitFailure`; ``stats`` collects one snapshot per
         completed shard when ``stats_ref`` is given.  The merge is by task
         index, so the output order never depends on worker scheduling.
+
+        ``on_result(index, result)`` fires in the parent as each unit's
+        outcome lands (shard completion order, not index order) -- the
+        journalling hook: a checkpoint written there survives a parent
+        kill even though ``map`` itself never returned.
         """
         tasks = list(tasks)
         results: List[Any] = [None] * len(tasks)
@@ -271,27 +319,82 @@ class ProcessScheduler:
                     retry_spans.append((lo, hi))
                     continue
                 future_spans[future] = (lo, hi)
-            for future in as_completed(future_spans):
+
+            def merge(future) -> None:
                 lo, hi = future_spans[future]
                 try:
                     shard_results, stats = future.result()
                 except BrokenProcessPool:
                     # A worker died mid-shard; every unit of the shard is
                     # suspect and gets retried in isolation below.
+                    self.counters["unit_crashes"] += 1
                     retry_spans.append((lo, hi))
                 else:
                     results[lo:hi] = shard_results
                     if stats is not None:
                         stats_list.append(stats)
+                    if on_result is not None:
+                        for offset, value in enumerate(shard_results):
+                            on_result(lo + offset, value)
+
+            if self.unit_timeout is None:
+                for future in as_completed(future_spans):
+                    merge(future)
+            else:
+                self._watch(pool, future_spans, retry_spans, merge)
         finally:
             pool.shutdown(wait=True)
         if retry_spans:
-            self._retry_singly(
-                retry_spans, runner_ref, tasks, per_task, stats_ref, results, stats_list, mp_context
+            self._retry_units(
+                retry_spans,
+                runner_ref,
+                tasks,
+                per_task,
+                stats_ref,
+                results,
+                stats_list,
+                mp_context,
+                on_result,
             )
         return results, stats_list
 
-    def _retry_singly(
+    def _watch(self, pool, future_spans, retry_spans, merge) -> None:
+        """Progress watchdog over the in-flight shards.
+
+        The hang budget is ``unit_timeout`` x the largest pending shard:
+        as long as *some* shard completes within that window the sweep is
+        making progress and the clock resets.  On expiry every worker
+        process is terminated (queued shards then surface as
+        ``BrokenProcessPool``) and all still-pending spans go through the
+        single-unit retry path, which enforces the per-unit deadline
+        exactly.
+        """
+        pending = set(future_spans)
+        while pending:
+            largest = max(hi - lo for lo, hi in (future_spans[f] for f in pending))
+            budget = self.unit_timeout * largest
+            done, pending = wait(pending, timeout=budget, return_when=FIRST_COMPLETED)
+            for future in done:
+                merge(future)
+            if not done and pending:
+                self.counters["shard_timeouts"] += 1
+                self._terminate_workers(pool)
+                for future in pending:
+                    future.cancel()
+                    retry_spans.append(future_spans[future])
+                return
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool's worker processes (the watchdog's kill switch)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except OSError:
+                pass
+
+    def _retry_units(
         self,
         spans: List[Tuple[int, int]],
         runner_ref: str,
@@ -301,46 +404,74 @@ class ProcessScheduler:
         results: List[Any],
         stats_list: List[Dict[str, object]],
         mp_context,
+        on_result: Optional[Callable[[int, Any], None]] = None,
     ) -> None:
-        """Re-run crashed shards one unit at a time on fresh pools.
+        """Re-run suspect shards one unit at a time under the retry budget.
 
-        Only the unit that actually kills its worker is marked as a crashed
-        :class:`UnitFailure`; its shard-mates complete normally.  Each crash
-        costs one fresh single-worker pool (context rebuild included), which
-        is the price of not losing the rest of the shard.
+        Each unit gets up to ``retry_policy.attempts`` isolated runs on
+        fresh single-worker pools (with backoff between attempts and the
+        per-unit timeout enforced on each), so only units that *keep*
+        killing or hanging their worker are marked as crashed
+        :class:`UnitFailure` entries; their shard-mates complete normally.
         """
+        policy = self.retry_policy
         indices = sorted(i for lo, hi in spans for i in range(lo, hi))
-        position = 0
-        while position < len(indices):
-            pool = self._pool(mp_context, 1)
-            broken = False
-            try:
-                while position < len(indices):
-                    index = indices[position]
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            for index in indices:
+                failure: Optional[UnitFailure] = None
+                for attempt in range(policy.attempts):
+                    if attempt > 0:
+                        self.counters["unit_retries"] += 1
+                        time.sleep(policy.delay(attempt - 1, seed=f"procpool.unit:{index}"))
+                    if pool is None:
+                        pool = self._pool(mp_context, 1)
                     try:
                         future = pool.submit(
                             _worker_run_shard, runner_ref, [tasks[index]], per_task, stats_ref
                         )
-                        shard_results, stats = future.result()
+                        shard_results, stats = future.result(timeout=self.unit_timeout)
+                    except FuturesTimeoutError:
+                        self.counters["unit_timeouts"] += 1
+                        self._terminate_workers(pool)
+                        pool.shutdown(wait=True)
+                        pool = None
+                        failure = UnitFailure(
+                            message=(
+                                f"unit timed out after {self.unit_timeout:g}s "
+                                "and its worker was killed"
+                            ),
+                            crashed=True,
+                            timed_out=True,
+                        )
+                        continue
                     except BrokenProcessPool:
-                        results[index] = UnitFailure(
+                        self.counters["unit_crashes"] += 1
+                        pool.shutdown(wait=True)
+                        pool = None
+                        failure = UnitFailure(
                             message=(
                                 "worker process crashed while running this unit "
-                                "(twice, counting the original shard)"
+                                f"({attempt + 1} isolated attempt(s), plus the "
+                                "original shard)"
                             ),
                             crashed=True,
                         )
-                        position += 1
-                        broken = True
-                        break
+                        continue
                     results[index] = shard_results[0]
                     if stats is not None:
                         stats_list.append(stats)
-                    position += 1
-            finally:
+                    if on_result is not None:
+                        on_result(index, shard_results[0])
+                    failure = None
+                    break
+                if failure is not None:
+                    results[index] = failure
+                    if on_result is not None:
+                        on_result(index, failure)
+        finally:
+            if pool is not None:
                 pool.shutdown(wait=True)
-            if not broken:
-                break
 
 
 # ----------------------------------------------------------------------

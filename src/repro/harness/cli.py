@@ -186,6 +186,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-process count for --execution-mode process "
         "(default 0 = one per core)",
     )
+    parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="total tries per transiently failing work unit before it is "
+        "recorded as crashed (1 = no retries)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="base seconds of the exponential (deterministically jittered) "
+        "backoff between unit retries",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit watchdog budget in --execution-mode process: hung "
+        "worker processes are killed and their units retried singly "
+        "(default: no timeout)",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="checkpoint every completed trajectory to a line-JSON journal "
+        "in this directory, keyed by the sweep's semantic fingerprint",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --journal-dir: skip trajectories already journaled by an "
+        "earlier (possibly killed) run of the same sweep; the finished "
+        "report is byte-identical to an uninterrupted run",
+    )
     return parser
 
 
@@ -227,6 +267,11 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         batch_size=args.batch_size,
         execution_mode=args.execution_mode,
         processes=args.processes,
+        retry_attempts=args.retry_attempts,
+        retry_backoff=args.retry_backoff,
+        unit_timeout=args.unit_timeout,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
     )
 
 

@@ -22,6 +22,8 @@ from ..engine.engine import EXECUTION_MODES, EngineConfig, ExecutionEngine
 from ..engine.procpool import ProcessScheduler, UnitFailure, WorkerSpec, aggregate_engine_stats
 from ..evalkit.evaluator import EvaluationConfig, Evaluator
 from ..evalkit.outcome import AttemptRecord, EvalReport, SampleResult
+from ..faults import RetryPolicy, fault_point, fault_stats
+from .journal import SweepJournal, sweep_fingerprint, unit_key
 from ..llm.base import LLMClient
 from ..llm.profiles import DEFAULT_PROFILES, DesignerProfile
 from ..llm.simulated import SimulatedDesigner
@@ -74,6 +76,16 @@ class SweepConfig:
     are byte-identical to sequential ones.  Process mode requires
     spec-constructible clients (the bundled :class:`SimulatedDesigner`);
     live API clients hold sockets that cannot cross a process boundary.
+
+    Robustness knobs: ``retry_attempts`` / ``retry_backoff`` budget the
+    process tier's per-unit crash/hang recovery (isolated re-runs on fresh
+    pools with exponential backoff), ``unit_timeout`` arms the hung-worker
+    watchdog, and ``journal_dir`` enables incremental checkpointing -- every
+    completed trajectory is appended to a line-JSON journal keyed by the
+    sweep's semantic fingerprint, so a killed run restarted with ``resume``
+    recomputes only the missing samples and reports byte-identically (see
+    :mod:`repro.harness.journal`).  None of these knobs changes reported
+    numbers.
     """
 
     samples_per_problem: int = 5
@@ -91,6 +103,11 @@ class SweepConfig:
     batch_size: int = 1
     execution_mode: str = "thread"
     processes: int = 0
+    retry_attempts: int = 2
+    retry_backoff: float = 0.1
+    unit_timeout: Optional[float] = None
+    journal_dir: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.execution_mode not in EXECUTION_MODES:
@@ -98,6 +115,12 @@ class SweepConfig:
                 f"unknown execution_mode {self.execution_mode!r}; "
                 f"choose one of {list(EXECUTION_MODES)}"
             )
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+
+    def unit_retry_policy(self) -> RetryPolicy:
+        """The process tier's per-unit retry budget these knobs describe."""
+        return RetryPolicy(attempts=self.retry_attempts, base_delay=self.retry_backoff)
 
     def engine_config(self) -> EngineConfig:
         """Build the corresponding :class:`EngineConfig`."""
@@ -352,14 +375,43 @@ def _crashed_sample(problem_name: str, sample_index: int, failure: UnitFailure) 
     return sample
 
 
+def _open_journal(
+    config: SweepConfig,
+    model_names: Sequence[str],
+    restriction_settings: Sequence[bool],
+) -> Tuple[Optional[SweepJournal], Dict[Tuple[bool, str, str, int], SampleResult]]:
+    """The sweep's journal and its already-completed trajectories.
+
+    ``(None, {})`` when journalling is off.  Without ``resume`` an existing
+    journal file for the same fingerprint is discarded first, so the fresh
+    run's checkpoint history starts clean.
+    """
+    if config.journal_dir is None:
+        return None, {}
+    fingerprint = sweep_fingerprint(config, tuple(model_names), tuple(restriction_settings))
+    journal = SweepJournal(config.journal_dir, fingerprint)
+    if config.resume:
+        return journal, journal.load()
+    journal.discard()
+    return journal, {}
+
+
 def _map_units_process(
     config: SweepConfig,
     client_specs: List[Tuple[DesignerProfile, int]],
     restriction_settings: Tuple[bool, ...],
     units: List[Tuple[bool, int, int, int]],
     problems: List[Problem],
+    model_names: Optional[Sequence[str]] = None,
+    journal: Optional[SweepJournal] = None,
+    completed: Optional[Dict[Tuple[bool, str, str, int], SampleResult]] = None,
 ) -> Tuple[List[SampleResult], Dict[str, object]]:
-    """Run unit specs on a process pool; returns ordered samples and stats."""
+    """Run unit specs on a process pool; returns ordered samples and stats.
+
+    With a journal, units already completed by a prior run are served from
+    ``completed`` without touching the pool, and each freshly finished unit
+    is checkpointed the moment its shard result lands in the parent.
+    """
     spec = WorkerSpec(
         builder_ref="repro.harness.runner:_build_sweep_worker",
         payload={
@@ -368,23 +420,53 @@ def _map_units_process(
             "restrictions": restriction_settings,
         },
     )
-    scheduler = ProcessScheduler(spec, processes=config.processes)
+    scheduler = ProcessScheduler(
+        spec,
+        processes=config.processes,
+        retry_policy=config.unit_retry_policy(),
+        unit_timeout=config.unit_timeout,
+    )
+    completed = completed or {}
+    keys = [
+        unit_key(
+            unit[0],
+            model_names[unit[1]] if model_names is not None else str(unit[1]),
+            problems[unit[2]].name,
+            unit[3],
+        )
+        for unit in units
+    ]
+    pending = [index for index, key in enumerate(keys) if key not in completed]
+
+    def on_result(position: int, outcome: object) -> None:
+        key = keys[pending[position]]
+        fault_point("sweep.unit", key="|".join(map(str, key)))
+        if journal is not None and isinstance(outcome, SampleResult):
+            journal.record(key, outcome)
+
     per_task = config.batch_size <= 1
     raw, stats_list = scheduler.map(
         "repro.harness.runner:_run_sweep_unit"
         if per_task
         else "repro.harness.runner:_run_sweep_shard",
-        units,
+        [units[index] for index in pending],
         per_task=per_task,
         stats_ref="repro.harness.runner:_sweep_worker_stats",
+        on_result=on_result if journal is not None else None,
     )
-    samples: List[SampleResult] = []
-    for unit, outcome in zip(units, raw):
+    samples: List[Optional[SampleResult]] = [completed.get(key) for key in keys]
+    for index, outcome in zip(pending, raw):
         if isinstance(outcome, UnitFailure):
-            samples.append(_crashed_sample(problems[unit[2]].name, unit[3], outcome))
+            samples[index] = _crashed_sample(problems[units[index][2]].name, units[index][3], outcome)
         else:
-            samples.append(outcome)
-    return samples, aggregate_engine_stats(stats_list)
+            samples[index] = outcome
+    engine_stats = aggregate_engine_stats(stats_list)
+    engine_stats["procpool"] = dict(scheduler.counters)
+    parent_faults = fault_stats()
+    if parent_faults:
+        engine_stats["parent_faults"] = parent_faults
+    assert all(sample is not None for sample in samples)
+    return samples, engine_stats  # type: ignore[return-value]
 
 
 def run_model(
@@ -403,20 +485,31 @@ def run_model(
     byte-identical to the thread-mode run.
     """
     config = config if config is not None else SweepConfig()
+    model = getattr(client, "name", type(client).__name__)
     if config.execution_mode == "process" and engine is None and golden_store is None:
         client_specs = _client_specs([client])
         problems = config.select_problems()
+        journal, completed = _open_journal(config, (model,), (include_restrictions,))
         units = [
             (include_restrictions, 0, problem_index, sample_index)
             for problem_index in range(len(problems))
             for sample_index in range(config.samples_per_problem)
         ]
         samples, _ = _map_units_process(
-            config, client_specs, (include_restrictions,), units, problems
+            config,
+            client_specs,
+            (include_restrictions,),
+            units,
+            problems,
+            model_names=(model,),
+            journal=journal,
+            completed=completed,
         )
+        if journal is not None:
+            journal.close()
         packs = {problem.pack for problem in problems}
         report = EvalReport(
-            model=getattr(client, "name", type(client).__name__),
+            model=model,
             with_restrictions=include_restrictions,
             samples_per_problem=config.samples_per_problem,
             max_feedback_iterations=config.max_feedback_iterations,
@@ -437,7 +530,83 @@ def run_model(
     evaluation_config = config.evaluation_config(include_restrictions=include_restrictions)
     evaluator = Evaluator(evaluation_config, golden_store=golden_store, engine=engine)
     prompt_config = config.prompt_config(include_restrictions=include_restrictions)
-    return evaluator.run_suite(client, config.select_problems(), prompt_config=prompt_config)
+    if config.journal_dir is None:
+        return evaluator.run_suite(client, config.select_problems(), prompt_config=prompt_config)
+    return _run_model_journaled(
+        config, client, model, include_restrictions, evaluator, prompt_config
+    )
+
+
+def _run_model_journaled(
+    config: SweepConfig,
+    client: LLMClient,
+    model: str,
+    include_restrictions: bool,
+    evaluator: Evaluator,
+    prompt_config: PromptConfig,
+) -> EvalReport:
+    """The thread-tier twin of :meth:`Evaluator.run_suite`, checkpointed.
+
+    Replicates ``run_suite``'s unit enumeration and fold order exactly --
+    per-sample units on the engine's pool, or lockstep batched dispatch when
+    ``batch_size > 1`` -- but serves journaled trajectories without
+    recomputing them and records each fresh one as it completes, so the
+    report is byte-identical to an uncheckpointed (or uninterrupted) run.
+    """
+    problems = config.select_problems()
+    journal, completed = _open_journal(config, (model,), (include_restrictions,))
+    assert journal is not None
+    units = [
+        (problem, sample_index)
+        for problem in problems
+        for sample_index in range(config.samples_per_problem)
+    ]
+    keys = [
+        unit_key(include_restrictions, model, problem.name, sample_index)
+        for problem, sample_index in units
+    ]
+    try:
+        if getattr(evaluator.engine.config, "batch_size", 1) > 1:
+            pending = [index for index, key in enumerate(keys) if key not in completed]
+            for index in pending:
+                fault_point("sweep.unit", key="|".join(map(str, keys[index])))
+            fresh = evaluator.run_samples_batched(
+                [(client, units[index][0], units[index][1]) for index in pending],
+                prompt_config=prompt_config,
+            )
+            samples: List[Optional[SampleResult]] = [completed.get(key) for key in keys]
+            for index, sample in zip(pending, fresh):
+                journal.record(keys[index], sample)
+                samples[index] = sample
+        else:
+
+            def run_unit(indexed: Tuple[int, Tuple[Problem, int]]) -> SampleResult:
+                index, (problem, sample_index) = indexed
+                done = completed.get(keys[index])
+                if done is not None:
+                    return done
+                fault_point("sweep.unit", key="|".join(map(str, keys[index])))
+                sample = evaluator.run_sample(
+                    client, problem, sample_index, prompt_config=prompt_config
+                )
+                journal.record(keys[index], sample)
+                return sample
+
+            samples = evaluator.engine.map(run_unit, list(enumerate(units)))
+    finally:
+        journal.close()
+    packs = {problem.pack for problem in problems}
+    report = EvalReport(
+        model=model,
+        with_restrictions=include_restrictions,
+        samples_per_problem=config.samples_per_problem,
+        max_feedback_iterations=config.max_feedback_iterations,
+        pack=packs.pop() if len(packs) == 1 else "mixed",
+    )
+    for sample in samples:
+        assert sample is not None
+        report.add(sample)
+    return report
 
 
 def run_sweep(
@@ -466,6 +635,7 @@ def run_sweep(
         profiles = list(profiles) if profiles is not None else list(DEFAULT_PROFILES)
         clients = [SimulatedDesigner(profile, base_seed=config.base_seed) for profile in profiles]
     clients = list(clients)
+    model_names = [getattr(client, "name", type(client).__name__) for client in clients]
     if config.execution_mode == "process":
         # Process tier: ship picklable specs, rebuild everything worker-side.
         # A caller-provided engine cannot cross the process boundary and is
@@ -473,6 +643,7 @@ def run_sweep(
         client_specs = _client_specs(clients)
         problems = config.select_problems()
         restriction_settings = tuple(restriction_settings)
+        journal, completed = _open_journal(config, model_names, restriction_settings)
         unit_specs = [
             (include_restrictions, client_index, problem_index, sample_index)
             for include_restrictions in restriction_settings
@@ -481,8 +652,17 @@ def run_sweep(
             for sample_index in range(config.samples_per_problem)
         ]
         samples, engine_stats = _map_units_process(
-            config, client_specs, restriction_settings, unit_specs, problems
+            config,
+            client_specs,
+            restriction_settings,
+            unit_specs,
+            problems,
+            model_names=model_names,
+            journal=journal,
+            completed=completed,
         )
+        if journal is not None:
+            journal.close()
         result = SweepResult(config=config, engine_stats=engine_stats)
         for (include_restrictions, client_index, _, _), sample in zip(unit_specs, samples):
             client = clients[client_index]
@@ -532,39 +712,64 @@ def run_sweep(
         for problem in problems
         for sample_index in range(config.samples_per_problem)
     ]
+    journal, completed = _open_journal(config, model_names, restriction_settings)
 
-    if config.batch_size > 1:
-        # Batched dispatch: per restriction setting, all trajectories
-        # advance in lockstep and every iteration's structure-sharing
-        # candidates (samples that mutate settings, not topology) fuse
-        # into shared executor passes.  Unit order -- and therefore the
-        # folded reports -- are identical to the per-sample path.
-        samples = []
-        for include_restrictions in restriction_settings:
-            samples.extend(
-                evaluators[include_restrictions].run_samples_batched(
-                    [
-                        (client, problem, sample_index)
-                        for client in clients
-                        for problem in problems
-                        for sample_index in range(config.samples_per_problem)
-                    ],
+    def key_of(unit) -> Tuple[bool, str, str, int]:
+        include_restrictions, client, problem, sample_index = unit
+        model = getattr(client, "name", type(client).__name__)
+        return unit_key(include_restrictions, model, problem.name, sample_index)
+
+    try:
+        if config.batch_size > 1:
+            # Batched dispatch: per restriction setting, all trajectories
+            # advance in lockstep and every iteration's structure-sharing
+            # candidates (samples that mutate settings, not topology) fuse
+            # into shared executor passes.  Unit order -- and therefore the
+            # folded reports -- are identical to the per-sample path.
+            samples = []
+            for include_restrictions in restriction_settings:
+                group = [unit for unit in units if unit[0] == include_restrictions]
+                pending = [unit for unit in group if key_of(unit) not in completed]
+                for unit in pending:
+                    fault_point("sweep.unit", key="|".join(map(str, key_of(unit))))
+                fresh = iter(
+                    evaluators[include_restrictions].run_samples_batched(
+                        [(client, problem, s) for _, client, problem, s in pending],
+                        prompt_config=prompt_configs[include_restrictions],
+                    )
+                )
+                for unit in group:
+                    key = key_of(unit)
+                    done = completed.get(key)
+                    if done is None:
+                        done = next(fresh)
+                        if journal is not None:
+                            journal.record(key, done)
+                    samples.append(done)
+        else:
+
+            def run_unit(unit):
+                """Run one (restrictions, client, problem, sample) trajectory."""
+                include_restrictions, client, problem, sample_index = unit
+                key = key_of(unit)
+                done = completed.get(key)
+                if done is not None:
+                    return done
+                fault_point("sweep.unit", key="|".join(map(str, key)))
+                sample = evaluators[include_restrictions].run_sample(
+                    client,
+                    problem,
+                    sample_index,
                     prompt_config=prompt_configs[include_restrictions],
                 )
-            )
-    else:
+                if journal is not None:
+                    journal.record(key, sample)
+                return sample
 
-        def run_unit(unit):
-            """Run one (restrictions, client, problem, sample) trajectory."""
-            include_restrictions, client, problem, sample_index = unit
-            return evaluators[include_restrictions].run_sample(
-                client,
-                problem,
-                sample_index,
-                prompt_config=prompt_configs[include_restrictions],
-            )
-
-        samples = engine.map(run_unit, units)
+            samples = engine.map(run_unit, units)
+    finally:
+        if journal is not None:
+            journal.close()
 
     result = SweepResult(config=config)
     for (include_restrictions, client, _, _), sample in zip(units, samples):

@@ -56,6 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine-workers", type=int, default=1,
         help="engine thread-pool width within one job",
     )
+    serve.add_argument(
+        "--journal-dir", default=None,
+        help="sweep-journal directory for checkpoint/resume "
+        "(default: <cache-dir>/journals when --cache-dir is set)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="close a connection idle for this long (0 = never; "
+        "default: 300s)",
+    )
+    serve.add_argument(
+        "--max-request-bytes", type=int, default=None, metavar="BYTES",
+        help="reject request lines longer than this (default: 10MB)",
+    )
 
     jobs = sub.add_parser("jobs", help="talk to a running daemon")
     jobs.add_argument("--host", default="127.0.0.1", help="daemon host")
@@ -88,6 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution-mode", default="thread", choices=list(EXECUTION_MODES)
     )
     submit.add_argument("--processes", type=int, default=0)
+    submit.add_argument(
+        "--retry-attempts", type=int, default=2,
+        help="total tries per transiently failing work unit",
+    )
+    submit.add_argument(
+        "--retry-backoff", type=float, default=0.1,
+        help="base seconds of the exponential retry backoff",
+    )
+    submit.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit watchdog timeout in process mode (default: none)",
+    )
     submit.add_argument("--priority", type=int, default=0, help="lower runs first")
     submit.add_argument(
         "--dedupe", action="store_true",
@@ -158,6 +184,9 @@ def _spec_from_args(args: argparse.Namespace) -> JobSpec:
         "batch_size": args.batch_size,
         "execution_mode": args.execution_mode,
         "processes": args.processes,
+        "retry_attempts": args.retry_attempts,
+        "retry_backoff": args.retry_backoff,
+        "unit_timeout": args.unit_timeout,
     }
     if args.models:
         fields["models"] = tuple(args.models)
@@ -171,8 +200,16 @@ def _serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         job_workers=args.job_workers,
         engine_workers=args.engine_workers,
+        journal_dir=args.journal_dir,
     )
-    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+    daemon_kwargs: Dict[str, object] = {}
+    if args.idle_timeout is not None:
+        daemon_kwargs["idle_timeout"] = args.idle_timeout or None
+    if args.max_request_bytes is not None:
+        daemon_kwargs["max_request_bytes"] = args.max_request_bytes
+    daemon = ServiceDaemon(
+        service, host=args.host, port=args.port, **daemon_kwargs  # type: ignore[arg-type]
+    )
     host, port = daemon.start()
     # One machine-readable line so wrappers can discover the ephemeral port.
     print(json.dumps({"host": host, "port": port, "db": str(args.db)}), flush=True)

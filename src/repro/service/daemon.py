@@ -20,7 +20,13 @@ Operations
 ``shutdown``                 stop the daemon after responding.
 
 The daemon binds ``127.0.0.1`` (an ephemeral port by default) -- it is a
-*local* service front door, not an internet-facing server.
+*local* service front door, not an internet-facing server.  Two per-
+connection guards keep one misbehaving client from tying the daemon up: a
+connection silent for longer than ``idle_timeout`` seconds is answered with
+a structured ``idle timeout`` error and closed, and a request line longer
+than ``max_request_bytes`` is answered with a structured ``request too
+large`` error (the oversized line is drained, bounded, and the connection
+keeps serving).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import socketserver
 import threading
 from typing import Dict, Optional, Tuple
 
+from ..faults import fault_point
 from .queue import JobState
 from .report import json_report, markdown_report
 from .service import EvalService
@@ -41,13 +48,71 @@ __all__ = ["PROTOCOL_VERSION", "ServiceDaemon"]
 #: Version tag answered by ``ping`` (bump on incompatible protocol changes).
 PROTOCOL_VERSION = 1
 
+#: Default seconds a connection may sit idle between requests.
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+#: Default cap on one request line (10 MB -- far above any legitimate spec).
+DEFAULT_MAX_REQUEST_BYTES = 10_000_000
+
 
 class _Handler(socketserver.StreamRequestHandler):
     """One connection: read JSON lines, answer JSON lines."""
 
+    def _respond(self, response: Dict[str, object]) -> None:
+        self.wfile.write((json.dumps(response, default=repr) + "\n").encode("utf-8"))
+        self.wfile.flush()
+
+    def _read_line(self, limit: int) -> Optional[bytes]:
+        """One request line of at most ``limit`` bytes, or ``None`` at EOF.
+
+        A longer line raises ``ValueError`` after draining the remainder
+        (still bounded by the limit per read) up to its terminating newline,
+        so the connection can keep serving subsequent requests.
+        """
+        raw = self.rfile.readline(limit + 1)
+        if not raw:
+            return None
+        if len(raw) <= limit or raw.endswith(b"\n"):
+            if len(raw) > limit:
+                raise ValueError(f"request exceeds {limit} bytes")
+            return raw
+        # Oversized line: drain to its end, then report.
+        while True:
+            chunk = self.rfile.readline(limit + 1)
+            if not chunk or chunk.endswith(b"\n"):
+                break
+        raise ValueError(f"request exceeds {limit} bytes")
+
     def handle(self) -> None:  # noqa: D102 - socketserver plumbing
         daemon: "ServiceDaemon" = self.server.daemon  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        if daemon.idle_timeout is not None:
+            self.connection.settimeout(daemon.idle_timeout)
+        while True:
+            try:
+                raw = self._read_line(daemon.max_request_bytes)
+            except socket.timeout:
+                # Structured farewell instead of a silently dropped socket.
+                try:
+                    self._respond(
+                        {
+                            "ok": False,
+                            "error": (
+                                "idle timeout: no request within "
+                                f"{daemon.idle_timeout:g}s; closing connection"
+                            ),
+                        }
+                    )
+                except OSError:
+                    pass
+                return
+            except ValueError as error:
+                try:
+                    self._respond({"ok": False, "error": str(error)})
+                except OSError:
+                    return
+                continue
+            if raw is None:
+                return
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
@@ -59,10 +124,10 @@ class _Handler(socketserver.StreamRequestHandler):
             except Exception as error:  # noqa: BLE001 - protocol error surface
                 response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
             stopping = bool(response.pop("_shutdown", False))
-            self.wfile.write(
-                (json.dumps(response, default=repr) + "\n").encode("utf-8")
-            )
-            self.wfile.flush()
+            try:
+                self._respond(response)
+            except OSError:
+                return  # client went away mid-response
             if stopping:
                 daemon.stop_async()
                 return
@@ -85,9 +150,19 @@ class ServiceDaemon:
     """
 
     def __init__(
-        self, service: EvalService, *, host: str = "127.0.0.1", port: int = 0
+        self,
+        service: EvalService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     ) -> None:
         self.service = service
+        self.idle_timeout = float(idle_timeout) if idle_timeout else None
+        self.max_request_bytes = int(max_request_bytes)
+        if self.max_request_bytes < 1:
+            raise ValueError("max_request_bytes must be >= 1")
         self._host = host
         self._port = port
         self._server: Optional[_Server] = None
@@ -154,6 +229,7 @@ class ServiceDaemon:
         handler = getattr(self, f"_op_{op}", None)
         if not isinstance(op, str) or handler is None:
             raise ValueError(f"unknown op {op!r}")
+        fault_point("daemon.request", key=op)
         return handler(request)
 
     def _op_ping(self, request: Dict[str, object]) -> Dict[str, object]:

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from ..bench.golden import GoldenStore
 from ..engine.engine import EngineConfig, ExecutionEngine, stats_delta
+from ..faults import fault_stats
 from ..evalkit.outcome import EvalReport
 from ..harness.runner import run_model
 from ..llm.profiles import get_profile
@@ -52,6 +53,12 @@ class EvalService:
     engine_workers:
         Thread-pool width of the shared engine (parallelism *within* one
         thread-mode job).
+    journal_dir:
+        Where per-job sweep journals live (default: ``<cache_dir>/journals``
+        when ``cache_dir`` is set, else off).  With a journal directory the
+        service checkpoints every completed trajectory and *always* resumes:
+        a job resubmitted after a crash -- same spec, any execution mode --
+        recomputes only the samples its journal is missing.
     """
 
     def __init__(
@@ -61,9 +68,16 @@ class EvalService:
         cache_dir: Optional[Path | str] = None,
         job_workers: int = 2,
         engine_workers: int = 1,
+        journal_dir: Optional[Path | str] = None,
     ) -> None:
         self.store = ResultsStore(db_path)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        if journal_dir is not None:
+            self.journal_dir: Optional[str] = str(journal_dir)
+        elif self.cache_dir is not None:
+            self.journal_dir = str(Path(self.cache_dir) / "journals")
+        else:
+            self.journal_dir = None
         self.engine = ExecutionEngine(
             EngineConfig(workers=engine_workers, cache_dir=self.cache_dir)
         )
@@ -126,6 +140,8 @@ class EvalService:
             },
             "engine": self.engine.stats(),
             "store": self.store.counts(),
+            "store_write_retries": self.store.write_retries,
+            "faults": fault_stats(),
         }
 
     def close(self, *, wait: bool = True, timeout: Optional[float] = None) -> None:
@@ -175,7 +191,12 @@ class EvalService:
         """
         spec = job.spec
         config = spec.sweep_config(
-            cache_dir=self.cache_dir, workers=self.engine.config.workers
+            cache_dir=self.cache_dir,
+            workers=self.engine.config.workers,
+            journal_dir=self.journal_dir,
+            # Journals are keyed by the sweep's semantic fingerprint, so
+            # resuming is always safe: a fresh spec simply finds no journal.
+            resume=self.journal_dir is not None,
         )
         with self._stats_lock:
             stats_before = self.engine.stats()

@@ -27,6 +27,13 @@ __all__ = ["JOB_KINDS", "JobSpec"]
 #: single-restriction special case (exactly one of each is enforced).
 JOB_KINDS: Tuple[str, ...] = ("sweep", "evaluate")
 
+#: Spec fields that can never change reported numbers (retry budgets and
+#: watchdog timeouts).  They ride along on the wire but are excluded from
+#: the fingerprint, so re-submitting a job with different robustness knobs
+#: still deduplicates against its stored run -- and fingerprints computed
+#: before these fields existed remain valid.
+_NON_SEMANTIC_FIELDS: Tuple[str, ...] = ("retry_attempts", "retry_backoff", "unit_timeout")
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -54,6 +61,9 @@ class JobSpec:
     batch_size: int = 1
     execution_mode: str = "thread"
     processes: int = 0
+    retry_attempts: int = 2
+    retry_backoff: float = 0.1
+    unit_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -80,6 +90,8 @@ class JobSpec:
             raise ValueError("samples_per_problem must be >= 1")
         if self.num_wavelengths < 1:
             raise ValueError("num_wavelengths must be >= 1")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
 
     def validate(self) -> None:
         """Resolve every referenced entity, raising on unknown names.
@@ -125,19 +137,34 @@ class JobSpec:
 
         Two submissions describing the same evaluation -- regardless of who
         submitted them or when -- share a fingerprint, which is what lets
-        the store deduplicate identical re-submissions.
+        the store deduplicate identical re-submissions.  Robustness knobs
+        (:data:`_NON_SEMANTIC_FIELDS`) are excluded: they never change the
+        numbers a job reports.
         """
-        return stable_hash("jobspec", self.canonical_json())
+        payload = self.to_dict()
+        for name in _NON_SEMANTIC_FIELDS:
+            payload.pop(name, None)
+        return stable_hash(
+            "jobspec", json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
 
     # ------------------------------------------------------------------
     # Execution plumbing
     # ------------------------------------------------------------------
-    def sweep_config(self, *, cache_dir: Optional[str] = None, workers: int = 1) -> SweepConfig:
+    def sweep_config(
+        self,
+        *,
+        cache_dir: Optional[str] = None,
+        workers: int = 1,
+        journal_dir: Optional[str] = None,
+        resume: bool = False,
+    ) -> SweepConfig:
         """The :class:`SweepConfig` this job runs under.
 
-        ``cache_dir`` and ``workers`` are service-owned placement/parallelism
-        knobs layered on top of the spec (they never affect results, so they
-        are not part of the spec or its fingerprint).
+        ``cache_dir``, ``workers``, ``journal_dir`` and ``resume`` are
+        service-owned placement/parallelism/checkpointing knobs layered on
+        top of the spec (they never affect results, so they are not part of
+        the spec or its fingerprint).
         """
         return SweepConfig(
             samples_per_problem=self.samples_per_problem,
@@ -153,4 +180,9 @@ class JobSpec:
             batch_size=self.batch_size,
             execution_mode=self.execution_mode,
             processes=self.processes,
+            retry_attempts=self.retry_attempts,
+            retry_backoff=self.retry_backoff,
+            unit_timeout=self.unit_timeout,
+            journal_dir=journal_dir,
+            resume=resume,
         )

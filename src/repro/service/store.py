@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .._locks import FileLock
 from ..engine.fingerprint import stable_hash
+from ..faults import RetryPolicy, fault_point, retry_call
 from ..evalkit.outcome import EvalReport
 from ..harness.runner import FEEDBACK_COLUMNS, PASS_AT
 from .spec import JobSpec
@@ -207,13 +208,38 @@ class ResultsStore:
     partially-written runs.
     """
 
+    #: Transient write trouble worth retrying: I/O errors (including
+    #: injected ``store.write`` faults) and SQLite's "database is locked" /
+    #: busy conditions, which surface as OperationalError.
+    _WRITE_RETRY = RetryPolicy(
+        attempts=3,
+        base_delay=0.05,
+        max_delay=1.0,
+        transient=(OSError, sqlite3.OperationalError),
+    )
+
     def __init__(self, path: Path | str, *, lock_timeout: float = 30.0) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock_path = self.path.with_name(self.path.name + ".lock")
         self._lock_timeout = float(lock_timeout)
+        #: How many write transactions needed at least one retry attempt.
+        self.write_retries = 0
         with self._write_lock(), closing(self._connect()) as conn:
             self._ensure_schema(conn)
+
+    def _retried_write(self, label: str, write: Callable[[], None]) -> None:
+        """Run one write transaction under the store's retry policy.
+
+        ``write`` must be a self-contained transaction (lock + connection +
+        commit inside), so a retried attempt starts from scratch and can
+        never observe -- or leave behind -- a partial write.
+        """
+
+        def _count(_attempt: int, _error: BaseException) -> None:
+            self.write_retries += 1
+
+        retry_call(write, policy=self._WRITE_RETRY, seed=f"store.write:{label}", on_retry=_count)
 
     # ------------------------------------------------------------------
     # Connection / schema plumbing
@@ -297,40 +323,49 @@ class ResultsStore:
         if not reports:
             raise ValueError("a run must contain at least one report")
         run_id = run_fingerprint(spec, reports)
-        with self._write_lock(), closing(self._connect()) as conn, conn:
-            exists = conn.execute(
-                "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
-            ).fetchone()
-            if exists:
-                return run_id, False
-            conn.execute(
-                "INSERT INTO runs VALUES (?, ?, ?, ?, ?)",
-                (
-                    run_id,
-                    spec.fingerprint(),
-                    spec.canonical_json(),
-                    time.time() if created_at is None else float(created_at),
-                    json.dumps(engine_stats, sort_keys=True, default=repr)
-                    if engine_stats is not None
-                    else None,
-                ),
-            )
-            for (model, with_restrictions), report in reports.items():
+        created = False
+
+        def write() -> None:
+            nonlocal created
+            fault_point("store.write", key=run_id)
+            with self._write_lock(), closing(self._connect()) as conn, conn:
+                exists = conn.execute(
+                    "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+                ).fetchone()
+                if exists:
+                    created = False
+                    return
                 conn.execute(
-                    "INSERT INTO reports VALUES (?, ?, ?, ?, ?)",
+                    "INSERT INTO runs VALUES (?, ?, ?, ?, ?)",
                     (
                         run_id,
-                        model,
-                        int(with_restrictions),
-                        report.pack,
-                        canonical_report_json(report),
+                        spec.fingerprint(),
+                        spec.canonical_json(),
+                        time.time() if created_at is None else float(created_at),
+                        json.dumps(engine_stats, sort_keys=True, default=repr)
+                        if engine_stats is not None
+                        else None,
                     ),
                 )
-                conn.executemany(
-                    "INSERT INTO trajectories VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    trajectory_rows(run_id, model, with_restrictions, report),
-                )
-        return run_id, True
+                for (model, with_restrictions), report in reports.items():
+                    conn.execute(
+                        "INSERT INTO reports VALUES (?, ?, ?, ?, ?)",
+                        (
+                            run_id,
+                            model,
+                            int(with_restrictions),
+                            report.pack,
+                            canonical_report_json(report),
+                        ),
+                    )
+                    conn.executemany(
+                        "INSERT INTO trajectories VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        trajectory_rows(run_id, model, with_restrictions, report),
+                    )
+                created = True
+
+        self._retried_write(run_id, write)
+        return run_id, created
 
     def load_run(self, run_id: str) -> StoredRun:
         """Rehydrate one run (spec, every report, engine stats)."""
@@ -422,30 +457,34 @@ class ResultsStore:
         already persisted ``done`` -- such out-of-order snapshots are
         dropped instead of rolling the row back.
         """
-        with self._write_lock(), closing(self._connect()) as conn, conn:
-            existing = conn.execute(
-                "SELECT state FROM jobs WHERE job_id = ?", (job["job_id"],)
-            ).fetchone()
-            if existing is not None:
-                old_rank = self._STATE_RANK.get(str(existing[0]), 0)
-                new_rank = self._STATE_RANK.get(str(job["state"]), 0)
-                if new_rank < old_rank:
-                    return
-            conn.execute(
-                "INSERT OR REPLACE INTO jobs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    job["job_id"],
-                    job["spec_fingerprint"],
-                    json.dumps(job["spec"], sort_keys=True, separators=(",", ":")),
-                    int(job["priority"]),  # type: ignore[arg-type]
-                    job["state"],
-                    job["submitted_at"],
-                    job["started_at"],
-                    job["finished_at"],
-                    job["error"],
-                    job["run_id"],
-                ),
-            )
+        def write() -> None:
+            fault_point("store.write", key=str(job["job_id"]))
+            with self._write_lock(), closing(self._connect()) as conn, conn:
+                existing = conn.execute(
+                    "SELECT state FROM jobs WHERE job_id = ?", (job["job_id"],)
+                ).fetchone()
+                if existing is not None:
+                    old_rank = self._STATE_RANK.get(str(existing[0]), 0)
+                    new_rank = self._STATE_RANK.get(str(job["state"]), 0)
+                    if new_rank < old_rank:
+                        return
+                conn.execute(
+                    "INSERT OR REPLACE INTO jobs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        job["job_id"],
+                        job["spec_fingerprint"],
+                        json.dumps(job["spec"], sort_keys=True, separators=(",", ":")),
+                        int(job["priority"]),  # type: ignore[arg-type]
+                        job["state"],
+                        job["submitted_at"],
+                        job["started_at"],
+                        job["finished_at"],
+                        job["error"],
+                        job["run_id"],
+                    ),
+                )
+
+        self._retried_write(str(job["job_id"]), write)
 
     def load_job(self, job_id: str) -> Dict[str, object]:
         """One persisted job row as a plain dict."""

@@ -183,6 +183,55 @@ class TestSimulationCache:
         with pytest.raises(ValueError, match="not a directory"):
             ExecutionEngine(EngineConfig(cache_dir=bogus))
 
+    def test_io_retry_knobs_validate_and_thread_through(self):
+        with pytest.raises(ValueError, match="io_retry_attempts"):
+            EngineConfig(io_retry_attempts=0)
+        policy = EngineConfig(io_retry_attempts=4, io_retry_backoff=0.5).io_retry_policy()
+        assert policy.attempts == 4 and policy.base_delay == 0.5
+
+    def test_corrupt_disk_entry_is_quarantined_and_recomputed(
+        self, wavelengths, tmp_path
+    ):
+        netlist = _mzi_netlist()
+        warm = ExecutionEngine(EngineConfig(cache_dir=tmp_path))
+        original = warm.evaluate(netlist, wavelengths)
+        (entry,) = list(tmp_path.glob("sim-*.npz"))
+        entry.write_bytes(b"definitely not a zip archive")
+
+        cold = ExecutionEngine(EngineConfig(cache_dir=tmp_path))
+        recomputed = cold.evaluate(netlist, wavelengths)
+        np.testing.assert_allclose(recomputed.data, original.data)
+        assert cold.cache.stats.disk_corrupt == 1
+        assert list(tmp_path.glob("sim-*.npz.corrupt"))  # moved aside for autopsy
+        # The recompute rewrote a good entry under the same key: a fresh
+        # engine disk-hits it cleanly.
+        fresh = ExecutionEngine(EngineConfig(cache_dir=tmp_path))
+        fresh.evaluate(netlist, wavelengths)
+        assert fresh.cache.stats.disk_hits == 1
+        assert fresh.cache.stats.disk_corrupt == 0
+
+    def test_stats_surface_fault_and_retry_counters(self, tmp_path):
+        engine = ExecutionEngine(EngineConfig(cache_dir=tmp_path))
+        stats = engine.stats()
+        assert stats["faults"] == {}  # no plan installed
+        cache_stats = stats["simulation_cache"]
+        assert cache_stats["disk_corrupt"] == 0
+        assert cache_stats["disk_retries"] == 0
+
+    def test_injected_solver_fault_propagates_as_oserror(self, wavelengths):
+        from repro.faults import FaultRule, clear_plan, inject
+
+        clear_plan()
+        engine = ExecutionEngine()
+        with inject(FaultRule("solver.evaluate", max_triggers=1)):
+            with pytest.raises(OSError):
+                engine.evaluate(_mzi_netlist(), wavelengths)
+            # The budgeted plan is spent: evaluation recovers, nothing cached
+            # from the failed attempt.
+            result = engine.evaluate(_mzi_netlist(), wavelengths)
+        clear_plan()
+        assert result is not None
+
 
 class TestInstanceSubCache:
     def test_repeated_devices_evaluated_once(self, wavelengths):

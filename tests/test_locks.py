@@ -12,6 +12,7 @@ import pytest
 
 from repro._locks import FileLock
 from repro.engine.cache import SimulationCache
+from repro.faults import FaultRule, clear_plan, inject
 from repro.sim.sparams import SMatrix
 
 
@@ -83,6 +84,44 @@ def test_release_without_acquire_is_noop(tmp_path):
     assert not lock.held
 
 
+def test_broken_stale_holder_cannot_release_successor(tmp_path):
+    """Token-verified release: a holder broken as stale must not unlink the
+    next owner's lockfile out from under it."""
+    path = tmp_path / "x.lock"
+    overstayer = FileLock(path, stale_timeout=60.0)
+    assert overstayer.acquire()
+    old = time.time() - 3600.0
+    os.utime(path, (old, old))  # the holder "hangs" past stale_timeout
+    successor = FileLock(path, timeout=1.0, stale_timeout=60.0)
+    assert successor.acquire()
+    overstayer.release()  # finds the successor's token: leaves it alone
+    assert path.exists()
+    successor.release()
+    assert not path.exists()
+
+
+def test_injected_acquire_faults_are_retried(tmp_path):
+    """A transient acquisition fault degrades to another poll, not a crash."""
+    clear_plan()
+    lock = FileLock(tmp_path / "x.lock", timeout=5.0)
+    with inject(FaultRule("lock.acquire", max_triggers=2)) as plan:
+        assert lock.acquire()
+    assert plan.stats()["lock.acquire"]["triggers"] == 2
+    assert plan.stats()["lock.acquire"]["evaluations"] >= 3
+    lock.release()
+    clear_plan()
+
+
+def test_injected_acquire_faults_exhaust_to_unacquired(tmp_path):
+    """Acquisition stays best-effort under permanent faults: False, no raise."""
+    clear_plan()
+    lock = FileLock(tmp_path / "x.lock", timeout=0.05)
+    with inject(FaultRule("lock.acquire")):
+        assert not lock.acquire()
+    assert not (tmp_path / "x.lock").exists()
+    clear_plan()
+
+
 # ----------------------------------------------------------------------
 # Multi-process stress
 # ----------------------------------------------------------------------
@@ -113,6 +152,44 @@ def test_lock_serialises_processes(tmp_path):
         proc.join(timeout=60)
         assert proc.exitcode == 0
     assert int(counter.read_text()) == rounds * workers
+
+
+def _takeover_contender(lock_path: str, outcome_dir: str, index: int) -> None:
+    """Race to break one stale lock; the winner holds longer than the losers
+    are willing to wait, so at most one contender can ever report success."""
+    # stale_timeout far above the hold time: only the pre-aged seed file is
+    # ever breakable, never the winner's own fresh lock.
+    lock = FileLock(Path(lock_path), timeout=0.4, stale_timeout=60.0)
+    if lock.acquire():
+        (Path(outcome_dir) / f"winner-{index}").write_text(lock._token)
+        time.sleep(1.2)  # outlast every loser's acquire window
+        lock.release()
+
+
+def test_stale_takeover_yields_exactly_one_owner(tmp_path):
+    """Contenders racing to break the same stale lock never both own it."""
+    path = tmp_path / "x.lock"
+    outcomes = tmp_path / "outcomes"
+    outcomes.mkdir()
+    path.write_text("99999:deadcafe")  # abandoned by a "crashed" holder
+    old = time.time() - 3600.0
+    os.utime(path, (old, old))
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(
+            target=_takeover_contender, args=(str(path), str(outcomes), index)
+        )
+        for index in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    winners = list(outcomes.iterdir())
+    assert len(winners) == 1, f"expected one owner, got {winners!r}"
+    assert not path.exists()  # the winner released cleanly
+    assert not list(tmp_path.glob("*.stale-*"))  # takeover left no debris
 
 
 def _cache_put_worker(cache_dir: str, worker_index: int, keys: int) -> None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -23,6 +25,7 @@ from repro.engine.procpool import (
     aggregate_engine_stats,
     resolve_processes,
 )
+from repro.faults import FaultRule, RetryPolicy, clear_plan, inject
 from repro.harness.runner import SweepConfig, run_model, run_sweep
 from repro.llm.profiles import DEFAULT_PROFILES
 from repro.llm.simulated import SimulatedDesigner
@@ -153,6 +156,95 @@ def test_spawn_start_method():
     scheduler = ProcessScheduler(OFFSET_SPEC, processes=2, start_method="spawn")
     results, _ = scheduler.map("test_procpool:_square_task", [1, 2, 3])
     assert results == [101, 104, 109]
+
+
+def _die_n_times_task(context, task):
+    """Crash the worker while a file-latch counter is below its budget."""
+    if isinstance(task, (list, tuple)) and task and task[0] == "latch":
+        _, marker, deaths = task
+        path = Path(marker)
+        count = int(path.read_text()) if path.exists() else 0
+        if count < int(deaths):
+            path.write_text(str(count + 1))
+            os._exit(23)
+        return "survived"
+    return task
+
+
+def _hanging_task(context, task):
+    if task == "hang":
+        time.sleep(60.0)
+    return task
+
+
+def test_transiently_crashing_unit_is_retried_to_success(tmp_path):
+    """A unit that kills its first two workers succeeds within its budget."""
+    scheduler = ProcessScheduler(
+        OFFSET_SPEC,
+        processes=1,
+        retry_policy=RetryPolicy(attempts=3, base_delay=0.0),
+    )
+    marker = tmp_path / "deaths"
+    tasks = ["a", ("latch", str(marker), 2), "b"]
+    results, _ = scheduler.map("test_procpool:_die_n_times_task", tasks)
+    assert results == ["a", "survived", "b"]
+    assert scheduler.counters["unit_crashes"] >= 2
+    assert scheduler.counters["unit_retries"] >= 1
+    assert int(marker.read_text()) == 2
+
+
+def test_persistently_crashing_unit_exhausts_its_budget(tmp_path):
+    """A unit that keeps killing workers fails alone, within bounded attempts."""
+    scheduler = ProcessScheduler(
+        OFFSET_SPEC,
+        processes=1,
+        retry_policy=RetryPolicy(attempts=2, base_delay=0.0),
+    )
+    marker = tmp_path / "deaths"
+    tasks = ["a", ("latch", str(marker), 99), "b"]
+    results, _ = scheduler.map("test_procpool:_die_n_times_task", tasks)
+    assert results[0] == "a" and results[2] == "b"
+    failure = results[1]
+    assert isinstance(failure, UnitFailure) and failure.crashed
+    # Original shard run + exactly `attempts` isolated re-runs, no more.
+    assert int(marker.read_text()) == 3
+
+
+def test_watchdog_kills_hung_workers_and_bounds_the_unit(tmp_path):
+    """A hung unit is killed by the watchdog; its shard-mates survive."""
+    scheduler = ProcessScheduler(
+        OFFSET_SPEC,
+        processes=1,
+        unit_timeout=0.4,
+        retry_policy=RetryPolicy(attempts=2, base_delay=0.0),
+    )
+    start = time.monotonic()
+    results, _ = scheduler.map("test_procpool:_hanging_task", ["a", "hang", "b"])
+    elapsed = time.monotonic() - start
+    assert elapsed < 30.0  # far below the 60s sleep: the watchdog fired
+    assert results[0] == "a" and results[2] == "b"
+    failure = results[1]
+    assert isinstance(failure, UnitFailure)
+    assert failure.crashed and failure.timed_out
+    assert scheduler.counters["shard_timeouts"] >= 1
+    assert scheduler.counters["unit_timeouts"] >= 1
+
+
+def test_injected_worker_kills_are_recovered():
+    """A `procpool.unit=kill` chaos plan loses workers; every unit recovers."""
+    clear_plan()
+    scheduler = ProcessScheduler(
+        OFFSET_SPEC,
+        processes=1,
+        start_method="fork",  # workers must inherit the injected plan
+        retry_policy=RetryPolicy(attempts=3, base_delay=0.0),
+    )
+    tasks = list(range(8))
+    with inject(FaultRule("procpool.unit", kind="kill", after=2)):
+        results, _ = scheduler.map("test_procpool:_square_task", tasks)
+    clear_plan()
+    assert results == [100 + task * task for task in tasks]
+    assert scheduler.counters["unit_crashes"] >= 1
 
 
 def test_shard_bounds_partition():

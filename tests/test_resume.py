@@ -1,0 +1,260 @@
+"""Tests of sweep checkpointing and kill/resume byte-identity.
+
+The journal (:mod:`repro.harness.journal`) must checkpoint every completed
+trajectory durably, key itself by the sweep's *semantic* fingerprint only,
+survive torn trailing writes, and let a killed run resume -- in any
+execution mode -- computing exactly the missing units while reproducing
+the uninterrupted report byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.evalkit.outcome import AttemptRecord, SampleResult
+from repro.faults import FaultRule, clear_plan, inject
+from repro.harness.journal import SweepJournal, sweep_fingerprint, unit_key
+from repro.harness.runner import SweepConfig, run_model
+from repro.llm.simulated import SimulatedDesigner
+from repro.netlist.errors import ErrorCategory
+
+#: Mirrors ``tests/conftest.TEST_NUM_WAVELENGTHS`` (not importable by module
+#: name here: ``benchmarks/conftest.py`` shadows it in full-repo runs).
+TEST_NUM_WAVELENGTHS = 11
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+BASE = dict(
+    samples_per_problem=3,
+    max_feedback_iterations=1,
+    num_wavelengths=TEST_NUM_WAVELENGTHS,
+    problems=("mzi_ps",),
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def _report(config: SweepConfig) -> str:
+    report = run_model(
+        SimulatedDesigner("GPT-4o"), include_restrictions=False, config=config
+    )
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def _journal_lines(journal_dir: Path) -> list:
+    (path,) = list(journal_dir.glob("sweep-*.jsonl"))
+    return path.read_text(encoding="utf-8").splitlines()
+
+
+# ----------------------------------------------------------------------
+# Semantic fingerprint
+# ----------------------------------------------------------------------
+def test_fingerprint_ignores_performance_and_robustness_knobs(tmp_path):
+    base = SweepConfig(**BASE)
+    fingerprint = sweep_fingerprint(base, ("GPT-4o",), (False,))
+    for variant in (
+        replace(base, workers=4),
+        replace(base, batch_size=8),
+        replace(base, execution_mode="process", processes=2),
+        replace(base, retry_attempts=5, retry_backoff=0.7),
+        replace(base, unit_timeout=12.0),
+        replace(base, cache_dir=str(tmp_path)),
+        replace(base, journal_dir=str(tmp_path), resume=True),
+        replace(base, solver_backend="dense"),
+    ):
+        assert sweep_fingerprint(variant, ("GPT-4o",), (False,)) == fingerprint
+
+
+def test_fingerprint_tracks_semantic_fields():
+    base = SweepConfig(**BASE)
+    fingerprint = sweep_fingerprint(base, ("GPT-4o",), (False,))
+    assert sweep_fingerprint(replace(base, base_seed=1), ("GPT-4o",), (False,)) != fingerprint
+    assert (
+        sweep_fingerprint(replace(base, samples_per_problem=4), ("GPT-4o",), (False,))
+        != fingerprint
+    )
+    assert (
+        sweep_fingerprint(replace(base, problems=("nls",)), ("GPT-4o",), (False,))
+        != fingerprint
+    )
+    assert sweep_fingerprint(base, ("Claude35",), (False,)) != fingerprint
+    assert sweep_fingerprint(base, ("GPT-4o",), (True,)) != fingerprint
+
+
+# ----------------------------------------------------------------------
+# Journal file mechanics
+# ----------------------------------------------------------------------
+def _sample(problem: str = "mzi_ps", index: int = 0) -> SampleResult:
+    sample = SampleResult(problem=problem, sample_index=index)
+    sample.attempts.append(
+        AttemptRecord(
+            iteration=0,
+            syntax_ok=True,
+            functional_ok=False,
+            error_category=ErrorCategory.FUNCTIONAL,
+            error_detail="crosstalk -3.1 dB above spec",
+            response_text="netlist: ...",
+        )
+    )
+    sample.attempts.append(
+        AttemptRecord(iteration=1, syntax_ok=True, functional_ok=True)
+    )
+    return sample
+
+
+def test_journal_round_trip_preserves_report_surface(tmp_path):
+    journal = SweepJournal(tmp_path, "deadbeef")
+    key = unit_key(False, "GPT-4o", "mzi_ps", 0)
+    with journal:
+        journal.record(key, _sample())
+    loaded = SweepJournal(tmp_path, "deadbeef").load()
+    assert set(loaded) == {key}
+    restored = loaded[key]
+    original = _sample()
+    assert len(restored.attempts) == len(original.attempts)
+    for restored_attempt, original_attempt in zip(restored.attempts, original.attempts):
+        assert restored_attempt.iteration == original_attempt.iteration
+        assert restored_attempt.syntax_ok == original_attempt.syntax_ok
+        assert restored_attempt.functional_ok == original_attempt.functional_ok
+        assert restored_attempt.error_category == original_attempt.error_category
+        assert restored_attempt.error_detail == original_attempt.error_detail
+        # Response texts are dropped, mirroring EvalReport.to_dict().
+        assert restored_attempt.response_text is None
+
+
+def test_journal_tolerates_torn_trailing_line(tmp_path):
+    journal = SweepJournal(tmp_path, "deadbeef")
+    with journal:
+        journal.record(unit_key(False, "GPT-4o", "mzi_ps", 0), _sample(index=0))
+        journal.record(unit_key(False, "GPT-4o", "mzi_ps", 1), _sample(index=1))
+    with journal.path.open("a", encoding="utf-8") as handle:
+        handle.write('{"with_restrictions": false, "model": "GP')  # SIGKILL shape
+    loaded = SweepJournal(tmp_path, "deadbeef").load()
+    assert len(loaded) == 2
+
+
+def test_journal_rejects_mid_file_corruption(tmp_path):
+    journal = SweepJournal(tmp_path, "deadbeef")
+    with journal:
+        journal.record(unit_key(False, "GPT-4o", "mzi_ps", 0), _sample(index=0))
+        journal.record(unit_key(False, "GPT-4o", "mzi_ps", 1), _sample(index=1))
+    lines = journal.path.read_text(encoding="utf-8").splitlines()
+    lines[0] = lines[0][:20]
+    journal.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="corrupt at line 1"):
+        SweepJournal(tmp_path, "deadbeef").load()
+
+
+def test_missing_journal_loads_empty_and_discard_is_idempotent(tmp_path):
+    journal = SweepJournal(tmp_path, "deadbeef")
+    assert journal.load() == {}
+    journal.discard()
+    journal.discard()
+
+
+# ----------------------------------------------------------------------
+# Checkpointed runs (thread tier, in-process)
+# ----------------------------------------------------------------------
+def test_journaled_run_is_byte_identical_and_complete(tmp_path):
+    golden = _report(SweepConfig(**BASE))
+    journaled = _report(SweepConfig(**BASE, journal_dir=str(tmp_path)))
+    assert journaled == golden
+    assert len(_journal_lines(tmp_path)) == BASE["samples_per_problem"]
+
+
+def test_resume_serves_every_unit_from_the_journal(tmp_path):
+    golden = _report(SweepConfig(**BASE, journal_dir=str(tmp_path)))
+    # kill-on-first-unit plan: if the resumed run evaluated even one unit,
+    # the injected kill would take the whole test process down.
+    with inject(FaultRule("sweep.unit", kind="kill")):
+        resumed = _report(SweepConfig(**BASE, journal_dir=str(tmp_path), resume=True))
+    assert resumed == golden
+
+
+def test_journaled_batched_run_is_byte_identical(tmp_path):
+    golden = _report(SweepConfig(**BASE))
+    batched = SweepConfig(**BASE, batch_size=4, journal_dir=str(tmp_path))
+    assert _report(batched) == golden
+    with inject(FaultRule("sweep.unit", kind="kill")):
+        assert _report(replace(batched, resume=True)) == golden
+
+
+def test_without_resume_a_stale_journal_is_discarded(tmp_path):
+    _report(SweepConfig(**BASE, journal_dir=str(tmp_path)))
+    journal_path = next(tmp_path.glob("sweep-*.jsonl"))
+    first = journal_path.read_text(encoding="utf-8")
+    _report(SweepConfig(**BASE, journal_dir=str(tmp_path), resume=False))
+    assert journal_path.read_text(encoding="utf-8") == first  # rewritten, not appended
+
+
+def test_process_mode_resumes_a_thread_mode_journal(tmp_path):
+    golden = _report(SweepConfig(**BASE, journal_dir=str(tmp_path)))
+    process_config = SweepConfig(
+        **BASE,
+        execution_mode="process",
+        processes=2,
+        journal_dir=str(tmp_path),
+        resume=True,
+    )
+    # Same semantic fingerprint despite the mode switch: every unit is
+    # served from the journal and the report bytes match.
+    with inject(FaultRule("sweep.unit", kind="kill")):
+        assert _report(process_config) == golden
+
+
+# ----------------------------------------------------------------------
+# Kill and resume (subprocess: the injected kill is a real process death)
+# ----------------------------------------------------------------------
+_KILL_CHILD = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.harness.runner import SweepConfig, run_model
+from repro.llm.simulated import SimulatedDesigner
+
+config = SweepConfig(
+    samples_per_problem=3, max_feedback_iterations=1, num_wavelengths={nwl},
+    problems=("mzi_ps",), journal_dir={journal_dir!r}, resume=True,
+)
+run_model(SimulatedDesigner("GPT-4o"), include_restrictions=False, config=config)
+raise SystemExit("the injected kill never fired")
+"""
+
+
+def test_killed_run_resumes_byte_identically(tmp_path):
+    golden = _report(SweepConfig(**BASE))
+    env = dict(os.environ)
+    env["REPRO_FAULTS"] = "sweep.unit=kill+1"
+    env["PYTHONPATH"] = SRC
+    child = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _KILL_CHILD.format(
+                src=SRC, nwl=TEST_NUM_WAVELENGTHS, journal_dir=str(tmp_path)
+            ),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert child.returncode == 73, child.stdout + child.stderr
+    assert len(_journal_lines(tmp_path)) == 1  # exactly one unit checkpointed
+    resumed = _report(SweepConfig(**BASE, journal_dir=str(tmp_path), resume=True))
+    assert resumed == golden
+    assert len(_journal_lines(tmp_path)) == BASE["samples_per_problem"]
+    # A second resume finds a complete journal and recomputes nothing.
+    with inject(FaultRule("sweep.unit", kind="kill")):
+        assert _report(SweepConfig(**BASE, journal_dir=str(tmp_path), resume=True)) == golden

@@ -206,6 +206,64 @@ def test_invalid_spec_in_submit_is_an_error(client):
         client.request("submit", spec={"cache_dir": "/tmp/x"})
 
 
+def test_idle_connection_gets_structured_timeout(tmp_path):
+    """A silent connection is answered with an idle-timeout error, then closed."""
+    with EvalService(tmp_path / "idle.db", job_workers=1) as service:
+        with ServiceDaemon(service, idle_timeout=0.2) as daemon:
+            with socket.create_connection(daemon.address, timeout=30.0) as sock:
+                handle = sock.makefile("r", encoding="utf-8")
+                start = time.monotonic()
+                response = json.loads(handle.readline())
+                assert time.monotonic() - start >= 0.2
+                assert response["ok"] is False
+                assert "idle timeout" in response["error"]
+                assert handle.readline() == ""  # the daemon closed the socket
+
+
+def test_active_connection_is_not_idle_timed_out(tmp_path):
+    with EvalService(tmp_path / "busy.db", job_workers=1) as service:
+        with ServiceDaemon(service, idle_timeout=0.5) as daemon:
+            with socket.create_connection(daemon.address, timeout=30.0) as sock:
+                handle = sock.makefile("r", encoding="utf-8")
+                for _ in range(3):
+                    time.sleep(0.2)  # under the limit every time
+                    sock.sendall(b'{"op": "ping"}\n')
+                    assert json.loads(handle.readline())["ok"] is True
+
+
+def test_oversized_request_is_rejected_but_connection_survives(tmp_path):
+    with EvalService(tmp_path / "big.db", job_workers=1) as service:
+        with ServiceDaemon(service, max_request_bytes=256) as daemon:
+            huge = json.dumps({"op": "ping", "padding": "x" * 4096})
+            responses = raw_exchange(daemon, [huge, json.dumps({"op": "ping"})])
+            assert responses[0]["ok"] is False
+            assert "exceeds 256 bytes" in responses[0]["error"]
+            assert responses[1]["ok"] is True, "the connection keeps serving"
+
+
+def test_request_size_cap_validation(tmp_path):
+    with EvalService(tmp_path / "cap.db", job_workers=1) as service:
+        with pytest.raises(ValueError, match="max_request_bytes"):
+            ServiceDaemon(service, max_request_bytes=0)
+
+
+def test_injected_request_fault_is_a_structured_error(tmp_path):
+    """A `daemon.request` fault surfaces as an error response, not a hangup."""
+    from repro.faults import FaultRule, clear_plan, inject
+
+    clear_plan()
+    with EvalService(tmp_path / "chaos.db", job_workers=1) as service:
+        with ServiceDaemon(service) as daemon:
+            with inject(FaultRule("daemon.request", max_triggers=1)):
+                responses = raw_exchange(
+                    daemon, [json.dumps({"op": "ping"}), json.dumps({"op": "ping"})]
+                )
+    clear_plan()
+    assert responses[0]["ok"] is False
+    assert "FaultInjected" in responses[0]["error"]
+    assert responses[1]["ok"] is True, "the connection survives the injection"
+
+
 def test_shutdown_op_stops_daemon(tmp_path):
     with EvalService(tmp_path / "stop.db", job_workers=1) as service:
         daemon = ServiceDaemon(service)

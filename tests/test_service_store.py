@@ -522,6 +522,48 @@ def test_counts_tracks_every_table(tmp_path):
     assert counts["jobs"] == 1
 
 
+def test_injected_write_faults_are_retried_through(tmp_path):
+    """A transient `store.write` fault never loses the run; retries counted."""
+    from repro.faults import FaultRule, clear_plan, inject
+
+    clear_plan()
+    store = ResultsStore(tmp_path / "results.db")
+    with inject(FaultRule("store.write", max_triggers=1)):
+        run_id, created = store.save_run(SPEC, {("GPT-4o", False): make_report()})
+    clear_plan()
+    assert created
+    assert store.write_retries >= 1
+    assert store.load_run(run_id).run_id == run_id
+
+
+def test_exhausted_write_faults_propagate(tmp_path):
+    from repro.faults import FaultRule, clear_plan, inject
+
+    clear_plan()
+    store = ResultsStore(tmp_path / "results.db")
+    with inject(FaultRule("store.write")):
+        with pytest.raises(OSError):
+            store.save_run(SPEC, {("GPT-4o", False): make_report()})
+    clear_plan()
+    assert store.counts()["runs"] == 0  # nothing half-written
+
+
+def test_spec_fingerprint_ignores_robustness_knobs():
+    """Retry/timeout knobs ride the wire but never change the fingerprint,
+    so stored-run dedup survives resubmission with different budgets."""
+    tuned = replace(
+        SPEC, retry_attempts=5, retry_backoff=0.9, unit_timeout=30.0
+    )
+    assert tuned.fingerprint() == SPEC.fingerprint()
+    assert replace(SPEC, base_seed=1).fingerprint() != SPEC.fingerprint()
+    # The full canonical JSON still carries them (they are real spec fields).
+    payload = json.loads(tuned.canonical_json())
+    assert payload["retry_attempts"] == 5
+    assert payload["unit_timeout"] == 30.0
+    # Round trip through the wire format preserves the knobs.
+    assert JobSpec.from_dict(tuned.to_dict()) == tuned
+
+
 def test_canonical_json_is_sorted_and_compact():
     report = make_report()
     document = canonical_report_json(report)
