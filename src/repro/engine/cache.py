@@ -83,6 +83,7 @@ class SimulationCache:
         self._stats_lock = threading.Lock()
         self._retry_policy = retry_policy or _DEFAULT_IO_RETRY
         self._quarantined: set = set()
+        self._nonfinite_rejected = 0
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             # Fail fast with a clear error: a bad cache_dir discovered during
@@ -104,6 +105,12 @@ class SimulationCache:
         """Whether the cache can store anything at all."""
         return self._memory.max_entries > 0 or self.cache_dir is not None
 
+    @property
+    def nonfinite_rejected(self) -> int:
+        """How many puts were refused because their data was not finite."""
+        with self._stats_lock:
+            return self._nonfinite_rejected
+
     def __len__(self) -> int:
         return len(self._memory)
 
@@ -121,6 +128,8 @@ class SimulationCache:
                 wavelengths=payload["wavelengths"],
                 ports=tuple(str(p) for p in payload["ports"]),
                 data=payload["data"],
+                # Entries written before the flag existed load as pristine.
+                degraded=bool(payload["degraded"]) if "degraded" in payload else False,
             )
 
     def _quarantine(self, key: str, path: Path, error: Exception) -> None:
@@ -194,6 +203,13 @@ class SimulationCache:
         atomic temp-file + rename write, which is safe (just redundant)
         because equal keys always carry equal content.
         """
+        if not np.all(np.isfinite(smatrix.data)):
+            # A NaN/inf result must never be served from cache as if it were
+            # a valid simulation: refuse every tier and count the refusal.
+            with self._stats_lock:
+                self._nonfinite_rejected += 1
+            logger.warning("refusing to cache non-finite simulation result %s", key)
+            return
         self._memory.put(key, smatrix)
         path = self._disk_path(key)
         if path is None:
@@ -238,6 +254,7 @@ class SimulationCache:
                     wavelengths=np.asarray(smatrix.wavelengths, dtype=float),
                     ports=np.asarray(smatrix.ports, dtype=str),
                     data=np.asarray(smatrix.data, dtype=complex),
+                    degraded=np.asarray(smatrix.degraded, dtype=bool),
                 )
             # The fault point sits between write and rename: a "corrupt" rule
             # truncates the temp file that is about to become the live entry,

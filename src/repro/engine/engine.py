@@ -521,6 +521,8 @@ class ExecutionEngine:
             "batch_hit_rate": self._batch_stats.hit_rate,
             "solver_batch": solver_batch.as_dict(),
             "batch_fusion_rate": solver_batch.fusion_rate,
+            "solver_degradations": self.solver.degradation_stats(),
+            "cache_nonfinite_rejected": self.cache.nonfinite_rejected,
             "faults": fault_stats(),
         }
 

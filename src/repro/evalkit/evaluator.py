@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..bench.golden import GoldenStore
 from ..bench.problem import Problem
 from ..bench.suite import all_problems
@@ -78,11 +80,23 @@ class EvaluationConfig:
 
 @dataclass
 class AttemptOutcome:
-    """Verdict of a single response, before being folded into the records."""
+    """Verdict of a single response, before being folded into the records.
+
+    ``degraded`` / ``nonfinite`` carry the solver's numerical-guardrail
+    annotations (least-squares fallback fired / the S-matrix still held
+    NaN or inf) alongside the verdict.
+    """
 
     syntax_ok: bool
     functional_ok: bool
     error: Optional[PICBenchError] = None
+    degraded: bool = False
+    nonfinite: bool = False
+
+
+def _quality_flags(smatrix) -> Tuple[bool, bool]:
+    """The (degraded, nonfinite) annotations of one simulated S-matrix."""
+    return bool(smatrix.degraded), not bool(np.all(np.isfinite(smatrix.data)))
 
 
 class Evaluator:
@@ -137,17 +151,23 @@ class Evaluator:
         except Exception as error:  # noqa: BLE001 - classified below
             return AttemptOutcome(syntax_ok=False, functional_ok=False, error=as_picbench_error(error))
 
+        degraded, nonfinite = _quality_flags(smatrix)
         comparison = compare_responses(
             smatrix,
             self.golden_store.response_for(problem),
             atol=self.config.functional_atol,
         )
         if comparison.passed:
-            return AttemptOutcome(syntax_ok=True, functional_ok=True)
+            return AttemptOutcome(
+                syntax_ok=True, functional_ok=True,
+                degraded=degraded, nonfinite=nonfinite,
+            )
         return AttemptOutcome(
             syntax_ok=True,
             functional_ok=False,
             error=FunctionalError(comparison.reason or "the frequency response deviates from the golden design"),
+            degraded=degraded,
+            nonfinite=nonfinite,
         )
 
     def evaluate_responses(
@@ -194,13 +214,17 @@ class Evaluator:
                         error=as_picbench_error(result),
                     )
                     continue
+                degraded, nonfinite = _quality_flags(result)
                 comparison = compare_responses(
                     result,
                     self.golden_store.response_for(problem),
                     atol=self.config.functional_atol,
                 )
                 if comparison.passed:
-                    outcomes[index] = AttemptOutcome(syntax_ok=True, functional_ok=True)
+                    outcomes[index] = AttemptOutcome(
+                        syntax_ok=True, functional_ok=True,
+                        degraded=degraded, nonfinite=nonfinite,
+                    )
                 else:
                     outcomes[index] = AttemptOutcome(
                         syntax_ok=True,
@@ -209,6 +233,8 @@ class Evaluator:
                             comparison.reason
                             or "the frequency response deviates from the golden design"
                         ),
+                        degraded=degraded,
+                        nonfinite=nonfinite,
                     )
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
@@ -250,6 +276,8 @@ class Evaluator:
                     error_category=outcome.error.category if outcome.error else None,
                     error_detail=outcome.error.detail if outcome.error else None,
                     response_text=response_text if self.config.keep_responses else None,
+                    degraded=outcome.degraded,
+                    nonfinite=outcome.nonfinite,
                 )
             )
             if outcome.functional_ok and outcome.syntax_ok:
@@ -317,6 +345,8 @@ class Evaluator:
                         error_category=outcome.error.category if outcome.error else None,
                         error_detail=outcome.error.detail if outcome.error else None,
                         response_text=response_text if self.config.keep_responses else None,
+                        degraded=outcome.degraded,
+                        nonfinite=outcome.nonfinite,
                     )
                 )
                 if outcome.functional_ok and outcome.syntax_ok:

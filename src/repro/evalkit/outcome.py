@@ -38,7 +38,13 @@ def _mean_pass_percent(counts: Sequence[Tuple[int, int]], k: int) -> float:
 
 @dataclass
 class AttemptRecord:
-    """Verdict of a single generated response."""
+    """Verdict of a single generated response.
+
+    ``degraded`` marks an attempt whose simulation needed the solver's
+    least-squares guardrail (singular/near-singular feedback system);
+    ``nonfinite`` marks one whose S-matrix still contained NaN/inf.  Both
+    are quality annotations -- they do not change the pass verdict.
+    """
 
     iteration: int
     syntax_ok: bool
@@ -46,6 +52,8 @@ class AttemptRecord:
     error_category: Optional[ErrorCategory] = None
     error_detail: Optional[str] = None
     response_text: Optional[str] = None
+    degraded: bool = False
+    nonfinite: bool = False
 
     @property
     def passed(self) -> bool:
@@ -81,6 +89,16 @@ class SampleResult:
     def error_categories(self) -> List[ErrorCategory]:
         """Categories of every failed attempt, in iteration order."""
         return [a.error_category for a in self.attempts if a.error_category is not None]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any attempt ran through the solver's degraded fallback."""
+        return any(attempt.degraded for attempt in self.attempts)
+
+    @property
+    def nonfinite(self) -> bool:
+        """True when any attempt produced a non-finite S-matrix."""
+        return any(attempt.nonfinite for attempt in self.attempts)
 
 
 @dataclass
@@ -156,6 +174,28 @@ class EvalReport:
                     histogram[category] = histogram.get(category, 0) + 1
         return histogram
 
+    @staticmethod
+    def _attempt_payload(attempt: AttemptRecord) -> Dict[str, object]:
+        """One attempt's serialised form.
+
+        The guardrail flags are emitted only when set, so reports from
+        healthy runs serialise to exactly the bytes they did before the
+        flags existed (the store's content-dedup depends on that).
+        """
+        payload: Dict[str, object] = {
+            "iteration": attempt.iteration,
+            "syntax_ok": attempt.syntax_ok,
+            "functional_ok": attempt.functional_ok,
+            "error_category": (
+                attempt.error_category.value if attempt.error_category else None
+            ),
+        }
+        if attempt.degraded:
+            payload["degraded"] = True
+        if attempt.nonfinite:
+            payload["nonfinite"] = True
+        return payload
+
     def to_dict(self) -> Dict[str, object]:
         """Serialise the report (without response texts) to plain containers."""
         return {
@@ -169,16 +209,7 @@ class EvalReport:
                     {
                         "sample_index": sample.sample_index,
                         "attempts": [
-                            {
-                                "iteration": attempt.iteration,
-                                "syntax_ok": attempt.syntax_ok,
-                                "functional_ok": attempt.functional_ok,
-                                "error_category": (
-                                    attempt.error_category.value
-                                    if attempt.error_category
-                                    else None
-                                ),
-                            }
+                            self._attempt_payload(attempt)
                             for attempt in sample.attempts
                         ],
                     }
@@ -215,6 +246,8 @@ class EvalReport:
                             error_category=(
                                 ErrorCategory(raw_category) if raw_category else None
                             ),
+                            degraded=bool(attempt_payload.get("degraded", False)),
+                            nonfinite=bool(attempt_payload.get("nonfinite", False)),
                         )
                     )
                 report.add(sample)

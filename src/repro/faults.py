@@ -82,7 +82,9 @@ FAULT_KINDS: Tuple[str, ...] = ("raise", "delay", "kill", "corrupt")
 INJECTION_POINTS: Tuple[str, ...] = (
     "cache.disk_read",
     "cache.disk_write",
+    "client.connect",
     "procpool.unit",
+    "service.journal",
     "store.write",
     "daemon.request",
     "lock.acquire",

@@ -75,16 +75,23 @@ def _sample_to_payload(sample: SampleResult) -> List[Dict[str, object]]:
     """Journal form of a trajectory: everything the report serialises, plus
     ``error_detail`` (crash diagnostics survive a resume); response texts are
     dropped, exactly as :meth:`EvalReport.to_dict` drops them."""
-    return [
-        {
+    payloads: List[Dict[str, object]] = []
+    for attempt in sample.attempts:
+        payload: Dict[str, object] = {
             "iteration": attempt.iteration,
             "syntax_ok": attempt.syntax_ok,
             "functional_ok": attempt.functional_ok,
             "error_category": attempt.error_category.value if attempt.error_category else None,
             "error_detail": attempt.error_detail,
         }
-        for attempt in sample.attempts
-    ]
+        # Guardrail flags only when set, mirroring EvalReport.to_dict: clean
+        # trajectories journal to exactly their pre-flag bytes.
+        if attempt.degraded:
+            payload["degraded"] = True
+        if attempt.nonfinite:
+            payload["nonfinite"] = True
+        payloads.append(payload)
+    return payloads
 
 
 def _sample_from_payload(
@@ -104,6 +111,8 @@ def _sample_from_payload(
                     if attempt.get("error_detail") is not None
                     else None
                 ),
+                degraded=bool(attempt.get("degraded", False)),
+                nonfinite=bool(attempt.get("nonfinite", False)),
             )
         )
     return sample

@@ -26,7 +26,7 @@ The package turns the one-shot sweep CLI into a long-running backend:
 """
 
 from .diff import DiffEntry, RunDiff, diff_reports, diff_runs
-from .queue import JobCancelled, JobQueue, JobRecord, JobState
+from .queue import JobCancelled, JobQueue, JobRecord, JobState, QueueFullError
 from .report import json_report, markdown_report
 from .service import EvalService
 from .spec import JobSpec
@@ -40,6 +40,7 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "JobState",
+    "QueueFullError",
     "ResultsStore",
     "RunDiff",
     "SCHEMA_VERSION",

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import Dict, Optional, Sequence
 
 from ..engine.engine import EXECUTION_MODES
+from ..faults import RetryPolicy
 from ..sim.circuit import SOLVER_BACKENDS
 from .client import ServiceClient, ServiceError
 from .daemon import ServiceDaemon
@@ -62,6 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: <cache-dir>/journals when --cache-dir is set)",
     )
     serve.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help="backpressure bound: reject submits beyond N queued jobs "
+        "with a structured queue_full error (default: unbounded)",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="re-adopt non-terminal jobs persisted by a previous (crashed) "
+        "process: queued jobs re-enter the queue, running-at-crash jobs "
+        "re-run journal-warm",
+    )
+    serve.add_argument(
         "--idle-timeout", type=float, default=None, metavar="SECONDS",
         help="close a connection idle for this long (0 = never; "
         "default: 300s)",
@@ -74,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
     jobs = sub.add_parser("jobs", help="talk to a running daemon")
     jobs.add_argument("--host", default="127.0.0.1", help="daemon host")
     jobs.add_argument("--port", type=int, required=True, help="daemon port")
+    jobs.add_argument(
+        "--connect-retries", type=int, default=3, metavar="N",
+        help="total transport tries per request (1 = no retry; default: 3)",
+    )
+    jobs.add_argument(
+        "--connect-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base seconds of the client's exponential connect backoff",
+    )
     verbs = jobs.add_subparsers(dest="verb", required=True)
 
     submit = verbs.add_parser("submit", help="submit a sweep/evaluate job")
@@ -120,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse an existing stored run for an identical spec",
     )
     submit.add_argument(
+        "--idempotent", action="store_true",
+        help="key the submit purely on spec content: a later identical "
+        "submit returns this job's id instead of a new job",
+    )
+    submit.add_argument(
         "--wait", action="store_true", help="poll until the job is terminal"
     )
 
@@ -130,6 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
     verbs.add_parser("list", help="list every job")
     verbs.add_parser("runs", help="list stored runs")
     verbs.add_parser("stats", help="service counters")
+    verbs.add_parser("health", help="queue depth, workers, store, recovery")
+    verbs.add_parser("ready", help="readiness verdict (exit 1 when not ready)")
     verbs.add_parser("shutdown", help="stop the daemon")
 
     diff = verbs.add_parser("diff", help="regression-diff two stored runs")
@@ -194,13 +222,21 @@ def _spec_from_args(args: argparse.Namespace) -> JobSpec:
 
 
 def _serve(args: argparse.Namespace) -> int:
-    """The ``serve`` command: run the daemon until interrupted."""
+    """The ``serve`` command: run the daemon until interrupted.
+
+    SIGTERM triggers a graceful drain: the daemon stops accepting requests
+    and the service finishes (or checkpoints, via sweep journals) its
+    running jobs before the process exits -- the supervisor-friendly
+    counterpart of the ``shutdown`` protocol op.
+    """
     service = EvalService(
         args.db,
         cache_dir=args.cache_dir,
         job_workers=args.job_workers,
         engine_workers=args.engine_workers,
         journal_dir=args.journal_dir,
+        max_queued=args.max_queued,
+        recover=args.recover,
     )
     daemon_kwargs: Dict[str, object] = {}
     if args.idle_timeout is not None:
@@ -210,9 +246,20 @@ def _serve(args: argparse.Namespace) -> int:
     daemon = ServiceDaemon(
         service, host=args.host, port=args.port, **daemon_kwargs  # type: ignore[arg-type]
     )
+    signal.signal(signal.SIGTERM, lambda *_: daemon.stop_async())
     host, port = daemon.start()
     # One machine-readable line so wrappers can discover the ephemeral port.
-    print(json.dumps({"host": host, "port": port, "db": str(args.db)}), flush=True)
+    print(
+        json.dumps(
+            {
+                "host": host,
+                "port": port,
+                "db": str(args.db),
+                "recovery": service.health()["recovery"],
+            }
+        ),
+        flush=True,
+    )
     try:
         daemon.serve_forever()
     finally:
@@ -223,10 +270,23 @@ def _serve(args: argparse.Namespace) -> int:
 
 def _jobs(args: argparse.Namespace) -> int:
     """The ``jobs`` command family: client verbs against a running daemon."""
-    client = ServiceClient(args.host, args.port)
+    client = ServiceClient(
+        args.host,
+        args.port,
+        retry=RetryPolicy(
+            attempts=args.connect_retries,
+            base_delay=args.connect_backoff,
+            transient=ServiceClient.TRANSIENT,
+        ),
+    )
     if args.verb == "submit":
         spec = _spec_from_args(args)
-        job_id = client.submit(spec, priority=args.priority, dedupe=args.dedupe)
+        job_id = client.submit(
+            spec,
+            priority=args.priority,
+            dedupe=args.dedupe,
+            idempotent=args.idempotent,
+        )
         if args.wait:
             job = client.poll(job_id)
             print(json.dumps(job, indent=2))
@@ -251,6 +311,13 @@ def _jobs(args: argparse.Namespace) -> int:
     if args.verb == "stats":
         print(json.dumps(client.stats(), indent=2))
         return 0
+    if args.verb == "health":
+        print(json.dumps(client.health(), indent=2))
+        return 0
+    if args.verb == "ready":
+        response = client.ready()
+        print(json.dumps(response, indent=2))
+        return 0 if response.get("ready") else 1
     if args.verb == "shutdown":
         client.shutdown()
         print(json.dumps({"stopping": True}))

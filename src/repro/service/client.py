@@ -5,6 +5,20 @@ single request/response line, so connection reuse buys nothing and
 per-request connections keep the client trivially thread-safe).  Error
 responses (``ok: false``) raise :class:`ServiceError` with the daemon's
 message, so callers never have to inspect raw payloads for failures.
+
+The client is restart-tolerant by construction:
+
+* Every transport attempt (connect, send, read) is retried under a shared
+  :class:`~repro.faults.RetryPolicy` -- connection refused/reset and
+  timeouts are transient, anything else is permanent.  Failures that
+  survive the retries surface as :class:`ServiceError` with the original
+  transport exception attached as ``__cause__``.
+* ``submit`` sends an idempotency key derived from the spec's content
+  fingerprint, so a retried submit (the response lost to a daemon restart
+  mid-request) can never double-run the job.
+* ``poll`` tolerates a daemon restart mid-poll: transport-level failures
+  keep polling until the deadline (a recovered daemon re-adopts its jobs,
+  so the job id stays valid across the restart).
 """
 
 from __future__ import annotations
@@ -12,35 +26,102 @@ from __future__ import annotations
 import json
 import socket
 import time
+import uuid
 from typing import Dict, Optional
 
+from ..faults import RetryPolicy, fault_point, retry_call
 from .spec import JobSpec
 
 __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """An ``ok: false`` response from the daemon."""
+    """A failed service interaction.
+
+    Raised for ``ok: false`` responses from the daemon (``__cause__`` is
+    ``None``) and for transport failures that survived the client's retries
+    (``__cause__`` is the original ``OSError``/``TimeoutError``) -- callers
+    catch one exception type either way.
+    """
+
+    @property
+    def transport(self) -> bool:
+        """Whether this error came from the transport, not the daemon."""
+        return isinstance(self.__cause__, (OSError, TimeoutError))
 
 
 class ServiceClient:
-    """Talk to a running :class:`~repro.service.daemon.ServiceDaemon`."""
+    """Talk to a running :class:`~repro.service.daemon.ServiceDaemon`.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 120.0) -> None:
+    Parameters
+    ----------
+    timeout:
+        Socket timeout of one transport attempt.
+    retry:
+        Retry policy for transport failures (connect refused/reset and
+        timeouts).  The default retries 3 times with the shared
+        deterministic-jitter backoff; ``RetryPolicy(attempts=1)`` disables
+        retrying entirely.
+    """
+
+    #: Transport exceptions worth retrying -- a daemon restarting (refused),
+    #: dying mid-request (reset) or stalling (timeout).  Protocol-level
+    #: errors are never retried.
+    TRANSIENT = (ConnectionError, TimeoutError)
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(attempts=3, base_delay=0.05, transient=self.TRANSIENT)
+        )
 
     def request(self, op: str, **fields: object) -> Dict[str, object]:
-        """Send one request line; returns the parsed ``ok: true`` response."""
+        """Send one request line; returns the parsed ``ok: true`` response.
+
+        Transport failures are retried per the client's policy and, once
+        exhausted, raised as :class:`ServiceError` with the underlying
+        exception as ``__cause__``.  Daemon-side errors (``ok: false``)
+        raise :class:`ServiceError` without retrying -- the daemon already
+        answered.
+        """
         payload = {"op": op, **fields}
-        with socket.create_connection((self.host, self.port), timeout=self.timeout) as sock:
-            sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
-            handle = sock.makefile("r", encoding="utf-8")
-            line = handle.readline()
-        if not line:
+        line = json.dumps(payload) + "\n"
+
+        def attempt() -> str:
+            fault_point("client.connect", key=op)
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            ) as sock:
+                sock.sendall(line.encode("utf-8"))
+                handle = sock.makefile("r", encoding="utf-8")
+                return handle.readline()
+
+        try:
+            raw = retry_call(attempt, policy=self.retry, seed=op)
+        except (OSError, TimeoutError) as error:
+            raise ServiceError(
+                f"could not reach the service daemon at "
+                f"{self.host}:{self.port} for {op!r}: {error}"
+            ) from error
+        if not raw:
             raise ServiceError("the daemon closed the connection without responding")
-        response = json.loads(line)
+        try:
+            response = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                f"the daemon answered {op!r} with malformed JSON: {error}"
+            ) from error
         if not response.get("ok"):
             raise ServiceError(str(response.get("error", "unknown service error")))
         return response
@@ -53,11 +134,32 @@ class ServiceClient:
         return self.request("ping")
 
     def submit(
-        self, spec: JobSpec, *, priority: int = 0, dedupe: bool = False
+        self,
+        spec: JobSpec,
+        *,
+        priority: int = 0,
+        dedupe: bool = False,
+        idempotent: bool = False,
     ) -> str:
-        """Submit a job; returns its id."""
+        """Submit a job; returns its id.
+
+        Every submit carries an idempotency key built from the spec's
+        content fingerprint plus a per-call nonce: the key is identical
+        across *transport retries* of this one call (a retried submit never
+        double-runs) but unique across *separate calls* (deliberately
+        submitting the same spec twice still creates two jobs).  With
+        ``idempotent=True`` the nonce is dropped, so any later submit of
+        the same spec content returns the first job's id.
+        """
+        key = spec.fingerprint()
+        if not idempotent:
+            key = f"{key}:{uuid.uuid4().hex}"
         response = self.request(
-            "submit", spec=spec.to_dict(), priority=priority, dedupe=dedupe
+            "submit",
+            spec=spec.to_dict(),
+            priority=priority,
+            dedupe=dedupe,
+            idempotency_key=key,
         )
         return str(response["job_id"])
 
@@ -96,23 +198,61 @@ class ServiceClient:
         """Service counters."""
         return self.request("stats")["stats"]  # type: ignore[return-value]
 
+    def health(self) -> Dict[str, object]:
+        """Daemon health snapshot (queue depth, workers, store, recovery)."""
+        return self.request("health")["health"]  # type: ignore[return-value]
+
+    def ready(self) -> Dict[str, object]:
+        """Readiness verdict plus the health snapshot."""
+        return self.request("ready")
+
     def shutdown(self) -> None:
         """Ask the daemon to stop."""
         self.request("shutdown")
 
     def poll(
-        self, job_id: str, *, timeout: float = 300.0, interval: float = 0.1
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        interval: float = 0.1,
+        max_interval: float = 2.0,
     ) -> Dict[str, object]:
         """Poll a job until it reaches a terminal state; returns the record.
 
-        Raises ``TimeoutError`` when the job is still live after ``timeout``
-        seconds.
+        The wait between probes starts at ``interval`` and backs off
+        exponentially (deterministic jitter, capped at ``max_interval``) --
+        short jobs are noticed fast, long jobs are not hammered.  A daemon
+        restart mid-poll is tolerated: transport-level failures keep
+        polling until the deadline, because a daemon restarted with
+        ``--recover`` re-adopts its jobs under their original ids.  Raises
+        ``TimeoutError`` when the job is still live (or the daemon still
+        unreachable) at the deadline.
         """
+        backoff = RetryPolicy(
+            attempts=2**31 - 1,  # poll() bounds by deadline, not attempts
+            base_delay=float(interval),
+            max_delay=float(max_interval),
+        )
         deadline = time.monotonic() + timeout
+        probe = 0
+        last_error: Optional[ServiceError] = None
         while True:
-            job = self.status(job_id)
-            if job["state"] in ("done", "failed", "cancelled"):
-                return job
+            try:
+                job = self.status(job_id)
+            except ServiceError as error:
+                if not error.transport:
+                    raise  # the daemon answered: unknown job, bad request...
+                last_error = error  # daemon restarting: keep polling
+            else:
+                last_error = None
+                if job["state"] in ("done", "failed", "cancelled"):
+                    return job
             if time.monotonic() >= deadline:
+                if last_error is not None:
+                    raise TimeoutError(
+                        f"daemon unreachable while polling job {job_id}: {last_error}"
+                    ) from last_error
                 raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
-            time.sleep(interval)
+            time.sleep(min(backoff.delay(probe, seed=job_id), max(0.0, deadline - time.monotonic())))
+            probe += 1

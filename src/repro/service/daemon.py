@@ -8,8 +8,15 @@ malformed line is answered and the handler keeps reading).
 Operations
 ----------
 ``ping``                     liveness probe (returns the protocol version).
-``submit``                   ``{spec, priority?, dedupe?}`` -> ``{job_id}``.
+``submit``                   ``{spec, priority?, dedupe?, idempotency_key?}``
+                             -> ``{job_id}``; a full queue answers a
+                             structured ``queue_full`` error with the
+                             current depth and bound.
 ``status``                   ``{job_id}`` -> the job record snapshot.
+``health``                   queue depth, worker liveness, store
+                             writability, recovery summary.
+``ready``                    ``{ready}`` + the health snapshot (readiness
+                             gate for orchestration).
 ``cancel``                   ``{job_id}`` -> ``{cancelled}``.
 ``jobs``                     every job record, submission order.
 ``result``                   ``{job_id}`` -> the job's stored run (reports inline).
@@ -38,7 +45,7 @@ import threading
 from typing import Dict, Optional, Tuple
 
 from ..faults import fault_point
-from .queue import JobState
+from .queue import JobState, QueueFullError
 from .report import json_report, markdown_report
 from .service import EvalService
 from .spec import JobSpec
@@ -242,12 +249,35 @@ class ServiceDaemon:
         if not isinstance(spec_payload, dict):
             raise ValueError("submit needs a 'spec' object")
         spec = JobSpec.from_dict(spec_payload)
-        job_id = self.service.submit(
-            spec,
-            priority=int(request.get("priority", 0)),  # type: ignore[arg-type]
-            dedupe=bool(request.get("dedupe", False)),
-        )
+        idempotency_key = request.get("idempotency_key")
+        try:
+            job_id = self.service.submit(
+                spec,
+                priority=int(request.get("priority", 0)),  # type: ignore[arg-type]
+                dedupe=bool(request.get("dedupe", False)),
+                idempotency_key=(
+                    str(idempotency_key) if idempotency_key is not None else None
+                ),
+            )
+        except QueueFullError as error:
+            # Backpressure is an expected protocol outcome, not a crash:
+            # reject with structured context so clients can shed or retry.
+            return {
+                "ok": False,
+                "error": str(error),
+                "error_code": "queue_full",
+                "queue_depth": error.depth,
+                "max_queued": error.max_queued,
+            }
         return {"ok": True, "job_id": job_id, "spec_fingerprint": spec.fingerprint()}
+
+    def _op_health(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Queue depth, worker liveness, store writability, recovery state."""
+        return {"ok": True, "health": self.service.health()}
+
+    def _op_ready(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Readiness verdict (accepting and able to run work right now)."""
+        return {"ok": True, **self.service.ready()}
 
     def _op_status(self, request: Dict[str, object]) -> Dict[str, object]:
         """Snapshot one job record."""

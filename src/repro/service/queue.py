@@ -29,11 +29,27 @@ from typing import Callable, Dict, List, Optional
 
 from .spec import JobSpec
 
-__all__ = ["JobCancelled", "JobQueue", "JobRecord", "JobState"]
+__all__ = ["JobCancelled", "JobQueue", "JobRecord", "JobState", "QueueFullError"]
 
 
 class JobCancelled(Exception):
     """Raised by an executor observing its job's cancellation request."""
+
+
+class QueueFullError(RuntimeError):
+    """A submit was rejected because the queue is at its ``max_queued`` bound.
+
+    Carries the rejection context (``depth``, ``max_queued``) so the daemon
+    can answer with a structured ``queue_full`` error instead of a dropped
+    connection or an opaque message.
+    """
+
+    def __init__(self, depth: int, max_queued: int) -> None:
+        super().__init__(
+            f"job queue is full ({depth} queued, max_queued={max_queued})"
+        )
+        self.depth = depth
+        self.max_queued = max_queued
 
 
 class JobState(str, enum.Enum):
@@ -128,6 +144,12 @@ class JobQueue:
         Optional hook called (from queue/worker threads) after every state
         transition -- the service uses it to persist job metadata.  Hook
         exceptions are swallowed: persistence must never kill a worker.
+    max_queued:
+        Backpressure bound: when set, a submit finding this many jobs
+        already QUEUED raises :class:`QueueFullError` instead of accepting
+        unbounded work.  Running jobs do not count against the bound, and
+        recovery re-adoption deliberately bypasses it (a restart must never
+        drop journaled work).  ``None`` (default) keeps the queue unbounded.
     """
 
     def __init__(
@@ -136,17 +158,22 @@ class JobQueue:
         *,
         workers: int = 1,
         on_update: Optional[Callable[[JobRecord], None]] = None,
+        max_queued: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("JobQueue needs at least one worker")
+        if max_queued is not None and max_queued < 1:
+            raise ValueError("max_queued must be >= 1 (or None for unbounded)")
         self._executor = executor
         self._on_update = on_update
+        self.max_queued = max_queued
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._heap: List[tuple] = []  # (priority, seq, job_id)
         self._seq = itertools.count()
         self._jobs: Dict[str, JobRecord] = {}
         self._order: List[str] = []  # submission order, for `list`
+        self._queued = 0  # jobs currently in QUEUED state
         self._shutdown = False
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"job-worker-{i}", daemon=True)
@@ -162,26 +189,64 @@ class JobQueue:
         """Enqueue a job; returns its id immediately.
 
         Lower ``priority`` values run first; ties run in submission order.
+        Raises :class:`QueueFullError` when ``max_queued`` is set and
+        reached.  Callers that must persist the accepted job *before* it can
+        start running use the :meth:`prepare` / :meth:`enqueue` split
+        instead; ``submit`` is exactly ``enqueue(prepare(...))``.
+        """
+        return self.enqueue(self.prepare(spec, priority=priority))
+
+    def prepare(self, spec: JobSpec, *, priority: int = 0) -> JobRecord:
+        """Validate a spec and mint its job record WITHOUT queueing it.
+
+        The record is not yet visible to :meth:`get`/:meth:`jobs` and no
+        worker can pick it up -- the journal-before-acknowledge seam: the
+        service persists the prepared record, then calls :meth:`enqueue`.
         """
         spec.validate()
         job_id = f"job-{uuid.uuid4().hex[:12]}"
-        record = JobRecord(job_id=job_id, spec=spec, priority=int(priority))
+        return JobRecord(job_id=job_id, spec=spec, priority=int(priority))
+
+    def enqueue(self, record: JobRecord, *, enforce_bound: bool = True) -> str:
+        """Make a prepared record runnable; returns its job id.
+
+        With ``enforce_bound`` (the default) a full queue raises
+        :class:`QueueFullError` before the record becomes visible.
+        """
         with self._not_empty:
             if self._shutdown:
                 raise RuntimeError("the job queue is shut down")
-            self._jobs[job_id] = record
-            self._order.append(job_id)
-            heapq.heappush(self._heap, (record.priority, next(self._seq), job_id))
+            if (
+                enforce_bound
+                and self.max_queued is not None
+                and self._queued >= self.max_queued
+            ):
+                raise QueueFullError(self._queued, self.max_queued)
+            self._jobs[record.job_id] = record
+            self._order.append(record.job_id)
+            self._queued += 1
+            heapq.heappush(self._heap, (record.priority, next(self._seq), record.job_id))
             self._not_empty.notify()
         self._notify(record)
-        return job_id
+        return record.job_id
 
-    def adopt(self, record: JobRecord) -> None:
-        """Register an externally-completed job record (store-level dedup).
+    def adopt(self, record: JobRecord, *, requeue: bool = False) -> None:
+        """Register an externally-built job record.
 
-        The record must already be terminal; it becomes visible to
-        :meth:`get`/:meth:`jobs` without ever entering the run queue.
+        Without ``requeue`` (store-level dedup) the record must already be
+        terminal; it becomes visible to :meth:`get`/:meth:`jobs` without
+        ever entering the run queue.  With ``requeue`` (crash recovery) a
+        non-terminal record is reset to QUEUED -- keeping its job id,
+        priority and original submission time -- and enters the run queue,
+        bypassing ``max_queued`` (a restart must never drop journaled work).
         """
+        if requeue:
+            if record.state.terminal:
+                raise ValueError("adopt(requeue=True) needs a non-terminal record")
+            record.state = JobState.QUEUED
+            record.started_at = None
+            self.enqueue(record, enforce_bound=False)
+            return
         if not record.state.terminal:
             raise ValueError("adopt() only accepts terminal job records")
         with self._lock:
@@ -189,6 +254,16 @@ class JobQueue:
             self._order.append(record.job_id)
         self._notify(record)
         record.done_event.set()
+
+    def depth(self) -> int:
+        """How many jobs are currently QUEUED (the backpressure measure)."""
+        with self._lock:
+            return self._queued
+
+    def worker_liveness(self) -> Dict[str, int]:
+        """Worker-pool health: configured vs currently alive threads."""
+        alive = sum(1 for worker in self._workers if worker.is_alive())
+        return {"workers": len(self._workers), "alive": alive}
 
     def get(self, job_id: str) -> JobRecord:
         """Look up one job record (raises ``KeyError`` on unknown ids)."""
@@ -214,6 +289,7 @@ class JobQueue:
                 # skipped by the worker that eventually pops it.
                 record.cancel_event.set()
                 self._finish(record, JobState.CANCELLED)
+                self._queued -= 1
                 cancelled = True
             elif record.state is JobState.RUNNING:
                 record.cancel_event.set()
@@ -263,6 +339,7 @@ class JobQueue:
                         continue  # cancelled while queued: stale heap entry
                     record.state = JobState.RUNNING
                     record.started_at = time.time()
+                    self._queued -= 1
                     return record
                 if self._shutdown:
                     return None

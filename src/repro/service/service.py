@@ -24,13 +24,13 @@ from typing import Dict, Optional, Tuple
 
 from ..bench.golden import GoldenStore
 from ..engine.engine import EngineConfig, ExecutionEngine, stats_delta
-from ..faults import fault_stats
+from ..faults import fault_point, fault_stats
 from ..evalkit.outcome import EvalReport
 from ..harness.runner import run_model
 from ..llm.profiles import get_profile
 from ..llm.simulated import SimulatedDesigner
 from .diff import RunDiff, diff_runs
-from .queue import JobQueue, JobRecord, JobState
+from .queue import JobQueue, JobRecord, JobState, QueueFullError
 from .spec import JobSpec
 from .store import ResultsStore
 
@@ -59,6 +59,16 @@ class EvalService:
         service checkpoints every completed trajectory and *always* resumes:
         a job resubmitted after a crash -- same spec, any execution mode --
         recomputes only the samples its journal is missing.
+    max_queued:
+        Backpressure bound on QUEUED jobs; a submit beyond it raises
+        :class:`~repro.service.queue.QueueFullError` (the daemon answers a
+        structured ``queue_full`` error).  ``None`` = unbounded.
+    recover:
+        When true, non-terminal jobs persisted by a previous (crashed)
+        process are re-adopted on startup: still-``queued`` rows re-enter
+        the run queue and ``running``-at-crash rows re-run from scratch
+        through their sweep journals, so already-checkpointed trajectories
+        are not recomputed and the stored reports come out byte-identical.
     """
 
     def __init__(
@@ -69,6 +79,8 @@ class EvalService:
         job_workers: int = 2,
         engine_workers: int = 1,
         journal_dir: Optional[Path | str] = None,
+        max_queued: Optional[int] = None,
+        recover: bool = False,
     ) -> None:
         self.store = ResultsStore(db_path)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -84,22 +96,57 @@ class EvalService:
         self._golden_stores: Dict[Tuple[str, str, int], GoldenStore] = {}
         self._golden_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # Idempotent re-submission: client-supplied key -> accepted job id.
+        # In-memory on purpose -- it protects against the *client's own
+        # transport retries* of one logical submit, not cross-restart
+        # duplicates (those dedupe at the store level via `dedupe=True`).
+        self._idempotency_lock = threading.Lock()
+        self._idempotency: Dict[str, str] = {}
         self.queue = JobQueue(
-            self._execute, workers=job_workers, on_update=self._persist_job
+            self._execute,
+            workers=job_workers,
+            on_update=self._persist_job,
+            max_queued=max_queued,
         )
         self.started_at = time.time()
+        self._recovery: Dict[str, object] = {"enabled": bool(recover), "recovered": 0}
+        if recover:
+            self.recover()
 
     # ------------------------------------------------------------------
     # Client surface
     # ------------------------------------------------------------------
-    def submit(self, spec: JobSpec, *, priority: int = 0, dedupe: bool = False) -> str:
-        """Enqueue one job; returns its id.
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        priority: int = 0,
+        dedupe: bool = False,
+        idempotency_key: Optional[str] = None,
+    ) -> str:
+        """Accept one job durably; returns its id.
+
+        The accepted spec is journaled through the results store *before*
+        this method returns (journal-before-acknowledge): a daemon crash
+        after a successful submit can never silently drop the job --
+        ``recover`` finds the persisted row and re-queues it.
 
         With ``dedupe=True`` a spec whose fingerprint already has a stored
         run short-circuits: the job is recorded DONE immediately, pointing
         at the existing run, and no evaluation work happens.
+
+        ``idempotency_key`` makes re-submission safe: a second submit
+        carrying a key already accepted by this process returns the original
+        job id instead of creating a duplicate job (the client's transport
+        retries use a per-call key, so one logical submit runs exactly once
+        no matter how often its socket write is retried).
         """
         spec.validate()
+        if idempotency_key is not None:
+            with self._idempotency_lock:
+                existing_id = self._idempotency.get(idempotency_key)
+            if existing_id is not None:
+                return existing_id
         if dedupe:
             existing = self.store.latest_run(spec.fingerprint())
             if existing is not None:
@@ -110,12 +157,114 @@ class EvalService:
                 record.deduplicated = True
                 self.queue.adopt(record)
                 self._persist_job(record)
+                self._remember_idempotent(idempotency_key, record.job_id)
                 return record.job_id
-        return self.queue.submit(spec, priority=priority)
+        record = self.queue.prepare(spec, priority=priority)
+        # Journal before acknowledging: unlike the queue's on_update hook
+        # (which swallows persistence errors to protect workers), this write
+        # is synchronous and raise-capable -- an unjournalable job is
+        # rejected, never half-accepted.
+        fault_point("service.journal", key=record.job_id)
+        self.store.record_job(record.to_dict())
+        try:
+            self.queue.enqueue(record)
+        except QueueFullError:
+            # The row was journaled before the bound check; mark it terminal
+            # so a later --recover does not resurrect a rejected job.
+            record.state = JobState.CANCELLED
+            record.error = "rejected: queue full"
+            record.finished_at = time.time()
+            self._persist_job(record)
+            raise
+        self._remember_idempotent(idempotency_key, record.job_id)
+        return record.job_id
+
+    def _remember_idempotent(self, key: Optional[str], job_id: str) -> None:
+        if key is None:
+            return
+        with self._idempotency_lock:
+            self._idempotency[key] = job_id
+
+    def recover(self) -> Dict[str, object]:
+        """Re-adopt every non-terminal job the previous process left behind.
+
+        ``queued`` rows re-enter the run queue; ``running``-at-crash rows
+        are re-queued and re-run -- their sweep journals (always on when the
+        service has a journal directory) make the re-run cheap and the
+        stored reports byte-identical, and the store's content-addressed
+        ``save_run`` dedups the recomputed run onto the original run id.
+        Returns the recovery summary also served by :meth:`health`.
+        """
+        requeued = []
+        for row in self.store.pending_jobs():
+            spec = JobSpec.from_dict(dict(row["spec"]))  # type: ignore[arg-type]
+            record = JobRecord(
+                job_id=str(row["job_id"]),
+                spec=spec,
+                priority=int(row["priority"]),  # type: ignore[arg-type]
+                state=JobState(str(row["state"])),
+                submitted_at=float(row["submitted_at"]),  # type: ignore[arg-type]
+            )
+            self.queue.adopt(record, requeue=True)
+            requeued.append(record.job_id)
+        self._recovery = {
+            "enabled": True,
+            "recovered": len(requeued),
+            "requeued_jobs": requeued,
+            "at": time.time(),
+        }
+        return dict(self._recovery)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness/utilisation snapshot (the daemon's ``health`` op)."""
+        liveness = self.queue.worker_liveness()
+        return {
+            "uptime": time.time() - self.started_at,
+            "queue_depth": self.queue.depth(),
+            "max_queued": self.queue.max_queued,
+            "workers": liveness,
+            "store_writable": self.store.check_writable(),
+            "recovery": dict(self._recovery),
+        }
+
+    def ready(self) -> Dict[str, object]:
+        """Readiness verdict: can this service accept and run work right now?"""
+        health = self.health()
+        workers = health["workers"]
+        ready = bool(
+            workers["alive"] > 0 and health["store_writable"]  # type: ignore[index]
+        )
+        if self.queue.max_queued is not None:
+            ready = ready and health["queue_depth"] < self.queue.max_queued  # type: ignore[operator]
+        return {"ready": ready, **health}
 
     def status(self, job_id: str) -> JobRecord:
-        """Live job record (falls back to the store for persisted-only jobs)."""
-        return self.queue.get(job_id)
+        """Live job record (falls back to the store for persisted-only jobs).
+
+        The fallback is what makes polling survive a restart: a job that
+        finished before a crash is not re-adopted by ``recover`` (it is
+        terminal), but its store row still answers ``status`` -- so a
+        client that submitted before the crash and polled across the
+        restart sees DONE, not "unknown job".
+        """
+        try:
+            return self.queue.get(job_id)
+        except KeyError:
+            row = self.store.load_job(job_id)  # KeyError when truly unknown
+            record = JobRecord(
+                job_id=str(row["job_id"]),
+                spec=JobSpec.from_dict(dict(row["spec"])),  # type: ignore[arg-type]
+                priority=int(row["priority"]),  # type: ignore[arg-type]
+                state=JobState(str(row["state"])),
+                submitted_at=float(row["submitted_at"]),  # type: ignore[arg-type]
+                started_at=row["started_at"],  # type: ignore[arg-type]
+                finished_at=row["finished_at"],  # type: ignore[arg-type]
+                error=row["error"],  # type: ignore[arg-type]
+                run_id=row["run_id"],  # type: ignore[arg-type]
+            )
+            if record.state.terminal:
+                record.done_event.set()
+            return record
 
     def cancel(self, job_id: str) -> bool:
         """Request cancellation (see :meth:`JobQueue.cancel`)."""

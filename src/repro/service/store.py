@@ -516,6 +516,39 @@ class ResultsStore:
             ]
         return [self.load_job(job_id) for job_id in ids]
 
+    def pending_jobs(self) -> List[Dict[str, object]]:
+        """Non-terminal job rows (queued/running), oldest submission first.
+
+        These are the jobs a crashed daemon left behind: every accepted
+        submit is journaled before acknowledgement, so a row still
+        ``queued``/``running`` on startup is work the previous process
+        never finished.  ``EvalService.recover`` re-adopts them.
+        """
+        with closing(self._connect()) as conn:
+            ids = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT job_id FROM jobs WHERE state IN ('queued', 'running') "
+                    "ORDER BY submitted_at, job_id"
+                )
+            ]
+        return [self.load_job(job_id) for job_id in ids]
+
+    def check_writable(self) -> bool:
+        """Probe that the database accepts writes (the `health` op's signal).
+
+        Runs a no-op write transaction; any sqlite/OS failure reports
+        ``False`` instead of raising.
+        """
+        try:
+            with self._write_lock(), closing(self._connect()) as conn, conn:
+                conn.execute(
+                    "UPDATE meta SET value = value WHERE key = 'schema_version'"
+                )
+        except Exception:  # noqa: BLE001 - a health probe never raises
+            return False
+        return True
+
     def counts(self) -> Dict[str, int]:
         """Row counts per table (service `stats` responses, tests)."""
         with closing(self._connect()) as conn:

@@ -34,6 +34,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .guardrails import _record_degradation, solve_with_fallback
+
 __all__ = [
     "CascadePlan",
     "strongly_connected_components",
@@ -252,11 +254,18 @@ def cascade_solve(
                 start, _ = spans[instance]
                 gain = matrices[instance][:, port - start, source - start]
                 denominator = 1.0 - gain
-                if np.any(denominator == 0):
-                    raise np.linalg.LinAlgError(
-                        "singular feedback loop: unit round-trip gain"
+                bad = (denominator == 0) | ~np.isfinite(denominator)
+                if np.any(bad):
+                    # Unit round-trip gain: the scalar system (1-g)x = b is
+                    # singular; the minimum-norm answer is x = 0.
+                    _record_degradation(
+                        "self_loop",
+                        "singular" if np.any(denominator == 0) else "nonfinite",
                     )
-                waves[:, port, :] /= denominator[:, None]
+                    waves[:, port, :] /= np.where(bad, 1.0, denominator)[:, None]
+                    waves[bad, port, :] = 0.0
+                else:
+                    waves[:, port, :] /= denominator[:, None]
         else:
             # Feedback cluster: local dense solve over the cluster's ports.
             local = {port: position for position, port in enumerate(component)}
@@ -276,8 +285,8 @@ def cascade_solve(
             diagonal = np.arange(size_c)
             system[:, diagonal, diagonal] += 1.0
             component_list = list(component)
-            waves[:, component_list, :] = np.linalg.solve(
-                system, waves[:, component_list, :]
+            waves[:, component_list, :] = solve_with_fallback(
+                system, waves[:, component_list, :], site="cluster"
             )
 
         # Push the solved waves into every downstream dependent row.

@@ -74,6 +74,7 @@ from .batch import (
     merge_settings,
 )
 from .cascade import CascadePlan, structural_masks
+from .guardrails import collect_degradations
 from .plan import (
     CompiledCircuit,
     build_stacks,
@@ -252,6 +253,9 @@ class CircuitSolver:
         # -> (shallow content snapshot, fingerprint); see _override_fp.
         self._override_fp_memo: Dict[int, Tuple[Dict[str, object], str]] = {}
         self._batch_stats = BatchStats()
+        # Numerical-guardrail firings (see repro.sim.guardrails): counted
+        # under the memo lock, surfaced through degradation_stats().
+        self._degradations: Dict[str, int] = {"singular": 0, "nonfinite": 0}
         # Stacked instance matrices per (plan, concrete instance arrays).
         # Deliberately small: it only pays off for repeated evaluation of
         # content-identical netlists (instance-cache hits return the same
@@ -272,6 +276,23 @@ class CircuitSolver:
     def batch_stats(self) -> BatchStats:
         """Counters of the batched-execution path (see :class:`BatchStats`)."""
         return self._batch_stats
+
+    def degradation_stats(self) -> Dict[str, int]:
+        """Numerical-guardrail firings: least-squares fallback solves by reason."""
+        with self._memo_lock:
+            counts = dict(self._degradations)
+        counts["total"] = counts["singular"] + counts["nonfinite"]
+        return counts
+
+    def _count_degradations(self, events: Sequence[Dict[str, str]]) -> bool:
+        """Fold collected guardrail events into the counters; True when any."""
+        if not events:
+            return False
+        with self._memo_lock:
+            for event in events:
+                reason = event.get("reason", "nonfinite")
+                self._degradations[reason] = self._degradations.get(reason, 0) + 1
+        return True
 
     def clear_plan_cache(self) -> None:
         """Drop every compiled plan, cached validation verdict and stacked
@@ -370,8 +391,10 @@ class CircuitSolver:
         chosen = _check_backend(backend if backend is not None else self.backend)
         compiled, matrices, symmetric = self._compiled(netlist, wavelengths, port_spec)
         chosen = self._choose_backend(compiled, chosen)
-        data = self._execute(compiled, matrices, wavelengths.size, chosen, symmetric)
-        return SMatrix(wavelengths, compiled.external_names, data)
+        with collect_degradations() as events:
+            data = self._execute(compiled, matrices, wavelengths.size, chosen, symmetric)
+        degraded = self._count_degradations(events)
+        return SMatrix(wavelengths, compiled.external_names, data, degraded=degraded)
 
     def evaluate_batch(
         self,
@@ -634,40 +657,45 @@ class CircuitSolver:
                     for sample in pass_ids
                 ]
                 fused_points = len(pass_ids) * num_points
-                if chosen == "cascade" and compiled.stack_members:
-                    # One deduplicated copy pass: fuse straight into the
-                    # executor's stacks, sharing rows across the same-device
-                    # instances of meshes and fabrics.  Blocks are capped at
-                    # one sample's grid width: the per-sample block size is
-                    # what the executor's cache-residency targets were tuned
-                    # for, and letting a fused pass widen the working set
-                    # measurably regresses it.
-                    matrices, stacks, stack_positions = fuse_sample_stacks(
-                        compiled.stack_members, sample_matrices, num_points
-                    )
-                    max_block = (
-                        num_points
-                        if self.max_wavelength_chunk is None
-                        else min(num_points, self.max_wavelength_chunk)
-                    )
-                    data = execute_cascade(
-                        compiled,
-                        matrices,
-                        fused_points,
-                        max_block=max_block,
-                        symmetric=symmetric,
-                        stacks=stacks,
-                        stack_positions=stack_positions,
-                    )
-                else:
-                    data = self._execute(
-                        compiled,
-                        fuse_sample_matrices(sample_matrices, num_points),
-                        fused_points,
-                        chosen,
-                        symmetric,
-                        memo_stacks=False,
-                    )
+                with collect_degradations() as events:
+                    if chosen == "cascade" and compiled.stack_members:
+                        # One deduplicated copy pass: fuse straight into the
+                        # executor's stacks, sharing rows across the
+                        # same-device instances of meshes and fabrics.
+                        # Blocks are capped at one sample's grid width: the
+                        # per-sample block size is what the executor's
+                        # cache-residency targets were tuned for, and letting
+                        # a fused pass widen the working set measurably
+                        # regresses it.
+                        matrices, stacks, stack_positions = fuse_sample_stacks(
+                            compiled.stack_members, sample_matrices, num_points
+                        )
+                        max_block = (
+                            num_points
+                            if self.max_wavelength_chunk is None
+                            else min(num_points, self.max_wavelength_chunk)
+                        )
+                        data = execute_cascade(
+                            compiled,
+                            matrices,
+                            fused_points,
+                            max_block=max_block,
+                            symmetric=symmetric,
+                            stacks=stacks,
+                            stack_positions=stack_positions,
+                        )
+                    else:
+                        data = self._execute(
+                            compiled,
+                            fuse_sample_matrices(sample_matrices, num_points),
+                            fused_points,
+                            chosen,
+                            symmetric,
+                            memo_stacks=False,
+                        )
+                # A fused pass solves every sample in one system, so a
+                # guardrail firing is attributed to all of the pass's samples.
+                degraded = self._count_degradations(events)
                 data = data.reshape(
                     len(pass_ids), num_points, compiled.num_external, compiled.num_external
                 )
@@ -676,7 +704,10 @@ class CircuitSolver:
                     # caller (or a cache) retaining one sample must not pin
                     # the whole pass's output.
                     out[sample] = SMatrix(
-                        wavelengths, compiled.external_names, data[position].copy()
+                        wavelengths,
+                        compiled.external_names,
+                        data[position].copy(),
+                        degraded=degraded,
                     )
 
         with self._memo_lock:

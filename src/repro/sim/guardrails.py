@@ -1,0 +1,90 @@
+"""Numerical guardrails shared by the circuit-solver backends.
+
+A feedback cluster whose round-trip gain hits exactly 1 (a lossless
+resonant loop on resonance) makes the linear system ``(I - S C) b = r``
+singular; a near-singular system can blow the solve up into inf/NaN
+instead.  Both used to surface as an unhandled ``LinAlgError`` or --
+worse -- a silently cached non-finite S-matrix.  This module provides
+
+``solve_with_fallback``
+    ``np.linalg.solve`` that falls back to a per-wavelength least-squares
+    (minimum-norm) solve on ``LinAlgError`` or a non-finite answer, and
+
+``collect_degradations``
+    a thread-local collector that callers (the solver front door) install
+    so every fallback firing is reported upward and the resulting
+    :class:`~repro.sim.sparams.SMatrix` can be flagged ``degraded``.
+
+The guardrails never raise on their own: without an active collector the
+events are simply dropped and the degraded numbers flow on.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+__all__ = ["collect_degradations", "solve_with_fallback"]
+
+#: Per-thread stack of active degradation collectors (nested contexts allowed).
+_DEGRADATIONS = threading.local()
+
+
+@contextmanager
+def collect_degradations() -> Iterator[List[Dict[str, str]]]:
+    """Collect numerical-guardrail events fired by solves inside the block.
+
+    Yields a list that receives one ``{"site": ..., "reason": ...}`` dict per
+    guardrail firing (``site`` is ``"cluster"``, ``"self_loop"`` or
+    ``"dense"``; ``reason`` is ``"singular"`` or ``"nonfinite"``).  Collectors
+    nest: every active collector on the calling thread sees every event.
+    """
+    events: List[Dict[str, str]] = []
+    stack = getattr(_DEGRADATIONS, "stack", None)
+    if stack is None:
+        stack = _DEGRADATIONS.stack = []  # type: ignore[attr-defined]
+    stack.append(events)
+    try:
+        yield events
+    finally:
+        stack.remove(events)
+
+
+def _record_degradation(site: str, reason: str) -> None:
+    """Report one guardrail firing to every active collector on this thread."""
+    for events in getattr(_DEGRADATIONS, "stack", ()):
+        events.append({"site": site, "reason": reason})
+
+
+def _lstsq_batched(system: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Per-batch-entry least-squares solve (the minimum-norm fallback)."""
+    out = np.empty_like(rhs)
+    for index in range(system.shape[0]):
+        matrix = np.nan_to_num(system[index], nan=0.0, posinf=0.0, neginf=0.0)
+        vector = np.nan_to_num(rhs[index], nan=0.0, posinf=0.0, neginf=0.0)
+        out[index] = np.linalg.lstsq(matrix, vector, rcond=None)[0]
+    return out
+
+
+def solve_with_fallback(system: np.ndarray, rhs: np.ndarray, *, site: str) -> np.ndarray:
+    """``np.linalg.solve`` hardened against singular / non-finite systems.
+
+    The exact batched solve runs first.  A ``LinAlgError`` (exactly singular
+    system) or a non-finite answer (near-singular blow-up, or non-finite
+    inputs) falls back to a per-wavelength least-squares solve -- the
+    minimum-norm answer -- and records a degradation event with the active
+    :func:`collect_degradations` collectors so callers can flag the result
+    instead of crashing or caching NaN.
+    """
+    try:
+        result = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError:
+        _record_degradation(site, "singular")
+        return _lstsq_batched(system, rhs)
+    if not np.all(np.isfinite(result)):
+        _record_degradation(site, "nonfinite")
+        return _lstsq_batched(system, rhs)
+    return result

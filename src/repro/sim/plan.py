@@ -65,12 +65,15 @@ import numpy as np
 from ..netlist.errors import WrongPortError
 from ..netlist.schema import Netlist, format_endpoint, parse_endpoint
 from .cascade import CascadePlan, _dependent_rows, build_cascade_plan, structural_masks
+from .guardrails import _record_degradation, collect_degradations, solve_with_fallback
 from .kernels import Kernels, get_kernels, resolve_kernel_mode
 from .sparams import SMatrix
 
 __all__ = [
     "CompiledCircuit",
+    "collect_degradations",
     "compile_netlist",
+    "solve_with_fallback",
     "topology_fingerprint",
     "execute_cascade",
     "execute_dense",
@@ -1303,11 +1306,19 @@ def _execute_group(
             for loop in step.self_loops:
                 gain = matrices[loop.instance][lo:hi, loop.row_local, loop.col_local]
                 denominator = 1.0 - gain
-                if np.any(denominator == 0):
-                    raise np.linalg.LinAlgError(
-                        "singular feedback loop: unit round-trip gain"
+                bad = (denominator == 0) | ~np.isfinite(denominator)
+                if np.any(bad):
+                    # Unit round-trip gain: the scalar system (1-g)x = b is
+                    # singular; the minimum-norm answer is x = 0.
+                    _record_degradation(
+                        "self_loop",
+                        "singular" if np.any(denominator == 0) else "nonfinite",
                     )
-                ws[loop.row] /= denominator[:, None]
+                    row = ws[loop.row]
+                    row /= np.where(bad, 1.0, denominator)[:, None]
+                    row[bad] = 0.0
+                else:
+                    ws[loop.row] /= denominator[:, None]
             for cluster in step.clusters:
                 size = int(cluster.rows.size)
                 system = np.zeros((width, size, size), dtype=complex)
@@ -1325,7 +1336,9 @@ def _execute_group(
                 diagonal = np.arange(size)
                 system[:, diagonal, diagonal] += 1.0
                 rhs = ws[cluster.rows].transpose(1, 0, 2)
-                ws[cluster.rows] = np.linalg.solve(system, rhs).transpose(1, 0, 2)
+                ws[cluster.rows] = solve_with_fallback(
+                    system, rhs, site="cluster"
+                ).transpose(1, 0, 2)
 
         if group.out_rows.ndim == 2:
             # Stacked group: per column, gather its own block's external rows.
@@ -1463,6 +1476,6 @@ def execute_dense(
 
     # rhs = S @ E: E's columns are one-hot on the injected instance ports.
     rhs = block[:, :, compiled.injection_ports]
-    interior = np.linalg.solve(system, rhs)
+    interior = solve_with_fallback(system, rhs, site="dense")
     # external = E.T @ interior: a row gather for the same reason.
     return interior[:, compiled.injection_ports, :]

@@ -41,13 +41,19 @@ class SMatrix:
     data:
         Complex array of shape ``(W, P, P)`` where ``data[w, i, j]`` is the
         field amplitude coupled from input ``ports[j]`` to output ``ports[i]``.
+    degraded:
+        True when the solver had to fall back to a least-squares solve (a
+        singular or non-finite feedback system); the numbers are a
+        minimum-norm answer, not an exact solution.
     """
 
     wavelengths: np.ndarray
     ports: Tuple[str, ...]
     data: np.ndarray
+    degraded: bool = False
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "degraded", bool(self.degraded))
         wavelengths = np.atleast_1d(np.asarray(self.wavelengths, dtype=float))
         data = np.asarray(self.data, dtype=complex)
         ports = tuple(str(p) for p in self.ports)
@@ -128,7 +134,9 @@ class SMatrix:
         Ports not present in ``mapping`` keep their names.
         """
         new_ports = tuple(mapping.get(p, p) for p in self.ports)
-        return SMatrix(self.wavelengths, new_ports, self.data.copy())
+        return SMatrix(
+            self.wavelengths, new_ports, self.data.copy(), degraded=self.degraded
+        )
 
     def reordered(self, ports: Sequence[str]) -> "SMatrix":
         """Return a copy whose port order matches ``ports`` exactly."""
@@ -138,7 +146,7 @@ class SMatrix:
             )
         idx = np.array([self.port_index(p) for p in ports], dtype=int)
         data = self.data[:, idx][:, :, idx]
-        return SMatrix(self.wavelengths, tuple(ports), data)
+        return SMatrix(self.wavelengths, tuple(ports), data, degraded=self.degraded)
 
     def at_wavelength(self, wavelength_um: float) -> np.ndarray:
         """Return the 2-D S-matrix at the grid point closest to ``wavelength_um``."""

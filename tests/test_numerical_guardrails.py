@@ -1,0 +1,227 @@
+"""Numerical guardrail tests: singular feedback loops degrade, never crash.
+
+A lossless resonant loop (unit round-trip gain, zero round-trip phase)
+makes the feedback-cluster linear system exactly singular: ``1 - g`` is
+zero at the self-loop site and ``I - S`` loses rank at the cluster/dense
+sites.  The solver must fall back to least-squares, mark the result
+``degraded``, and keep every number finite -- and nothing non-finite may
+ever be persisted to the simulation cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import SimulationCache
+from repro.engine.engine import EngineConfig, ExecutionEngine
+from repro.evalkit.outcome import AttemptRecord, EvalReport, SampleResult
+from repro.harness.journal import _sample_from_payload, _sample_to_payload
+from repro.netlist import Instance, Netlist
+from repro.sim import CircuitSolver
+from repro.sim.guardrails import collect_degradations, solve_with_fallback
+from repro.sim.sparams import SMatrix
+
+BACKENDS = ("dense", "cascade")
+
+
+#: A coupling so weak the through amplitude rounds to exactly 1.0 in float
+#: (``sqrt(1 - 1e-30) == 1.0``) while the cross amplitude (``~1e-15``) stays
+#: structurally nonzero -- the loop is reachable from the input, yet its
+#: round-trip gain is float-exactly 1: the resonant system is singular.
+NEAR_LOSSLESS = 1e-30
+
+
+def lossless_ring_netlist():
+    """All-pass ring with float-exact unit round-trip gain on the whole grid.
+
+    The zero-length lossless loop contributes exactly no phase and the
+    near-lossless coupler an exact through amplitude of 1, so the feedback
+    system ``(1 - g) x = b`` is singular at every wavelength while the loop
+    still receives (tiny) excitation from the external input.
+    """
+    return Netlist(
+        instances={
+            "cp": Instance("coupler", {"coupling": NEAR_LOSSLESS}),
+            "loop": Instance("waveguide", {"length": 0.0, "loss_db_cm": 0.0}),
+        },
+        connections={"cp,O2": "loop,I1", "loop,O1": "cp,I2"},
+        ports={"I1": "cp,I1", "O1": "cp,O1"},
+        models={"coupler": "coupler", "waveguide": "waveguide"},
+    )
+
+
+def lossless_adddrop_netlist():
+    """Add/drop resonator whose 4-instance cluster is exactly singular."""
+    return Netlist(
+        instances={
+            "cin": Instance("coupler", {"coupling": NEAR_LOSSLESS}),
+            "cout": Instance("coupler", {"coupling": NEAR_LOSSLESS}),
+            "top": Instance("waveguide", {"length": 0.0, "loss_db_cm": 0.0}),
+            "bot": Instance("waveguide", {"length": 0.0, "loss_db_cm": 0.0}),
+        },
+        connections={
+            "cin,O2": "top,I1",
+            "top,O1": "cout,I2",
+            "cout,O2": "bot,I1",
+            "bot,O1": "cin,I2",
+        },
+        ports={"I1": "cin,I1", "O1": "cin,O1", "I2": "cout,I1", "O2": "cout,O1"},
+        models={"coupler": "coupler", "waveguide": "waveguide"},
+    )
+
+
+# ======================================================================
+# The fallback primitive
+# ======================================================================
+def test_solve_with_fallback_survives_singular_systems():
+    rng = np.random.default_rng(7)
+    system = np.zeros((3, 4, 4), dtype=complex)  # singular in every batch entry
+    rhs = rng.standard_normal((3, 4, 2)) + 0j
+    with collect_degradations() as events:
+        solution = solve_with_fallback(system, rhs, site="cluster")
+    assert np.all(np.isfinite(solution))
+    assert np.allclose(solution, 0.0)  # minimum-norm solution of 0x = b
+    assert events == [{"site": "cluster", "reason": "singular"}]
+
+
+def test_solve_with_fallback_passes_healthy_systems_through():
+    rng = np.random.default_rng(11)
+    system = np.eye(4)[None] + 0.01 * rng.standard_normal((3, 4, 4))
+    rhs = rng.standard_normal((3, 4, 2)) + 0j
+    with collect_degradations() as events:
+        solution = solve_with_fallback(system, rhs, site="cluster")
+    assert events == []
+    assert np.allclose(solution, np.linalg.solve(system, rhs))
+
+
+# ======================================================================
+# Full circuits: lossless resonant loops on both backends
+# ======================================================================
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "build", [lossless_ring_netlist, lossless_adddrop_netlist],
+    ids=["ring", "adddrop"],
+)
+def test_singular_loop_degrades_instead_of_raising(wavelengths, backend, build):
+    solver = CircuitSolver()
+    smatrix = solver.evaluate(build(), wavelengths, backend=backend)
+    assert np.all(np.isfinite(smatrix.data))
+    assert smatrix.degraded is True
+    stats = solver.degradation_stats()
+    assert stats["total"] >= 1
+    assert stats["singular"] >= 1
+    # The decoupled bus still transmits cleanly: the fallback only zeroes
+    # the unreachable loop modes, it does not corrupt the external answer.
+    assert np.allclose(smatrix.transmission("O1", "I1"), 1.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_healthy_circuits_are_not_flagged(wavelengths, backend):
+    lossy = lossless_ring_netlist()
+    lossy.instances["cp"].settings["coupling"] = 0.2
+    lossy.instances["loop"].settings["length"] = 31.4
+    solver = CircuitSolver()
+    smatrix = solver.evaluate(lossy, wavelengths, backend=backend)
+    assert smatrix.degraded is False
+    assert solver.degradation_stats()["total"] == 0
+
+
+def test_degraded_flag_survives_renames_and_reorders(wavelengths):
+    solver = CircuitSolver()
+    smatrix = solver.evaluate(lossless_ring_netlist(), wavelengths)
+    renamed = smatrix.renamed({"I1": "in", "O1": "out"})
+    assert renamed.degraded is True
+    assert renamed.reordered(("out", "in")).degraded is True
+
+
+# ======================================================================
+# Engine integration: stats and cache round-trip
+# ======================================================================
+def test_engine_counts_degradations_and_caches_the_flag(tmp_path, wavelengths):
+    engine = ExecutionEngine(EngineConfig(cache_dir=tmp_path))
+    first = engine.evaluate(lossless_ring_netlist(), wavelengths)
+    assert first.degraded is True
+    stats = engine.stats()
+    assert stats["solver_degradations"]["total"] >= 1
+    assert stats["cache_nonfinite_rejected"] == 0
+    # A cold cache read (fresh engine, same disk tier) keeps the flag: the
+    # .npz entry persists `degraded` alongside the data.
+    reread = ExecutionEngine(EngineConfig(cache_dir=tmp_path)).evaluate(
+        lossless_ring_netlist(), wavelengths
+    )
+    assert reread.degraded is True
+    assert np.array_equal(reread.data, first.data)
+
+
+def test_cache_refuses_nonfinite_results(tmp_path, wavelengths):
+    cache = SimulationCache(max_entries=8, cache_dir=tmp_path)
+    data = np.ones((len(wavelengths), 2, 2), dtype=complex)
+    data[0, 0, 0] = np.nan
+    poisoned = SMatrix(wavelengths, ("I1", "O1"), data)
+    cache.put("poisoned-key", poisoned)
+    assert cache.get("poisoned-key") is None  # nothing persisted, any tier
+    assert cache.nonfinite_rejected == 1
+    assert list(tmp_path.glob("*.npz")) == []
+    # Finite data is unaffected.
+    cache.put("clean-key", SMatrix(wavelengths, ("I1", "O1"), np.ones_like(data)))
+    assert cache.get("clean-key") is not None
+
+
+# ======================================================================
+# Flag plumbing: SampleResult, report serialisation, journal round-trip
+# ======================================================================
+def _sample(problem="ring", **attempt_fields):
+    sample = SampleResult(problem=problem, sample_index=0)
+    sample.attempts.append(
+        AttemptRecord(iteration=0, syntax_ok=True, functional_ok=True, **attempt_fields)
+    )
+    return sample
+
+
+def test_sample_flags_aggregate_over_attempts():
+    clean = _sample()
+    assert clean.degraded is False and clean.nonfinite is False
+    flagged = _sample(degraded=True)
+    flagged.attempts.append(
+        AttemptRecord(iteration=1, syntax_ok=True, functional_ok=False, nonfinite=True)
+    )
+    assert flagged.degraded is True
+    assert flagged.nonfinite is True
+
+
+def test_report_serialises_flags_only_when_set():
+    report = EvalReport(
+        model="GPT-4o",
+        with_restrictions=False,
+        samples_per_problem=1,
+        max_feedback_iterations=0,
+    )
+    report.add(_sample(problem="clean"))
+    report.add(_sample(problem="flagged", degraded=True, nonfinite=True))
+    payload = report.to_dict()
+    clean_attempt = payload["results"]["clean"][0]["attempts"][0]
+    flagged_attempt = payload["results"]["flagged"][0]["attempts"][0]
+    # Byte-identity invariant: a clean attempt's payload has no flag keys at
+    # all, so healthy reports serialise exactly as they did pre-guardrails.
+    assert "degraded" not in clean_attempt and "nonfinite" not in clean_attempt
+    assert flagged_attempt["degraded"] is True
+    assert flagged_attempt["nonfinite"] is True
+    rebuilt = EvalReport.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt.results["flagged"][0].degraded is True
+    assert rebuilt.results["flagged"][0].nonfinite is True
+    assert rebuilt.results["clean"][0].degraded is False
+
+
+def test_journal_round_trips_flags():
+    flagged = _sample(degraded=True)
+    payload = _sample_to_payload(flagged)
+    assert payload[0]["degraded"] is True
+    assert "nonfinite" not in payload[0]
+    rebuilt = _sample_from_payload("ring", 0, json.loads(json.dumps(payload)))
+    assert rebuilt.degraded is True
+    assert rebuilt.nonfinite is False
+    clean_payload = _sample_to_payload(_sample())
+    assert "degraded" not in clean_payload[0] and "nonfinite" not in clean_payload[0]

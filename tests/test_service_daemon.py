@@ -15,6 +15,7 @@ import time
 
 import pytest
 
+from repro.faults import RetryPolicy
 from repro.harness.cli import main as harness_main
 from repro.service import EvalService, JobSpec
 from repro.service.cli import main as service_main
@@ -268,14 +269,16 @@ def test_shutdown_op_stops_daemon(tmp_path):
     with EvalService(tmp_path / "stop.db", job_workers=1) as service:
         daemon = ServiceDaemon(service)
         host, port = daemon.start()
-        client = ServiceClient(host, port)
+        # attempts=1: the probe loop must see the refusal, not retry past it.
+        client = ServiceClient(host, port, retry=RetryPolicy(attempts=1))
         client.shutdown()
         deadline = time.monotonic() + 10.0
         while time.monotonic() < deadline:
             try:
                 client.ping()
                 time.sleep(0.05)
-            except (ConnectionError, OSError):
+            except ServiceError as error:
+                assert error.transport  # wrapped ConnectionError, not a daemon reply
                 break
         else:
             pytest.fail("the daemon kept serving after the shutdown op")
@@ -338,8 +341,13 @@ def test_cli_unreachable_daemon_exits_2(capsys):
     with socket.socket() as probe:  # grab a port that is then closed again
         probe.bind(("127.0.0.1", 0))
         dead_port = probe.getsockname()[1]
-    assert service_main(["jobs", "--port", str(dead_port), "list"]) == 2
-    assert "cannot reach the daemon" in capsys.readouterr().err
+    assert (
+        service_main(
+            ["jobs", "--port", str(dead_port), "--connect-retries", "1", "list"]
+        )
+        == 2
+    )
+    assert "could not reach the service daemon" in capsys.readouterr().err
 
 
 def test_harness_cli_forwards_service_verbs(daemon, capsys):
